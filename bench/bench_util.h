@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Each bench binary regenerates one figure or table of the paper,
+ * printing the same rows/series the paper plots.  The simulated
+ * benches use shorter warm-up/measurement windows than a production
+ * study would (the paper does not specify its windows); this adds
+ * noise but does not change the shapes the paper's conclusions rest
+ * on.  EXPERIMENTS.md records paper-vs-measured for every bench.
+ */
+
+#ifndef FBFLY_BENCH_BENCH_UTIL_H
+#define FBFLY_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace fbfly::bench
+{
+
+/** Default experiment phasing for the 1K-node benches. */
+inline ExperimentConfig
+defaultPhasing()
+{
+    ExperimentConfig e;
+    e.warmupCycles = 1000;
+    e.measureCycles = 1000;
+    e.drainCycles = 3000;
+    e.seed = 2007; // ISCA'07
+    return e;
+}
+
+/** Offered loads for a latency-vs-load curve up to @p cap. */
+inline std::vector<double>
+loadSweep(double cap, double step = 0.1)
+{
+    std::vector<double> loads;
+    for (double l = step; l <= cap + 1e-9; l += step)
+        loads.push_back(l);
+    return loads;
+}
+
+/** The load points used for curves that saturate near 50% (the
+ *  worst-case pattern and the tapered Clos): dense near the
+ *  paper's 0.45 comparison point, bounded past saturation. */
+inline std::vector<double>
+halfCapacitySweep()
+{
+    return {0.1, 0.2, 0.3, 0.4, 0.45, 0.5, 0.55};
+}
+
+/** Print the header for a latency/throughput series. */
+inline void
+printSeriesHeader(const std::string &series)
+{
+    std::printf("\n# series: %s\n", series.c_str());
+    std::printf("%10s %10s %12s %10s %6s\n", "offered", "accepted",
+                "latency", "hops", "sat");
+}
+
+/** Print one load point in the standard format. */
+inline void
+printPoint(const LoadPointResult &r)
+{
+    if (r.saturated || r.measuredPackets == 0) {
+        std::printf("%10.3f %10.4f %12s %10s %6s\n", r.offered,
+                    r.accepted, "-", "-", "yes");
+    } else {
+        std::printf("%10.3f %10.4f %12.2f %10.2f %6s\n", r.offered,
+                    r.accepted, r.avgLatency, r.avgHops, "no");
+    }
+}
+
+} // namespace fbfly::bench
+
+#endif // FBFLY_BENCH_BENCH_UTIL_H

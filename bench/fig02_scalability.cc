@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 2: network size (N) scalability as the radix (k') and
+ * dimension (n') are varied.
+ *
+ * For each dimensionality n' and router radix k', prints the largest
+ * flattened butterfly (N = k^(n'+1), k = 1 + (k'-1)/(n'+1)) the
+ * radix supports.  Reproduces the paper's observations: k' < 16
+ * scales poorly, k' = 32 needs many dimensions, and k' = 61 reaches
+ * 64K nodes with only three dimensions.
+ */
+
+#include <cstdio>
+
+#include "topology/flattened_butterfly.h"
+
+int
+main()
+{
+    using fbfly::FlattenedButterfly;
+
+    std::printf("Figure 2: N vs radix k' for n' = 1..4\n");
+    std::printf("%6s %14s %14s %14s %14s\n", "k'", "n'=1", "n'=2",
+                "n'=3", "n'=4");
+    for (int kp = 4; kp <= 128; kp += kp < 16 ? 4 : 8) {
+        std::printf("%6d", kp);
+        for (int np = 1; np <= 4; ++np) {
+            const auto n = FlattenedButterfly::maxNodes(kp, np);
+            if (n < 2)
+                std::printf(" %14s", "-");
+            else
+                std::printf(" %14lld", static_cast<long long>(n));
+        }
+        std::printf("\n");
+    }
+
+    // The paper's highlighted data points.
+    std::printf("\nhighlights:\n");
+    std::printf("  k'=61, n'=3 -> N = %lld (paper: 64K nodes with "
+                "three dimensions)\n",
+                static_cast<long long>(
+                    FlattenedButterfly::maxNodes(61, 3)));
+    std::printf("  k'=32, n'=3 -> N = %lld\n",
+                static_cast<long long>(
+                    FlattenedButterfly::maxNodes(32, 3)));
+    std::printf("  k'=15, n'=3 -> N = %lld (low-radix routers scale "
+                "poorly)\n",
+                static_cast<long long>(
+                    FlattenedButterfly::maxNodes(15, 3)));
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 5: dynamic response — time to deliver a batch of worst-case
+ * traffic, normalized to batch size.
+ *
+ * Small batches expose transient load imbalance: UGAL's greedy
+ * allocator lets all of a router's inputs pick the same short
+ * minimal queue before the queueing state updates, so it performs
+ * very poorly; UGAL-S fixes the allocator but still picks random
+ * intermediates; CLOS AD removes both sources of imbalance.  As the
+ * batch grows, normalized latency approaches the inverse of each
+ * algorithm's throughput (~2.0 at 50%).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "routing/clos_ad.h"
+#include "routing/ugal.h"
+#include "routing/valiant.h"
+#include "topology/flattened_butterfly.h"
+#include "traffic/traffic_pattern.h"
+
+using namespace fbfly;
+
+int
+main()
+{
+    FlattenedButterfly topo(32, 2);
+    AdversarialNeighbor wc(topo.numNodes(), topo.k());
+
+    Valiant val(topo);
+    Ugal ugal(topo, false);
+    Ugal ugal_s(topo, true);
+    ClosAd clos_ad(topo);
+    RoutingAlgorithm *algos[] = {&val, &ugal, &ugal_s, &clos_ad};
+
+    std::printf("Figure 5: batch completion time / batch size "
+                "(worst-case traffic, N=1024)\n\n");
+    std::printf("%8s", "batch");
+    for (auto *a : algos)
+        std::printf(" %10s", a->name().c_str());
+    std::printf("\n");
+
+    for (const int batch : {1, 2, 5, 10, 20, 50, 100, 200, 500,
+                            1000}) {
+        std::printf("%8d", batch);
+        for (auto *a : algos) {
+            NetworkConfig netcfg;
+            netcfg.vcDepth = 32 / a->numVcs();
+            const BatchResult r =
+                runBatch(topo, *a, wc, netcfg, 2007, batch);
+            std::printf(" %10.2f", r.normalizedLatency);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 6 (and Table 1): topology comparison at N = 1024 with
+ * bisection bandwidth held constant.
+ *
+ *  - flattened butterfly: 32-ary 2-flat, CLOS AD, 2 VCs;
+ *  - conventional butterfly: 32-ary 2-fly, destination-based, 1 VC;
+ *  - folded Clos: 2 levels, 32 terminals + 16 uplinks per leaf
+ *    (the 2:1 taper that equalizes bisection — half the bandwidth
+ *    is spent load-balancing to the middle stage), adaptive
+ *    sequential routing, 1 VC;
+ *  - hypercube: 10-cube, e-cube routing, 1 VC, half-bandwidth
+ *    channels (period 2) for equal bisection.
+ *
+ * Total buffering is 32 flits/port everywhere (VCs x depth).
+ */
+
+#include "bench_util.h"
+#include "routing/butterfly_dest.h"
+#include "routing/clos_ad.h"
+#include "routing/folded_clos_adaptive.h"
+#include "routing/hypercube_ecube.h"
+#include "topology/butterfly.h"
+#include "topology/flattened_butterfly.h"
+#include "topology/folded_clos.h"
+#include "topology/hypercube.h"
+#include "traffic/traffic_pattern.h"
+
+using namespace fbfly;
+using namespace fbfly::bench;
+
+namespace
+{
+
+void
+sweep(const Topology &topo, RoutingAlgorithm &algo,
+      const TrafficPattern &pattern, const char *figure,
+      const std::vector<double> &loads, Cycle period = 1)
+{
+    NetworkConfig netcfg;
+    netcfg.vcDepth = 32 / algo.numVcs();
+    netcfg.channelPeriod = period;
+    printSeriesHeader(std::string(figure) + " " + topo.name() + " / " +
+                      algo.name() + " / " + pattern.name());
+    for (const auto &r : runLoadSweep(topo, algo, pattern, netcfg,
+                                      defaultPhasing(), loads)) {
+        printPoint(r);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::int64_t kNodes = 1024;
+
+    FlattenedButterfly fb(32, 2);
+    Butterfly bf(32, 2);
+    FoldedClos fc(kNodes, 32, 16);
+    Hypercube hc(10);
+
+    ClosAd fb_algo(fb);
+    ButterflyDest bf_algo(bf);
+    FoldedClosAdaptive fc_algo(fc);
+    HypercubeEcube hc_algo(hc);
+
+    UniformRandom ur(kNodes);
+    AdversarialNeighbor wc(kNodes, 32);
+
+    std::printf("Figure 6 / Table 1: topologies at N=1024, constant "
+                "bisection bandwidth\n");
+    std::printf("  %-22s %-20s %d VCs\n", fb.name().c_str(),
+                fb_algo.name().c_str(), fb_algo.numVcs());
+    std::printf("  %-22s %-20s %d VCs\n", bf.name().c_str(),
+                bf_algo.name().c_str(), bf_algo.numVcs());
+    std::printf("  %-22s %-20s %d VCs\n", fc.name().c_str(),
+                fc_algo.name().c_str(), fc_algo.numVcs());
+    std::printf("  %-22s %-20s %d VCs (half-bandwidth channels)\n",
+                hc.name().c_str(), hc_algo.name().c_str(),
+                hc_algo.numVcs());
+
+    // (a) uniform random.
+    sweep(fb, fb_algo, ur, "fig6a", loadSweep(1.0));
+    sweep(bf, bf_algo, ur, "fig6a", loadSweep(1.0));
+    sweep(fc, fc_algo, ur, "fig6a", halfCapacitySweep());
+    sweep(hc, hc_algo, ur, "fig6a", loadSweep(1.0), 2);
+
+    // (b) worst case.
+    sweep(fb, fb_algo, wc, "fig6b", halfCapacitySweep());
+    sweep(bf, bf_algo, wc, "fig6b", {0.02, 0.05, 0.2, 0.5});
+    sweep(fc, fc_algo, wc, "fig6b", halfCapacitySweep());
+    sweep(hc, hc_algo, wc, "fig6b", halfCapacitySweep(), 2);
+
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 7 (and Table 2): the cable cost model.
+ *
+ * (a) Cost per differential signal of electrical cables as a
+ *     function of length: overhead (connectors/shielding/assembly)
+ *     plus copper per meter.
+ * (b) The repeatered model beyond the 6 m critical length: each
+ *     additional 6 m segment adds roughly one connector overhead,
+ *     producing the step at 6 m.
+ */
+
+#include <cstdio>
+
+#include "cost/cost_model.h"
+
+int
+main()
+{
+    using namespace fbfly;
+    CostModel cm;
+
+    std::printf("Table 2 component costs:\n");
+    std::printf("  router (dev + chip)          $%.0f + $%.0f\n",
+                cm.routerDevelopmentCost, cm.routerChipCost);
+    std::printf("  backplane per signal         $%.2f\n",
+                cm.backplanePerSignal);
+    std::printf("  electrical per signal        $%.2f + $%.2f/m\n",
+                cm.cableOverheadPerSignal, cm.cablePerSignalMeter);
+    std::printf("  optical per signal           $%.2f\n",
+                cm.opticalPerSignal);
+    std::printf("  critical length (repeaters)  %.0f m\n\n",
+                cm.criticalLengthM);
+
+    std::printf("Figure 7(b): electrical cable cost per signal vs "
+                "length (with repeaters)\n");
+    std::printf("%8s %12s\n", "meters", "$/signal");
+    for (double len = 1.0; len <= 20.0; len += 1.0) {
+        std::printf("%8.1f %12.2f\n", len,
+                    cm.electricalSignalCost(len));
+    }
+
+    std::printf("\nnearby-router (2 m) cable: $%.2f/signal "
+                "(paper: $5.34)\n", cm.electricalSignalCost(2.0));
+    std::printf("optical crossover: repeatered electrical stays "
+                "cheaper up to ~%.0f m,\nwhich is why the Section 4 "
+                "analysis uses electrical signalling throughout\n",
+                cm.opticalCrossoverLength());
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 10 (and Table 3): (a) the ratio of link cost to total
+ * network cost and (b) the average cable length, as network size
+ * grows, for the four topologies at constant capacity.
+ */
+
+#include <cstdio>
+
+#include "cost/topology_cost.h"
+
+int
+main()
+{
+    using namespace fbfly;
+    TopologyCostModel model;
+    const PackagingModel &pkg = model.packaging();
+
+    std::printf("Table 3 packaging assumptions:\n");
+    std::printf("  nodes per cabinet  %d\n", pkg.nodesPerCabinet);
+    std::printf("  density            %.0f nodes/m^2\n",
+                pkg.densityNodesPerM2);
+    std::printf("  cable overhead     %.0f m\n\n", pkg.cableOverheadM);
+
+    std::printf("Figure 10(a): link cost / total cost\n");
+    std::printf("%8s %10s %10s %10s %10s\n", "N", "fbfly", "bfly",
+                "clos", "hcube");
+    for (std::int64_t n = 128; n <= 65536; n *= 2) {
+        std::printf("%8lld %10.3f %10.3f %10.3f %10.3f\n",
+                    static_cast<long long>(n),
+                    model.price(model.flattenedButterfly(n))
+                        .linkFraction(),
+                    model.price(model.conventionalButterfly(n))
+                        .linkFraction(),
+                    model.price(model.foldedClos(n)).linkFraction(),
+                    model.price(model.hypercube(n)).linkFraction());
+    }
+
+    std::printf("\nFigure 10(b): average cable length (m, incl. "
+                "vertical overhead)\n");
+    std::printf("%8s %10s %10s %10s %10s\n", "N", "fbfly", "bfly",
+                "clos", "hcube");
+    for (std::int64_t n = 128; n <= 65536; n *= 2) {
+        std::printf("%8lld %10.2f %10.2f %10.2f %10.2f\n",
+                    static_cast<long long>(n),
+                    model.flattenedButterfly(n).averageCableLength(),
+                    model.conventionalButterfly(n)
+                        .averageCableLength(),
+                    model.foldedClos(n).averageCableLength(),
+                    model.hypercube(n).averageCableLength());
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 11: cost per node of the four topologies, 64 to 64K nodes,
+ * at constant capacity.
+ *
+ * Expected shape: the butterfly is cheapest through ~4K; the
+ * flattened butterfly is 35-53% cheaper than the folded Clos (which
+ * steps at the 1K->2K stage boundary); the hypercube is by far the
+ * most expensive (one router per node).  The paper's N=1K link-count
+ * example (flattened butterfly 992 inter-router links vs 2048 for
+ * the Clos) is printed for verification.
+ */
+
+#include <cstdio>
+
+#include "cost/topology_cost.h"
+
+int
+main()
+{
+    using namespace fbfly;
+    TopologyCostModel model;
+
+    std::printf("Figure 11: cost per node ($)\n");
+    std::printf("%8s %10s %10s %10s %10s %12s\n", "N", "fbfly",
+                "bfly", "clos", "hcube", "fbfly-vs-clos");
+    for (std::int64_t n = 64; n <= 65536; n *= 2) {
+        const double f =
+            model.price(model.flattenedButterfly(n)).total() / n;
+        const double b =
+            model.price(model.conventionalButterfly(n)).total() / n;
+        const double c =
+            model.price(model.foldedClos(n)).total() / n;
+        const double h =
+            model.price(model.hypercube(n)).total() / n;
+        std::printf("%8lld %10.1f %10.1f %10.1f %10.1f %11.1f%%\n",
+                    static_cast<long long>(n), f, b, c, h,
+                    100.0 * (1.0 - f / c));
+    }
+
+    const auto fb1k = model.flattenedButterfly(1024);
+    const auto clos1k = model.foldedClos(1024);
+    std::printf("\nN=1K inter-router links: flattened butterfly %lld "
+                "(paper: 31x32 = 992), folded Clos %lld "
+                "(paper: 2048)\n",
+                static_cast<long long>(fb1k.totalLinks(false)),
+                static_cast<long long>(clos1k.totalLinks(false)));
+
+    std::printf("\ncost breakdown at N=4K:\n");
+    for (const auto &inv :
+         {model.flattenedButterfly(4096),
+          model.conventionalButterfly(4096), model.foldedClos(4096),
+          model.hypercube(4096)}) {
+        const auto p = model.price(inv);
+        std::printf("  %-34s routers $%9.0f  links $%9.0f\n",
+                    inv.topology.c_str(), p.routerCost, p.linkCost);
+    }
+    return 0;
+}

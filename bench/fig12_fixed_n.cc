@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 12: N = 4K flattened butterflies at every feasible
+ * dimensionality (the Table 4 configurations), under uniform random
+ * traffic.
+ *
+ * (a) VAL routing (2 VCs): throughput stays at 50% of capacity for
+ *     every configuration (constant bisection), while zero-load
+ *     latency grows with n' (more hops per phase).
+ * (b) MIN AD routing with total storage per physical channel held at
+ *     64 flits split over n' VCs: latency again grows with n', and
+ *     throughput degrades as the per-VC buffers shrink.
+ *
+ * The (2,12) configuration has 2048 radix-12 routers; windows are
+ * kept short so the whole figure regenerates in minutes.
+ */
+
+#include "bench_util.h"
+#include "routing/min_adaptive.h"
+#include "routing/valiant.h"
+#include "topology/flattened_butterfly.h"
+#include "traffic/traffic_pattern.h"
+
+using namespace fbfly;
+using namespace fbfly::bench;
+
+namespace
+{
+
+struct Config
+{
+    int k;
+    int n;
+};
+
+constexpr Config kConfigs[] = {{64, 2}, {16, 3}, {8, 4}, {4, 6},
+                               {2, 12}};
+constexpr int kBufferPerPc = 64;
+
+ExperimentConfig
+phasing4k()
+{
+    // The 4K-node networks (up to 2048 routers, ~25k flit-hops per
+    // cycle for the 2-ary 12-flat) get shorter windows so the whole
+    // figure regenerates in minutes; kilocycle windows are ample
+    // for the ~50-cycle latencies involved.
+    ExperimentConfig e;
+    e.warmupCycles = 300;
+    e.measureCycles = 300;
+    e.drainCycles = 1200;
+    e.seed = 2007;
+    return e;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 12: N=4K flattened butterflies "
+                "(Table 4 configurations), uniform random\n");
+
+    // (a) VAL.
+    for (const auto &cfg : kConfigs) {
+        FlattenedButterfly topo(cfg.k, cfg.n);
+        Valiant algo(topo);
+        UniformRandom pattern(topo.numNodes());
+        NetworkConfig netcfg;
+        netcfg.vcDepth = kBufferPerPc / algo.numVcs();
+        printSeriesHeader("fig12a VAL " + topo.name());
+        for (const auto &r :
+             runLoadSweep(topo, algo, pattern, netcfg, phasing4k(),
+                          {0.1, 0.25, 0.4, 0.45, 0.5})) {
+            printPoint(r);
+        }
+    }
+
+    // (b) MIN AD, 64 flits per physical channel split over n' VCs.
+    for (const auto &cfg : kConfigs) {
+        FlattenedButterfly topo(cfg.k, cfg.n);
+        MinAdaptive algo(topo);
+        UniformRandom pattern(topo.numNodes());
+        NetworkConfig netcfg;
+        netcfg.vcDepth = kBufferPerPc / algo.numVcs();
+        printSeriesHeader("fig12b MIN-AD " + topo.name() + " (" +
+                          std::to_string(algo.numVcs()) + " VCs x " +
+                          std::to_string(netcfg.vcDepth) + " flits)");
+        for (const auto &r :
+             runLoadSweep(topo, algo, pattern, netcfg, phasing4k(),
+                          {0.2, 0.5, 0.8, 0.95})) {
+            printPoint(r);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 13: cost per node of the N = 4K flattened butterflies of
+ * Table 4 as the dimensionality n' increases, with the average
+ * cable length line.
+ *
+ * Expected shape: average cable length falls with n' (lower
+ * dimensions span smaller subsystems), but the growth in link and
+ * router count more than offsets it — the highest-radix,
+ * lowest-dimensionality configuration is cheapest (paper: +45% from
+ * n'=1 to 2, +300% to n'=5).
+ */
+
+#include <cstdio>
+
+#include "cost/topology_cost.h"
+
+int
+main()
+{
+    using namespace fbfly;
+    TopologyCostModel model;
+
+    std::printf("Figure 13: N=4K flattened butterfly cost vs n'\n");
+    std::printf("%4s %4s %6s %12s %12s %14s %12s\n", "k", "n", "n'",
+                "routers", "links", "$/node", "avg cable m");
+
+    const int ks[] = {64, 16, 8, 4, 2};
+    const int ns[] = {2, 3, 4, 6, 12};
+    double base = 0.0;
+    for (int i = 0; i < 5; ++i) {
+        const Inventory inv = model.kAryNFlat(ks[i], ns[i]);
+        const double per_node =
+            model.price(inv).total() /
+            static_cast<double>(inv.numNodes);
+        if (i == 0)
+            base = per_node;
+        std::printf("%4d %4d %6d %12lld %12lld %10.1f (%+4.0f%%) "
+                    "%10.2f\n",
+                    ks[i], ns[i], ns[i] - 1,
+                    static_cast<long long>(inv.totalRouters()),
+                    static_cast<long long>(inv.totalLinks(false)),
+                    per_node, 100.0 * (per_node / base - 1.0),
+                    inv.averageCableLength());
+    }
+    return 0;
+}

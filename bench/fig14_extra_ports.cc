@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 14 / Section 5.1.2: what to do with a router's spare ports.
+ *
+ * A radix-k router building a flattened butterfly at the smallest
+ * workable n' usually has ports left over (k' < k).  The paper's two
+ * alternatives for a 4-ary 2-flat built from radix-8 routers
+ * (k' = 7, one spare port):
+ *   (a) redundant channels — double the dimension-1 bandwidth;
+ *   (b) increased scalability — stretch the dimension to 5 routers,
+ *       growing the network from 16 to 20 nodes.
+ * Both are priced with the Section 4 cost model; as the paper notes,
+ * neither changes the topology's fundamental character, and the
+ * redundant links add cost roughly linearly.
+ */
+
+#include <cstdio>
+
+#include "cost/topology_cost.h"
+#include "topology/flattened_butterfly.h"
+
+using namespace fbfly;
+
+int
+main()
+{
+    TopologyCostModel model;
+
+    std::printf("Figure 14: using the spare ports of a 4-ary 2-flat "
+                "(radix-8 routers, k' = 7)\n\n");
+
+    // Baseline: 4-ary 2-flat.
+    Inventory base = model.kAryNFlat(4, 2);
+    const double base_cost = model.price(base).total();
+    std::printf("(0) baseline 4-ary 2-flat: N = %lld, %lld routers, "
+                "%lld links, $%.0f\n",
+                static_cast<long long>(base.numNodes),
+                static_cast<long long>(base.totalRouters()),
+                static_cast<long long>(base.totalLinks(false)),
+                base_cost);
+
+    // (a) Redundant dimension-1 channels: every inter-router link
+    // doubled (the dotted links of Figure 14(a)).
+    Inventory redundant = base;
+    for (auto &g : redundant.links) {
+        if (g.label != "terminal")
+            g.count *= 2;
+    }
+    const double red_cost = model.price(redundant).total();
+    std::printf("(a) redundant channels:    N = %lld, %lld routers, "
+                "%lld links, $%.0f (+%.0f%%)\n",
+                static_cast<long long>(redundant.numNodes),
+                static_cast<long long>(redundant.totalRouters()),
+                static_cast<long long>(redundant.totalLinks(false)),
+                red_cost, 100.0 * (red_cost / base_cost - 1.0));
+
+    // (b) Increased scalability: the spare port stretches the single
+    // dimension from 4 to 5 routers (Figure 14(b)): 5 routers x 4
+    // terminals = 20 nodes, 5*4 = 20 unidirectional links.
+    Inventory stretched;
+    stretched.topology = "stretched 2-flat (5 routers)";
+    stretched.numNodes = 20;
+    stretched.direct = true;
+    stretched.routers.push_back(
+        {5, 8 * model.cost().signalsPerPort * 2.0, "radix-8"});
+    stretched.links.push_back({LinkLocale::Backplane, 0.0, 2 * 20,
+                               model.cost().signalsPerPort,
+                               "terminal"});
+    stretched.links.push_back({LinkLocale::LocalCable,
+                               model.packaging().localCableM,
+                               5 * 4, model.cost().signalsPerPort,
+                               "dim1"});
+    const double str_cost = model.price(stretched).total();
+    std::printf("(b) increased scalability: N = %lld, %lld routers, "
+                "%lld links, $%.0f ($%.1f/node vs $%.1f/node)\n",
+                static_cast<long long>(stretched.numNodes),
+                static_cast<long long>(stretched.totalRouters()),
+                static_cast<long long>(stretched.totalLinks(false)),
+                str_cost, str_cost / 20.0, base_cost / 16.0);
+
+    // The same trade at the paper's scale: radix-64 routers at 1K
+    // nodes leave one spare port (k' = 63).
+    std::printf("\nAt scale: radix-64 routers, N = 1K (k' = 63, one "
+                "spare port/router):\n");
+    Inventory big = model.flattenedButterfly(1024);
+    Inventory big_red = big;
+    for (auto &g : big_red.links) {
+        if (g.label == "dim1")
+            g.count = g.count + big.totalRouters();
+    }
+    std::printf("  +1 redundant dim-1 link/router: $%.1f -> $%.1f "
+                "per node\n",
+                model.price(big).total() / 1024.0,
+                model.price(big_red).total() / 1024.0);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 15 (and Table 5): interconnection network power per node as
+ * the network scales, for the four topologies at constant capacity.
+ *
+ * Expected shape: the hypercube consumes the most; the butterfly and
+ * flattened butterfly the least, with the flattened butterfly
+ * benefiting from dedicated short-reach SerDes on its dimension-1
+ * links; the flattened butterfly's advantage over the folded Clos is
+ * largest while it needs only two dimensions (4K-8K) and shrinks
+ * when a third dimension is added.
+ */
+
+#include <cstdio>
+
+#include "power/power_model.h"
+
+int
+main()
+{
+    using namespace fbfly;
+    TopologyCostModel model;
+    PowerModel power;
+
+    std::printf("Table 5 power parameters:\n");
+    std::printf("  P_switch    %.0f W (radix-64 router)\n",
+                power.switchPowerW);
+    std::printf("  P_link_gg   %.0f mW/signal\n",
+                1e3 * power.linkGlobalW);
+    std::printf("  P_link_gl   %.0f mW/signal\n",
+                1e3 * power.linkGlobalLocalW);
+    std::printf("  P_link_ll   %.0f mW/signal\n\n",
+                1e3 * power.linkLocalW);
+
+    std::printf("Figure 15: network power per node (W)\n");
+    std::printf("%8s %10s %10s %10s %10s %12s\n", "N", "fbfly",
+                "bfly", "clos", "hcube", "fbfly-vs-clos");
+    for (std::int64_t n = 64; n <= 65536; n *= 2) {
+        const double f =
+            power.power(model.flattenedButterfly(n)).total() / n;
+        const double b =
+            power.power(model.conventionalButterfly(n)).total() / n;
+        const double c =
+            power.power(model.foldedClos(n)).total() / n;
+        const double h =
+            power.power(model.hypercube(n)).total() / n;
+        std::printf("%8lld %10.2f %10.2f %10.2f %10.2f %11.1f%%\n",
+                    static_cast<long long>(n), f, b, c, h,
+                    100.0 * (1.0 - f / c));
+    }
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator kernel: cycle
+ * throughput of the network step loop at various loads, routing
+ * decision cost, RNG, and the analytic models.  These guard against
+ * performance regressions in the hot paths the figure benches rely
+ * on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "cost/topology_cost.h"
+#include "network/network.h"
+#include "routing/clos_ad.h"
+#include "routing/min_adaptive.h"
+#include "topology/flattened_butterfly.h"
+#include "traffic/injection.h"
+#include "traffic/traffic_pattern.h"
+
+namespace
+{
+
+using namespace fbfly;
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_NetworkStep(benchmark::State &state)
+{
+    const double load = static_cast<double>(state.range(0)) / 100.0;
+    FlattenedButterfly topo(32, 2);
+    MinAdaptive algo(topo);
+    UniformRandom pattern(topo.numNodes());
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    cfg.vcDepth = 32;
+    Network net(topo, algo, &pattern, cfg);
+    BernoulliInjection inj(load, 1, 7);
+
+    // Warm the network into steady state.
+    for (int c = 0; c < 500; ++c) {
+        inj.tick(net, false);
+        net.step();
+    }
+    for (auto _ : state) {
+        inj.tick(net, false);
+        net.step();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            topo.numNodes());
+}
+BENCHMARK(BM_NetworkStep)->Arg(10)->Arg(50)->Arg(90);
+
+void
+BM_ClosAdStep(benchmark::State &state)
+{
+    FlattenedButterfly topo(32, 2);
+    ClosAd algo(topo);
+    AdversarialNeighbor pattern(topo.numNodes(), topo.k());
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    cfg.vcDepth = 16;
+    Network net(topo, algo, &pattern, cfg);
+    BernoulliInjection inj(0.45, 1, 7);
+    for (int c = 0; c < 500; ++c) {
+        inj.tick(net, false);
+        net.step();
+    }
+    for (auto _ : state) {
+        inj.tick(net, false);
+        net.step();
+    }
+}
+BENCHMARK(BM_ClosAdStep);
+
+void
+BM_CostModelSweep(benchmark::State &state)
+{
+    TopologyCostModel model;
+    for (auto _ : state) {
+        double total = 0.0;
+        for (std::int64_t n = 64; n <= 65536; n *= 2) {
+            total +=
+                model.price(model.flattenedButterfly(n)).total();
+        }
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_CostModelSweep);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table 4: the (k, n) parameters of every 4K-node flattened
+ * butterfly and the resulting (k', n'), plus the Section 5.1.2
+ * fixed-radix sizing rules.
+ */
+
+#include <cstdio>
+
+#include "common/radix.h"
+#include "topology/flattened_butterfly.h"
+
+int
+main()
+{
+    using namespace fbfly;
+
+    std::printf("Table 4: k-ary n-flat parameters for N = 4K\n");
+    std::printf("%6s %6s %6s %6s\n", "k", "n", "k'", "n'");
+    const int ks[] = {64, 16, 8, 4, 2};
+    const int ns[] = {2, 3, 4, 6, 12};
+    for (int i = 0; i < 5; ++i) {
+        FlattenedButterfly topo(ks[i], ns[i]);
+        std::printf("%6d %6d %6d %6d\n", ks[i], ns[i], topo.radix(),
+                    topo.numDims());
+    }
+
+    std::printf("\nSection 5.1.2 sizing with radix-64 routers:\n");
+    for (const std::int64_t n : {std::int64_t{1024},
+                                 std::int64_t{65536}}) {
+        const int np = FlattenedButterfly::minDimsForRadix(64, n);
+        std::printf("  N = %6lld -> n' = %d, effective radix k' = "
+                    "%d\n",
+                    static_cast<long long>(n), np,
+                    FlattenedButterfly::effectiveRadix(64, np));
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cost explorer: price a network of a given size with the paper's
+ * Section 4 cost model and Section 5.3 power model, and print the
+ * full hardware inventory for each candidate topology.
+ *
+ * Usage: cost_explorer [num_nodes]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cost/topology_cost.h"
+#include "power/power_model.h"
+
+using namespace fbfly;
+
+namespace
+{
+
+const char *
+localeName(LinkLocale locale)
+{
+    switch (locale) {
+      case LinkLocale::Backplane: return "backplane";
+      case LinkLocale::LocalCable: return "local";
+      case LinkLocale::GlobalCable: return "global";
+    }
+    return "?";
+}
+
+void
+report(const TopologyCostModel &model, const PowerModel &power,
+       const Inventory &inv)
+{
+    const CostBreakdown cost = model.price(inv);
+    const PowerBreakdown pwr = power.power(inv);
+    const double n = static_cast<double>(inv.numNodes);
+
+    std::printf("\n=== %s ===\n", inv.topology.c_str());
+    for (const auto &g : inv.routers) {
+        std::printf("  routers: %6lld x %s\n",
+                    static_cast<long long>(g.count),
+                    g.label.c_str());
+    }
+    for (const auto &g : inv.links) {
+        std::printf("  links:   %6lld x %-9s %-10s %5.1f m, %.1f "
+                    "signals\n",
+                    static_cast<long long>(g.count), g.label.c_str(),
+                    localeName(g.locale), g.lengthM,
+                    g.signalsPerLink);
+    }
+    std::printf("  cost:  $%.0f  ($%.1f/node; %.0f%% links)\n",
+                cost.total(), cost.total() / n,
+                100.0 * cost.linkFraction());
+    std::printf("  power: %.0f W  (%.2f W/node)\n", pwr.total(),
+                pwr.total() / n);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 1024;
+    if (n < 64 || (n & (n - 1)) != 0) {
+        std::fprintf(stderr,
+                     "usage: %s [num_nodes]  (power of two >= 64)\n",
+                     argv[0]);
+        return 1;
+    }
+
+    TopologyCostModel model;
+    PowerModel power;
+
+    std::printf("pricing a %lld-node network (radix-64 building "
+                "blocks, constant capacity)\n",
+                static_cast<long long>(n));
+    report(model, power, model.flattenedButterfly(n));
+    report(model, power, model.conventionalButterfly(n));
+    report(model, power, model.foldedClos(n));
+    report(model, power, model.hypercube(n));
+    report(model, power, model.generalizedHypercube(n, 3));
+    return 0;
+}

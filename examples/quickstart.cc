@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Quickstart: build a 32-ary 2-flat (the paper's 1024-node simulated
+ * configuration), route with CLOS AD, offer moderate uniform-random
+ * load, and print latency/throughput.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "routing/clos_ad.h"
+#include "topology/flattened_butterfly.h"
+#include "traffic/traffic_pattern.h"
+
+int
+main()
+{
+    using namespace fbfly;
+
+    // The paper's simulated network: k'=63, n'=1, N=1024.
+    FlattenedButterfly topo(32, 2);
+    ClosAd algo(topo);
+    UniformRandom pattern(topo.numNodes());
+
+    std::printf("topology: %s  (N=%lld, %d routers of radix %d)\n",
+                topo.name().c_str(),
+                static_cast<long long>(topo.numNodes()),
+                topo.numRouters(), topo.radix());
+    std::printf("routing:  %s (%d VCs)\n\n", algo.name().c_str(),
+                algo.numVcs());
+
+    NetworkConfig netcfg;
+    netcfg.vcDepth = 32 / algo.numVcs(); // 32 flits/port (Sec. 3.2)
+
+    ExperimentConfig expcfg;
+    expcfg.warmupCycles = 2000;
+    expcfg.measureCycles = 2000;
+    expcfg.drainCycles = 20000;
+
+    std::printf("%8s %10s %12s %10s\n", "offered", "accepted",
+                "latency(cyc)", "avg hops");
+    for (const double load : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        const LoadPointResult r =
+            runLoadPoint(topo, algo, pattern, netcfg, expcfg, load);
+        std::printf("%8.2f %10.3f %12.2f %10.2f\n", r.offered,
+                    r.accepted, r.avgLatency, r.avgHops);
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers in the gem5 style.
+ *
+ * fatal()  — the condition is the user's fault (bad configuration,
+ *            impossible parameters); exits with status 1.
+ * panic()  — the condition is a library bug (broken invariant);
+ *            aborts so a debugger / core dump can capture state.
+ * warn()   — something questionable happened but simulation continues.
+ * inform() — status messages.
+ */
+
+#ifndef FBFLY_COMMON_LOG_H
+#define FBFLY_COMMON_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace fbfly
+{
+
+namespace detail
+{
+
+/** Terminate with exit(1) after printing a "fatal:" message. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate with abort() after printing a "panic:" message. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a "warn:" message to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Build a message from stream-insertable arguments. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace fbfly
+
+#define FBFLY_FATAL(...) \
+    ::fbfly::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::fbfly::detail::format(__VA_ARGS__))
+
+#define FBFLY_PANIC(...) \
+    ::fbfly::detail::panicImpl(__FILE__, __LINE__, \
+                               ::fbfly::detail::format(__VA_ARGS__))
+
+#define FBFLY_WARN(...) \
+    ::fbfly::detail::warnImpl(__FILE__, __LINE__, \
+                              ::fbfly::detail::format(__VA_ARGS__))
+
+#define FBFLY_INFORM(...) \
+    ::fbfly::detail::informImpl(::fbfly::detail::format(__VA_ARGS__))
+
+/** Invariant check that survives in release builds. */
+#define FBFLY_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            FBFLY_PANIC("assertion '", #cond, "' failed: ", \
+                        ::fbfly::detail::format(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // FBFLY_COMMON_LOG_H

@@ -1,0 +1,86 @@
+#include "common/radix.h"
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+int
+digit(std::int64_t value, int d, int k)
+{
+    FBFLY_ASSERT(value >= 0 && d >= 0 && k >= 2, "bad digit query");
+    for (int i = 0; i < d; ++i)
+        value /= k;
+    return static_cast<int>(value % k);
+}
+
+std::int64_t
+setDigit(std::int64_t value, int d, int k, int v)
+{
+    FBFLY_ASSERT(v >= 0 && v < k, "digit value out of range");
+    const std::int64_t scale = ipow(k, d);
+    const int old = digit(value, d, k);
+    return value + static_cast<std::int64_t>(v - old) * scale;
+}
+
+std::vector<int>
+toDigits(std::int64_t value, int n, int k)
+{
+    std::vector<int> out(n);
+    for (int i = 0; i < n; ++i) {
+        out[i] = static_cast<int>(value % k);
+        value /= k;
+    }
+    FBFLY_ASSERT(value == 0, "value does not fit in ", n, " digits");
+    return out;
+}
+
+std::int64_t
+fromDigits(const std::vector<int> &digits, int k)
+{
+    std::int64_t value = 0;
+    for (int i = static_cast<int>(digits.size()) - 1; i >= 0; --i) {
+        FBFLY_ASSERT(digits[i] >= 0 && digits[i] < k,
+                     "digit out of range");
+        value = value * k + digits[i];
+    }
+    return value;
+}
+
+int
+countDiffDigits(std::int64_t a, std::int64_t b, int n, int k, int lo)
+{
+    int count = 0;
+    for (int d = lo; d < n; ++d) {
+        if (digit(a, d, k) != digit(b, d, k))
+            ++count;
+    }
+    return count;
+}
+
+std::int64_t
+ipow(std::int64_t k, int n)
+{
+    FBFLY_ASSERT(n >= 0, "negative exponent");
+    std::int64_t result = 1;
+    for (int i = 0; i < n; ++i) {
+        FBFLY_ASSERT(result <= INT64_MAX / k, "ipow overflow");
+        result *= k;
+    }
+    return result;
+}
+
+int
+ceilLog(std::int64_t n, int k)
+{
+    FBFLY_ASSERT(n >= 1 && k >= 2, "bad ceilLog arguments");
+    int digits = 0;
+    std::int64_t reach = 1;
+    while (reach < n) {
+        reach *= k;
+        ++digits;
+    }
+    return digits;
+}
+
+} // namespace fbfly

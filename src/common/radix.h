@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Radix-k address arithmetic.
+ *
+ * The flattened butterfly (paper Section 2.2) labels each node with an
+ * n-digit radix-k address; an inter-router hop in dimension d changes
+ * the d-th digit and the final hop to the terminal sets digit 0.
+ * These helpers implement that digit algebra for all topologies that
+ * use coordinate addressing (flattened butterfly, butterfly,
+ * hypercube, generalized hypercube).
+ */
+
+#ifndef FBFLY_COMMON_RADIX_H
+#define FBFLY_COMMON_RADIX_H
+
+#include <cstdint>
+#include <vector>
+
+namespace fbfly
+{
+
+/** Extract digit @p d (0 = least significant) of @p value in radix @p k. */
+int digit(std::int64_t value, int d, int k);
+
+/** Return @p value with digit @p d (radix @p k) replaced by @p v. */
+std::int64_t setDigit(std::int64_t value, int d, int k, int v);
+
+/** Decompose @p value into @p n radix-@p k digits (index 0 = LSD). */
+std::vector<int> toDigits(std::int64_t value, int n, int k);
+
+/** Compose radix-@p k digits (index 0 = LSD) back into an integer. */
+std::int64_t fromDigits(const std::vector<int> &digits, int k);
+
+/**
+ * Count the digits (among digits [lo, n)) in which two values differ.
+ *
+ * For two router addresses in a k-ary n-flat this is the minimal
+ * inter-router hop count; the paper's path-diversity result is that
+ * i differing digits give i! minimal routes.
+ */
+int countDiffDigits(std::int64_t a, std::int64_t b, int n, int k,
+                    int lo = 0);
+
+/** Integer power k^n (n >= 0), checked against 64-bit overflow. */
+std::int64_t ipow(std::int64_t k, int n);
+
+/** Ceil(log_k(n)) for n >= 1, k >= 2: digits needed to address n items. */
+int ceilLog(std::int64_t n, int k);
+
+} // namespace fbfly
+
+#endif // FBFLY_COMMON_RADIX_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the fbfly library.
+ *
+ * Keeping these as named aliases (rather than bare ints) documents the
+ * meaning of each quantity at interfaces and makes it cheap to widen a
+ * type later.
+ */
+
+#ifndef FBFLY_COMMON_TYPES_H
+#define FBFLY_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace fbfly
+{
+
+/** Simulation time, in router clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Identifies a terminal (processing node) in the network. */
+using NodeId = std::int32_t;
+
+/** Identifies a router. */
+using RouterId = std::int32_t;
+
+/** Identifies a port on a router (terminal or inter-router). */
+using PortId = std::int32_t;
+
+/** Identifies a virtual channel within a port. */
+using VcId = std::int32_t;
+
+/** Identifies a packet; unique over a simulation run. */
+using PacketId = std::uint64_t;
+
+/** Identifies a flit; unique over a simulation run. */
+using FlitId = std::uint64_t;
+
+/** Sentinel for "no node / router / port / VC". */
+constexpr std::int32_t kInvalid = -1;
+
+} // namespace fbfly
+
+#endif // FBFLY_COMMON_TYPES_H

@@ -1,0 +1,59 @@
+#include "cost/cost_model.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+double
+CostModel::electricalSignalCost(double meters) const
+{
+    FBFLY_ASSERT(meters >= 0.0, "negative cable length");
+    double cost = cableOverheadPerSignal + cablePerSignalMeter * meters;
+    if (meters > criticalLengthM) {
+        // One repeater per critical length; its cost is dominated by
+        // the extra connector overhead (Figure 7(b)).
+        const int repeaters = static_cast<int>(
+            std::ceil(meters / criticalLengthM)) - 1;
+        cost += repeaters * cableOverheadPerSignal;
+    }
+    return cost;
+}
+
+double
+CostModel::signalCost(LinkLocale locale, double meters) const
+{
+    switch (locale) {
+      case LinkLocale::Backplane:
+        return backplanePerSignal;
+      case LinkLocale::LocalCable:
+      case LinkLocale::GlobalCable:
+        return electricalSignalCost(meters);
+    }
+    return 0.0;
+}
+
+double
+CostModel::opticalCrossoverLength() const
+{
+    // Repeatered electrical cost grows ~ (slope + overhead/critical)
+    // per meter; find the first meter where optics win.
+    double len = criticalLengthM;
+    while (electricalSignalCost(len) < opticalPerSignal &&
+           len < 10000.0) {
+        len += 1.0;
+    }
+    return len;
+}
+
+double
+CostModel::routerCost(double signals_used) const
+{
+    FBFLY_ASSERT(signals_used >= 0.0, "negative signal count");
+    return routerDevelopmentCost +
+           routerChipCost * signals_used / baselineRouterSignals();
+}
+
+} // namespace fbfly

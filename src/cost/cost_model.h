@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Component cost model (paper Section 4.1, Tables 2 and 3).
+ *
+ * Network cost = router cost + link cost.  Router cost is amortized
+ * development plus silicon that scales with the pins (signals)
+ * actually used — this is how the paper "appropriately adjusts" the
+ * hypercube's router cost.  Link cost depends on where the link lives
+ * in the packaging hierarchy: backplane traces, electrical cables
+ * whose cost is linear in length, repeaters beyond the 6 m critical
+ * length (Figure 7), or optical cables for very long runs.
+ */
+
+#ifndef FBFLY_COST_COST_MODEL_H
+#define FBFLY_COST_COST_MODEL_H
+
+namespace fbfly
+{
+
+/**
+ * Where a link lives in the packaging hierarchy.
+ */
+enum class LinkLocale
+{
+    /** Backplane trace within a chassis (< 1 m). */
+    Backplane,
+    /** Short cable between nearby cabinets (~2 m). */
+    LocalCable,
+    /** Global cable across the machine-room floor. */
+    GlobalCable,
+};
+
+/**
+ * Dollar costs of network components (Table 2) and the cable cost
+ * model of Figure 7.
+ */
+struct CostModel
+{
+    /** Recurring silicon cost of a fully-used radix-64 router. */
+    double routerChipCost = 90.0;
+    /** Development cost amortized per router part ($6M / 20k). */
+    double routerDevelopmentCost = 300.0;
+
+    /** Backplane cost per differential signal. */
+    double backplanePerSignal = 1.95;
+    /** Electrical-cable overhead (connectors/shielding/assembly)
+     *  per signal — the y-intercept of Figure 7(a). */
+    double cableOverheadPerSignal = 3.72;
+    /** Electrical-cable copper cost per signal-meter — the slope of
+     *  Figure 7(a). */
+    double cablePerSignalMeter = 0.81;
+    /** Optical cable cost per signal (not used by default, as in the
+     *  paper). */
+    double opticalPerSignal = 220.0;
+    /** Longest cable drivable at full rate; repeaters beyond. */
+    double criticalLengthM = 6.0;
+
+    /** Baseline router radix whose full use costs routerChipCost. */
+    int baselineRadix = 64;
+    /** Differential pairs per port per direction (Table 3). */
+    double signalsPerPort = 3.0;
+
+    /**
+     * Cost of one electrical signal of @p meters, inserting a
+     * repeater (≈ one extra connector overhead) per critical length
+     * exceeded — the stepped model of Figure 7(b).
+     */
+    double electricalSignalCost(double meters) const;
+
+    /** Cost of one signal of the given locale and length. */
+    double signalCost(LinkLocale locale, double meters) const;
+
+    /**
+     * Length beyond which an optical signal ($220) undercuts a
+     * repeatered electrical one — the "optical technology still
+     * remains relatively expensive" trade-off of Section 4.1.
+     * With Table 2 numbers this is ~150 m, far past any cable in the
+     * studied systems, which is why the comparison uses electrical
+     * signalling with repeaters throughout.
+     */
+    double opticalCrossoverLength() const;
+
+    /**
+     * Cost of one router using @p signals_used of its pins, where a
+     * full radix-64 router uses baselineRadix * signalsPerPort *
+     * 2 directions.
+     */
+    double routerCost(double signals_used) const;
+
+    /** Signals on a fully-used baseline router (both directions). */
+    double baselineRouterSignals() const
+    {
+        return baselineRadix * signalsPerPort * 2.0;
+    }
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_COST_COST_MODEL_H

@@ -1,0 +1,64 @@
+#include "cost/packaging.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+double
+PackagingModel::edgeLength(std::int64_t n) const
+{
+    FBFLY_ASSERT(n >= 1, "edgeLength of empty system");
+    return std::sqrt(static_cast<double>(n) / densityNodesPerM2);
+}
+
+double
+PackagingModel::avgGlobalButterfly(std::int64_t n) const
+{
+    return edgeLength(n) / 3.0;
+}
+
+double
+PackagingModel::avgGlobalClos(std::int64_t n) const
+{
+    return edgeLength(n) / 4.0;
+}
+
+double
+PackagingModel::avgGlobalHypercube(std::int64_t n) const
+{
+    const double e = edgeLength(n);
+    if (e <= 2.0)
+        return e / 2.0;
+    return (e - 1.0) / std::log2(e);
+}
+
+double
+PackagingModel::maxGlobalButterfly(std::int64_t n) const
+{
+    return edgeLength(n);
+}
+
+double
+PackagingModel::maxGlobalClos(std::int64_t n) const
+{
+    return edgeLength(n) / 2.0;
+}
+
+double
+PackagingModel::fbflyDimCableLength(std::int64_t total_nodes,
+                                    std::int64_t subsystem_nodes,
+                                    bool top_two) const
+{
+    if (subsystemIsLocal(subsystem_nodes))
+        return localCableM;
+    if (top_two)
+        return avgGlobalButterfly(total_nodes);
+    return avgGlobalButterfly(
+        std::min(subsystem_nodes, total_nodes));
+}
+
+} // namespace fbfly

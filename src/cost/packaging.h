@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Packaging and cable-length model (paper Section 4.2, Table 3).
+ *
+ * Systems are packaged as a 2-D floor of cabinets; the edge of the
+ * layout is E = sqrt(N/D) with D the deployment density (the Table 3
+ * figure of 75 nodes/m^2 already folds in the 2x row-spacing factor
+ * applied to the cabinet depth: 128 / (0.57 * 1.44 * 2) ≈ 78/m^2).
+ * Every actual cable run adds 2 m of vertical overhead.
+ *
+ * Average global cable lengths: flattened butterfly and conventional
+ * butterfly E/3 (random offset along one floor axis), folded Clos E/4
+ * (all cables to a central router cabinet), hypercube a geometric
+ * series per dimension averaging ~(E-1)/log2(E).
+ */
+
+#ifndef FBFLY_COST_PACKAGING_H
+#define FBFLY_COST_PACKAGING_H
+
+#include <cstdint>
+
+namespace fbfly
+{
+
+/**
+ * Table 3 packaging assumptions and the Section 4.2 length model.
+ */
+struct PackagingModel
+{
+    /** Nodes per cabinet (Cray BlackWidow-style). */
+    int nodesPerCabinet = 128;
+    /** Deployment density, nodes per square meter of machine-room
+     *  floor (includes row spacing). */
+    double densityNodesPerM2 = 75.0;
+    /** Vertical cable run added to every cable (1 m at each end). */
+    double cableOverheadM = 2.0;
+    /** Length of a "very short" cable between adjacent cabinets. */
+    double localCableM = 2.0;
+    /** Longest run still served by a backplane trace. */
+    double backplaneReachM = 1.0;
+
+    /** Edge length E of the 2-D cabinet layout for @p n nodes. */
+    double edgeLength(std::int64_t n) const;
+
+    /** Average global cable length (no overhead): butterfly family,
+     *  E/3. */
+    double avgGlobalButterfly(std::int64_t n) const;
+
+    /** Average global cable length (no overhead): folded Clos, E/4
+     *  (central routing cabinet). */
+    double avgGlobalClos(std::int64_t n) const;
+
+    /** Average cable length (no overhead) across hypercube
+     *  dimensions, ≈ (E-1)/log2(E). */
+    double avgGlobalHypercube(std::int64_t n) const;
+
+    /** Maximum cable length: butterfly family E, Clos/hypercube
+     *  E/2. */
+    double maxGlobalButterfly(std::int64_t n) const;
+    double maxGlobalClos(std::int64_t n) const;
+
+    /** A dimension's cable run stays local (cabinet-pair) when its
+     *  subsystem is small enough. */
+    bool subsystemIsLocal(std::int64_t subsystem_nodes) const
+    {
+        return subsystem_nodes <= 2 * nodesPerCabinet;
+    }
+
+    /**
+     * Raw cable length (no vertical overhead) of a flattened-
+     * butterfly dimension whose subsystem holds @p subsystem_nodes
+     * of a machine of @p total_nodes.  Local dimensions use short
+     * cables; the top two dimensions span the full floor's
+     * rows/columns (E/3); dimensions in between span their own
+     * subsystem.  Shared by the cost model and the Section 5.2
+     * wire-delay model.
+     */
+    double fbflyDimCableLength(std::int64_t total_nodes,
+                               std::int64_t subsystem_nodes,
+                               bool top_two) const;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_COST_PACKAGING_H

@@ -1,0 +1,410 @@
+#include "cost/topology_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/radix.h"
+#include "topology/flattened_butterfly.h"
+
+namespace fbfly
+{
+
+std::int64_t
+Inventory::totalRouters() const
+{
+    std::int64_t total = 0;
+    for (const auto &g : routers)
+        total += g.count;
+    return total;
+}
+
+std::int64_t
+Inventory::totalLinks(bool include_terminal) const
+{
+    std::int64_t total = 0;
+    for (const auto &g : links) {
+        if (!include_terminal && g.label == "terminal")
+            continue;
+        total += g.count;
+    }
+    return total;
+}
+
+double
+Inventory::averageCableLength() const
+{
+    double len = 0.0;
+    double signals = 0.0;
+    for (const auto &g : links) {
+        if (g.locale == LinkLocale::Backplane)
+            continue;
+        const double s =
+            static_cast<double>(g.count) * g.signalsPerLink;
+        len += s * g.lengthM;
+        signals += s;
+    }
+    return signals > 0.0 ? len / signals : 0.0;
+}
+
+TopologyCostModel::TopologyCostModel(CostModel cost,
+                                     PackagingModel pkg)
+    : cost_(cost), pkg_(pkg)
+{
+}
+
+LinkGroup
+TopologyCostModel::localLink(std::int64_t count, double signals,
+                             const std::string &label) const
+{
+    return {LinkLocale::LocalCable, pkg_.localCableM, count, signals,
+            label};
+}
+
+LinkGroup
+TopologyCostModel::globalLink(double raw_length_m,
+                              std::int64_t count, double signals,
+                              const std::string &label) const
+{
+    return {LinkLocale::GlobalCable,
+            raw_length_m + pkg_.cableOverheadM, count, signals,
+            label};
+}
+
+void
+TopologyCostModel::addFbflyDims(Inventory &inv, std::int64_t n,
+                                std::int64_t routers, int terminals,
+                                const std::vector<int> &sizes) const
+{
+    // Dimension d connects the like elements of sizes[d-1] subsystems
+    // of dimensions 1..d-1.  A dimension whose subsystem fits in a
+    // cabinet pair uses short local cables (the paper's dimension-1
+    // packaging); the top two dimensions are mapped across the
+    // rows/columns of the full 2-D floor (average E/3, Section 4.2);
+    // dimensions in between span only their own subsystem.
+    const int n_prime = static_cast<int>(sizes.size());
+    std::int64_t subsystem = terminals;
+    for (int d = 1; d <= n_prime; ++d) {
+        subsystem *= sizes[d - 1];
+        if (sizes[d - 1] <= 1)
+            continue;
+        const std::int64_t count =
+            routers * static_cast<std::int64_t>(sizes[d - 1] - 1);
+        const std::string label = "dim" + std::to_string(d);
+        if (pkg_.subsystemIsLocal(subsystem)) {
+            inv.links.push_back(
+                localLink(count, cost_.signalsPerPort, label));
+            continue;
+        }
+        const double raw = pkg_.fbflyDimCableLength(
+            n, subsystem, d >= n_prime - 1);
+        inv.links.push_back(
+            globalLink(raw, count, cost_.signalsPerPort, label));
+    }
+}
+
+Inventory
+TopologyCostModel::flattenedButterfly(std::int64_t n) const
+{
+    const int np = FlattenedButterfly::minDimsForRadix(
+        cost_.baselineRadix, n);
+    FBFLY_ASSERT(np > 0, "no flattened butterfly of ", n,
+                 " nodes with radix-", cost_.baselineRadix,
+                 " routers");
+    return flattenedButterflyDims(n, np);
+}
+
+Inventory
+TopologyCostModel::flattenedButterflyDims(std::int64_t n,
+                                          int n_prime) const
+{
+    const int c = cost_.baselineRadix / (n_prime + 1);
+    FBFLY_ASSERT(c >= 2, "radix too small for n' = ", n_prime);
+    const std::int64_t routers = (n + c - 1) / c;
+
+    // Split the routers into n' dimensions as evenly as possible,
+    // each of size <= c (the butterfly-derived limit).
+    std::vector<int> sizes(n_prime, 1);
+    std::int64_t remaining = routers;
+    for (int i = n_prime - 1; i >= 0; --i) {
+        const double root = std::pow(
+            static_cast<double>(remaining), 1.0 / (i + 1));
+        int s = static_cast<int>(std::ceil(root - 1e-9));
+        s = std::clamp(s, 1, c);
+        sizes[i] = s;
+        remaining = (remaining + s - 1) / s;
+    }
+    FBFLY_ASSERT(sizes[0] <= c, "dimension overflow");
+
+    Inventory inv;
+    inv.topology = "flattened butterfly (n'=" +
+                   std::to_string(n_prime) + ")";
+    inv.numNodes = n;
+    inv.direct = true;
+
+    int inter_ports = 0;
+    for (const int s : sizes)
+        inter_ports += s - 1;
+    RouterGroup rg;
+    rg.count = routers;
+    rg.signalsPerRouter =
+        (c + inter_ports) * cost_.signalsPerPort * 2.0;
+    rg.label = "radix-" + std::to_string(c + inter_ports);
+    inv.routers.push_back(rg);
+
+    // Terminal links: inject + eject per node, backplane.
+    inv.links.push_back({LinkLocale::Backplane, 0.0, 2 * n,
+                         cost_.signalsPerPort, "terminal"});
+
+    addFbflyDims(inv, n, routers, c, sizes);
+    return inv;
+}
+
+Inventory
+TopologyCostModel::kAryNFlat(int k, int n) const
+{
+    const std::int64_t nodes = ipow(k, n);
+    const std::int64_t routers = ipow(k, n - 1);
+    const int n_prime = n - 1;
+
+    Inventory inv;
+    inv.topology = std::to_string(k) + "-ary " + std::to_string(n) +
+                   "-flat";
+    inv.numNodes = nodes;
+    inv.direct = true;
+
+    RouterGroup rg;
+    rg.count = routers;
+    const int radix = n * (k - 1) + 1;
+    rg.signalsPerRouter = radix * cost_.signalsPerPort * 2.0;
+    rg.label = "radix-" + std::to_string(radix);
+    inv.routers.push_back(rg);
+
+    inv.links.push_back({LinkLocale::Backplane, 0.0, 2 * nodes,
+                         cost_.signalsPerPort, "terminal"});
+
+    addFbflyDims(inv, nodes, routers, k,
+                 std::vector<int>(n_prime, k));
+    return inv;
+}
+
+int
+TopologyCostModel::butterflyStages(std::int64_t n)
+{
+    // 64x64 crossover routers: stages = ceil(log64 N).
+    return std::max(1, ceilLog(n, 64));
+}
+
+Inventory
+TopologyCostModel::conventionalButterfly(std::int64_t n) const
+{
+    const int k = cost_.baselineRadix;
+    const int stages = butterflyStages(n);
+
+    Inventory inv;
+    inv.topology = "conventional butterfly (" +
+                   std::to_string(stages) + "-stage)";
+    inv.numNodes = n;
+    inv.direct = false;
+
+    RouterGroup rg;
+    rg.count = stages * ((n + k - 1) / k);
+    rg.signalsPerRouter = cost_.baselineRouterSignals();
+    rg.label = "radix-" + std::to_string(k);
+    inv.routers.push_back(rg);
+
+    inv.links.push_back({LinkLocale::Backplane, 0.0, 2 * n,
+                         cost_.signalsPerPort, "terminal"});
+
+    if (stages >= 2) {
+        // Inter-stage wiring spans the floor like the flattened
+        // butterfly's channels it gives rise to (Section 4.2: same
+        // Lmax and Lavg).
+        if (n <= 2 * pkg_.nodesPerCabinet) {
+            inv.links.push_back(localLink(
+                static_cast<std::int64_t>(stages - 1) * n,
+                cost_.signalsPerPort, "stage"));
+        } else {
+            inv.links.push_back(globalLink(
+                pkg_.avgGlobalButterfly(n),
+                static_cast<std::int64_t>(stages - 1) * n,
+                cost_.signalsPerPort, "stage"));
+        }
+    }
+    return inv;
+}
+
+int
+TopologyCostModel::closLevels(std::int64_t n)
+{
+    // Paper calibration: a radix-64 folded Clos fits 1K nodes in 2
+    // stages and needs a third from 2K to 32K (N_max(L) = 32^L for
+    // L >= 2), a fourth beyond.
+    if (n <= 64)
+        return 1;
+    int levels = 2;
+    std::int64_t reach = 1024;
+    while (reach < n) {
+        reach *= 32;
+        ++levels;
+    }
+    return levels;
+}
+
+Inventory
+TopologyCostModel::foldedClos(std::int64_t n) const
+{
+    const int levels = closLevels(n);
+    const int half = cost_.baselineRadix / 2;
+
+    Inventory inv;
+    inv.topology =
+        "folded Clos (" + std::to_string(levels) + "-level)";
+    inv.numNodes = n;
+    inv.direct = false;
+
+    // Levels 1..L-1: 32 down + 32 up; top level: 64 down.
+    if (levels >= 2) {
+        RouterGroup mid;
+        mid.count = static_cast<std::int64_t>(levels - 1) *
+                    ((n + half - 1) / half);
+        mid.signalsPerRouter = cost_.baselineRouterSignals();
+        mid.label = "leaf/middle";
+        inv.routers.push_back(mid);
+    }
+    RouterGroup top;
+    top.count = std::max<std::int64_t>(
+        1, (n + cost_.baselineRadix - 1) / cost_.baselineRadix);
+    top.signalsPerRouter = cost_.baselineRouterSignals();
+    top.label = "top";
+    inv.routers.push_back(top);
+
+    inv.links.push_back({LinkLocale::Backplane, 0.0, 2 * n,
+                         cost_.signalsPerPort, "terminal"});
+
+    if (levels >= 2) {
+        // 2N unidirectional links per level boundary, all routed to
+        // central router cabinets (global, average E/4).
+        inv.links.push_back(globalLink(
+            pkg_.avgGlobalClos(n),
+            2 * n * static_cast<std::int64_t>(levels - 1),
+            cost_.signalsPerPort, "up/down"));
+    }
+    return inv;
+}
+
+Inventory
+TopologyCostModel::hypercube(std::int64_t n) const
+{
+    const int dims = ceilLog(n, 2);
+    FBFLY_ASSERT((std::int64_t{1} << dims) == n,
+                 "hypercube requires a power-of-two node count");
+
+    Inventory inv;
+    inv.topology = std::to_string(dims) + "-cube";
+    inv.numNodes = n;
+    inv.direct = true;
+
+    // Half-bandwidth channels (1.5 signals/link) hold capacity equal
+    // to the other topologies; terminal stays full bandwidth.
+    const double link_signals = cost_.signalsPerPort / 2.0;
+    RouterGroup rg;
+    rg.count = n;
+    rg.signalsPerRouter =
+        (dims * link_signals + cost_.signalsPerPort) * 2.0;
+    rg.label = "radix-" + std::to_string(dims + 1);
+    inv.routers.push_back(rg);
+
+    inv.links.push_back({LinkLocale::Backplane, 0.0, 2 * n,
+                         cost_.signalsPerPort, "terminal"});
+
+    // Dimension d spans a 2^(d+1)-node subsystem; cable lengths form
+    // the geometric series of Section 4.2.  Dimensions within a
+    // cabinet pair use short cables (one router per node module, so
+    // every link leaves its module through a cable).
+    for (int d = 0; d < dims; ++d) {
+        const std::int64_t span = std::int64_t{1} << (d + 1);
+        const std::string label = "dim" + std::to_string(d);
+        if (span <= 2 * pkg_.nodesPerCabinet) {
+            inv.links.push_back(localLink(n, link_signals, label));
+        } else {
+            inv.links.push_back(globalLink(pkg_.edgeLength(span) / 2.0,
+                                           n, link_signals, label));
+        }
+    }
+    return inv;
+}
+
+Inventory
+TopologyCostModel::generalizedHypercube(std::int64_t n,
+                                        int dims) const
+{
+    FBFLY_ASSERT(dims >= 1, "GHC needs >= 1 dimension");
+
+    // Near-balanced per-dimension radices with product >= n.
+    std::vector<int> radices(dims, 1);
+    std::int64_t remaining = n;
+    for (int i = dims - 1; i >= 0; --i) {
+        const double root = std::pow(
+            static_cast<double>(remaining), 1.0 / (i + 1));
+        const int s = std::max(
+            2, static_cast<int>(std::ceil(root - 1e-9)));
+        radices[i] = s;
+        remaining = (remaining + s - 1) / s;
+    }
+
+    Inventory inv;
+    inv.topology = "generalized hypercube";
+    inv.numNodes = n;
+    inv.direct = true;
+
+    int inter_ports = 0;
+    for (const int r : radices)
+        inter_ports += r - 1;
+    RouterGroup rg;
+    rg.count = n;
+    rg.signalsPerRouter =
+        (inter_ports + 1) * cost_.signalsPerPort * 2.0;
+    rg.label = "radix-" + std::to_string(inter_ports + 1);
+    inv.routers.push_back(rg);
+
+    inv.links.push_back({LinkLocale::Backplane, 0.0, 2 * n,
+                         cost_.signalsPerPort, "terminal"});
+
+    std::int64_t subsystem = 1;
+    for (int d = 0; d < dims; ++d) {
+        subsystem *= radices[d];
+        const std::int64_t count =
+            n * static_cast<std::int64_t>(radices[d] - 1);
+        const std::string label = "dim" + std::to_string(d + 1);
+        if (subsystem <= 2 * pkg_.nodesPerCabinet) {
+            inv.links.push_back(
+                localLink(count, cost_.signalsPerPort, label));
+            continue;
+        }
+        const bool top_two = d >= dims - 2;
+        const double raw = pkg_.avgGlobalButterfly(
+            top_two ? n : std::min(subsystem, n));
+        inv.links.push_back(
+            globalLink(raw, count, cost_.signalsPerPort, label));
+    }
+    return inv;
+}
+
+CostBreakdown
+TopologyCostModel::price(const Inventory &inv) const
+{
+    CostBreakdown out;
+    for (const auto &g : inv.routers) {
+        out.routerCost += static_cast<double>(g.count) *
+                          cost_.routerCost(g.signalsPerRouter);
+    }
+    for (const auto &g : inv.links) {
+        out.linkCost += static_cast<double>(g.count) *
+                        g.signalsPerLink *
+                        cost_.signalCost(g.locale, g.lengthM);
+    }
+    return out;
+}
+
+} // namespace fbfly

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Per-topology hardware inventories and pricing (paper Section 4.3).
+ *
+ * An Inventory lists the routers (with the signals they actually use)
+ * and the unidirectional links (with packaging locale and length) of
+ * a network built from radix-64 routers at constant capacity
+ * (saturation throughput 1.0 on uniform random traffic):
+ *
+ *  - flattened butterfly: n' chosen per Section 5.1.2; dimension-1
+ *    links are short local cables, higher dimensions are global
+ *    cables (top two dimensions span the 2-D floor, E/3 average;
+ *    deeper dimensions span only their subsystem);
+ *  - conventional butterfly: ceil(log64 N) stages; a 2-stage network
+ *    keeps its single wiring column local, 3-stage wiring is global;
+ *  - folded Clos: the non-blocking (capacity-1) configuration the
+ *    paper charges the Clos for — 2N(L-1) unidirectional global
+ *    links routed to central cabinets, with the 1K->2K stage step;
+ *  - hypercube: one router per node with half-bandwidth channels
+ *    (1.5 signals/link) so capacity matches, per-dimension geometric
+ *    cable lengths;
+ *  - generalized hypercube: the Section 2.3 straw man, one
+ *    full-bandwidth router per node.
+ *
+ * Links are counted unidirectionally: the paper's N=1K example gives
+ * 31*32 = 992 inter-router links for the flattened butterfly vs 2048
+ * for the folded Clos, both reproduced exactly by these builders.
+ * Terminal connections contribute 2 unidirectional backplane links
+ * per node (inject + eject).
+ */
+
+#ifndef FBFLY_COST_TOPOLOGY_COST_H
+#define FBFLY_COST_TOPOLOGY_COST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cost/packaging.h"
+
+namespace fbfly
+{
+
+/** A set of identical links. */
+struct LinkGroup
+{
+    LinkLocale locale = LinkLocale::Backplane;
+    /** Cable length in meters (includes vertical overhead);
+     *  meaningless for backplane traces. */
+    double lengthM = 0.0;
+    /** Unidirectional link count. */
+    std::int64_t count = 0;
+    /** Differential signals per link (1.5 for the half-bandwidth
+     *  hypercube channels). */
+    double signalsPerLink = 3.0;
+    std::string label;
+};
+
+/** A set of identical routers. */
+struct RouterGroup
+{
+    std::int64_t count = 0;
+    /** Signals used per router, both directions. */
+    double signalsPerRouter = 0.0;
+    std::string label;
+};
+
+/** Everything a topology instance is built from. */
+struct Inventory
+{
+    std::string topology;
+    std::int64_t numNodes = 0;
+    /** Direct topologies can dedicate SerDes to local links
+     *  (Section 5.3). */
+    bool direct = false;
+
+    std::vector<RouterGroup> routers;
+    std::vector<LinkGroup> links;
+
+    std::int64_t totalRouters() const;
+    /** Unidirectional links, optionally without terminal links. */
+    std::int64_t totalLinks(bool include_terminal = true) const;
+    /** Signal-count-weighted average cable length over actual cables
+     *  (local + global; backplane and terminal links excluded). */
+    double averageCableLength() const;
+};
+
+/** Priced inventory. */
+struct CostBreakdown
+{
+    double routerCost = 0.0;
+    double linkCost = 0.0;
+    double total() const { return routerCost + linkCost; }
+    double linkFraction() const
+    {
+        const double t = total();
+        return t > 0.0 ? linkCost / t : 0.0;
+    }
+};
+
+/**
+ * Builds and prices inventories for the four compared topologies.
+ */
+class TopologyCostModel
+{
+  public:
+    explicit TopologyCostModel(CostModel cost = {},
+                               PackagingModel pkg = {});
+
+    const CostModel &cost() const { return cost_; }
+    const PackagingModel &packaging() const { return pkg_; }
+
+    /** @name Inventory builders (radix-64 building blocks) @{ */
+
+    /** Flattened butterfly with the smallest workable n'
+     *  (Section 5.1.2). */
+    Inventory flattenedButterfly(std::int64_t n) const;
+
+    /** Flattened butterfly at a forced dimensionality, radix-64
+     *  building blocks with partially-populated dimensions. */
+    Inventory flattenedButterflyDims(std::int64_t n,
+                                     int n_prime) const;
+
+    /** Exact k-ary n-flat (N = k^n, radix k' = n(k-1)+1 routers) —
+     *  the Table 4 configurations priced in Figure 13. */
+    Inventory kAryNFlat(int k, int n) const;
+
+    /** Conventional butterfly (k-ary n-fly from 64x64 crossbars). */
+    Inventory conventionalButterfly(std::int64_t n) const;
+
+    /** Non-blocking folded Clos (capacity 1). */
+    Inventory foldedClos(std::int64_t n) const;
+
+    /** Binary hypercube with half-bandwidth channels (capacity 1). */
+    Inventory hypercube(std::int64_t n) const;
+
+    /** Generalized hypercube with ~balanced per-dimension radices
+     *  and one node per router (Section 2.3). */
+    Inventory generalizedHypercube(std::int64_t n, int dims) const;
+
+    /** @} */
+
+    /** Price an inventory with the Table 2 component costs. */
+    CostBreakdown price(const Inventory &inv) const;
+
+    /** Folded-Clos level count for @p n nodes (paper calibration:
+     *  1K fits in 2 stages, 2K..32K need 3). */
+    static int closLevels(std::int64_t n);
+
+    /** Conventional-butterfly stage count for @p n nodes. */
+    static int butterflyStages(std::int64_t n);
+
+  private:
+    /** A short cable between adjacent cabinets. */
+    LinkGroup localLink(std::int64_t count, double signals,
+                        const std::string &label) const;
+
+    /** A global cable of @p raw_length_m plus vertical overhead. */
+    LinkGroup globalLink(double raw_length_m, std::int64_t count,
+                         double signals,
+                         const std::string &label) const;
+
+    /** Shared dimension pricing for flattened-butterfly builders. */
+    void addFbflyDims(Inventory &inv, std::int64_t n,
+                      std::int64_t routers, int terminals,
+                      const std::vector<int> &sizes) const;
+
+    CostModel cost_;
+    PackagingModel pkg_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_COST_TOPOLOGY_COST_H

@@ -1,0 +1,121 @@
+#include "harness/experiment.h"
+
+#include "common/log.h"
+#include "routing/routing.h"
+#include "topology/topology.h"
+#include "traffic/injection.h"
+#include "traffic/traffic_pattern.h"
+
+namespace fbfly
+{
+
+LoadPointResult
+runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
+             const TrafficPattern &pattern, NetworkConfig netcfg,
+             const ExperimentConfig &expcfg, double offered)
+{
+    netcfg.numVcs = algo.numVcs();
+    netcfg.seed = expcfg.seed;
+    Network net(topo, algo, &pattern, netcfg);
+    BernoulliInjection inj(offered, netcfg.packetSize,
+                           expcfg.seed ^ 0x496e6a65637431ULL);
+
+    // Warm up under load without labeling.
+    for (int c = 0; c < expcfg.warmupCycles; ++c) {
+        inj.tick(net, false);
+        net.step();
+    }
+
+    // Label packets created during the measurement interval, and
+    // count all ejected flits in the window for accepted throughput.
+    const std::uint64_t ejected0 = net.stats().flitsEjected;
+    for (int c = 0; c < expcfg.measureCycles; ++c) {
+        inj.tick(net, true);
+        net.step();
+    }
+    const std::uint64_t ejected1 = net.stats().flitsEjected;
+
+    // Run until every labeled packet has left the system, continuing
+    // to inject background traffic so the network state persists.
+    bool saturated = false;
+    for (int drained = 0;
+         net.stats().measuredEjected < net.stats().measuredCreated;
+         ++drained) {
+        if (drained >= expcfg.drainCycles) {
+            saturated = true;
+            break;
+        }
+        inj.tick(net, false);
+        net.step();
+    }
+
+    const NetworkStats &st = net.stats();
+    LoadPointResult res;
+    res.offered = offered;
+    res.accepted = static_cast<double>(ejected1 - ejected0) /
+                   (static_cast<double>(net.numNodes()) *
+                    expcfg.measureCycles);
+    res.avgLatency = st.packetLatency.mean();
+    res.avgNetworkLatency = st.networkLatency.mean();
+    res.avgHops = st.hops.mean();
+    res.p99Latency =
+        static_cast<double>(st.latencyHist.count()
+                                ? st.latencyHist.percentile(0.99)
+                                : 0);
+    res.saturated = saturated;
+    res.measuredPackets = st.measuredEjected;
+    return res;
+}
+
+std::vector<LoadPointResult>
+runLoadSweep(const Topology &topo, RoutingAlgorithm &algo,
+             const TrafficPattern &pattern, NetworkConfig netcfg,
+             const ExperimentConfig &expcfg,
+             const std::vector<double> &loads)
+{
+    std::vector<LoadPointResult> out;
+    out.reserve(loads.size());
+    for (const double load : loads) {
+        out.push_back(runLoadPoint(topo, algo, pattern, netcfg,
+                                   expcfg, load));
+    }
+    return out;
+}
+
+double
+measureSaturationThroughput(const Topology &topo,
+                            RoutingAlgorithm &algo,
+                            const TrafficPattern &pattern,
+                            NetworkConfig netcfg,
+                            const ExperimentConfig &expcfg)
+{
+    return runLoadPoint(topo, algo, pattern, netcfg, expcfg, 1.0)
+        .accepted;
+}
+
+BatchResult
+runBatch(const Topology &topo, RoutingAlgorithm &algo,
+         const TrafficPattern &pattern, NetworkConfig netcfg,
+         std::uint64_t seed, int batch_size, Cycle max_cycles)
+{
+    netcfg.numVcs = algo.numVcs();
+    netcfg.seed = seed;
+    Network net(topo, algo, &pattern, netcfg);
+
+    loadBatch(net, batch_size, true);
+    while (!net.quiescent()) {
+        FBFLY_ASSERT(net.now() < max_cycles,
+                     "batch run exceeded ", max_cycles,
+                     " cycles (livelock or saturation bug?)");
+        net.step();
+    }
+
+    BatchResult res;
+    res.batchSize = batch_size;
+    res.completionTime = net.now();
+    res.normalizedLatency =
+        static_cast<double>(net.now()) / batch_size;
+    return res;
+}
+
+} // namespace fbfly

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Experiment harness: the open-loop and batch methodologies of paper
+ * Section 3.2.
+ *
+ * Open loop: "The simulator is warmed up under load without taking
+ * measurements until steady-state is reached.  Then a sample of
+ * injected packets is labeled during a measurement interval.  The
+ * simulation is run until all labeled packets exit the system."
+ * runLoadPoint() implements exactly this, reporting average labeled
+ * latency and the accepted throughput over the measurement window;
+ * a bounded drain detects saturation (labeled packets that never
+ * leave).
+ *
+ * Batch: loadBatch() + runBatch() measure the time to deliver a
+ * fixed batch, normalized by batch size — the dynamic-response /
+ * transient-load-imbalance experiment of Figure 5.
+ */
+
+#ifndef FBFLY_HARNESS_EXPERIMENT_H
+#define FBFLY_HARNESS_EXPERIMENT_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "network/network.h"
+
+namespace fbfly
+{
+
+class Topology;
+class RoutingAlgorithm;
+class TrafficPattern;
+
+/**
+ * Experiment phasing parameters.
+ */
+struct ExperimentConfig
+{
+    /** Cycles of unmeasured warm-up under load. */
+    int warmupCycles = 10000;
+    /** Cycles during which injected packets are labeled. */
+    int measureCycles = 10000;
+    /** Drain bound; labeled packets still inside => saturated. */
+    int drainCycles = 100000;
+    /** Per-run master seed. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Result of one offered-load point.
+ */
+struct LoadPointResult
+{
+    /** Offered load, flits/node/cycle. */
+    double offered = 0.0;
+    /** Accepted throughput over the measurement window,
+     *  flits/node/cycle. */
+    double accepted = 0.0;
+    /** Average labeled packet latency (creation -> ejection), cycles;
+     *  meaningless when saturated. */
+    double avgLatency = 0.0;
+    /** Average labeled latency excluding source queueing. */
+    double avgNetworkLatency = 0.0;
+    /** Average channel traversals of labeled packets. */
+    double avgHops = 0.0;
+    /** 99th-percentile labeled latency. */
+    double p99Latency = 0.0;
+    /** Labeled packets still undelivered at the drain bound. */
+    bool saturated = false;
+    std::uint64_t measuredPackets = 0;
+};
+
+/**
+ * Result of one batch run.
+ */
+struct BatchResult
+{
+    int batchSize = 0;
+    /** Cycles from time zero until the whole batch is delivered. */
+    Cycle completionTime = 0;
+    /** completionTime / batchSize (Figure 5's y-axis). */
+    double normalizedLatency = 0.0;
+};
+
+/**
+ * Run one offered-load point on a freshly built network.
+ *
+ * @param topo    topology (outlives the call).
+ * @param algo    routing algorithm; cfg.numVcs is overridden to
+ *                algo.numVcs().
+ * @param pattern traffic pattern.
+ * @param netcfg  network configuration (vcDepth etc.).
+ * @param expcfg  phasing parameters.
+ * @param offered offered load in flits/node/cycle.
+ */
+LoadPointResult runLoadPoint(const Topology &topo,
+                             RoutingAlgorithm &algo,
+                             const TrafficPattern &pattern,
+                             NetworkConfig netcfg,
+                             const ExperimentConfig &expcfg,
+                             double offered);
+
+/**
+ * Sweep several offered loads (independent runs).
+ */
+std::vector<LoadPointResult> runLoadSweep(
+    const Topology &topo, RoutingAlgorithm &algo,
+    const TrafficPattern &pattern, NetworkConfig netcfg,
+    const ExperimentConfig &expcfg, const std::vector<double> &loads);
+
+/**
+ * Estimate saturation throughput: the accepted rate when offered
+ * load exceeds capacity (runs at offered = 1.0).
+ */
+double measureSaturationThroughput(const Topology &topo,
+                                   RoutingAlgorithm &algo,
+                                   const TrafficPattern &pattern,
+                                   NetworkConfig netcfg,
+                                   const ExperimentConfig &expcfg);
+
+/**
+ * Deliver a batch of @p batch_size packets per node and report the
+ * normalized completion time (Figure 5).
+ *
+ * @param max_cycles safety bound on the run length.
+ */
+BatchResult runBatch(const Topology &topo, RoutingAlgorithm &algo,
+                     const TrafficPattern &pattern,
+                     NetworkConfig netcfg, std::uint64_t seed,
+                     int batch_size, Cycle max_cycles = 10000000);
+
+} // namespace fbfly
+
+#endif // FBFLY_HARNESS_EXPERIMENT_H

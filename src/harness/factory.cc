@@ -1,0 +1,216 @@
+#include "harness/factory.h"
+
+#include <sstream>
+#include <vector>
+
+#include "common/log.h"
+#include "routing/butterfly_dest.h"
+#include "routing/clos_ad.h"
+#include "routing/dor.h"
+#include "routing/fat_tree_adaptive.h"
+#include "routing/folded_clos_adaptive.h"
+#include "routing/ghc_adaptive.h"
+#include "routing/ghc_minimal.h"
+#include "routing/hypercube_ecube.h"
+#include "routing/min_adaptive.h"
+#include "routing/torus_dor.h"
+#include "routing/torus_valiant.h"
+#include "routing/ugal.h"
+#include "routing/valiant.h"
+#include "topology/butterfly.h"
+#include "topology/fat_tree.h"
+#include "topology/flattened_butterfly.h"
+#include "topology/folded_clos.h"
+#include "topology/generalized_hypercube.h"
+#include "topology/hypercube.h"
+#include "topology/torus.h"
+
+namespace fbfly
+{
+
+namespace
+{
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, sep))
+        out.push_back(item);
+    return out;
+}
+
+long
+toInt(const std::string &s, const char *what)
+{
+    try {
+        std::size_t pos = 0;
+        const long v = std::stol(s, &pos);
+        if (pos != s.size() || v <= 0)
+            FBFLY_FATAL("bad ", what, ": '", s, "'");
+        return v;
+    } catch (const std::exception &) {
+        FBFLY_FATAL("bad ", what, ": '", s, "'");
+    }
+}
+
+std::unique_ptr<RoutingAlgorithm>
+makeFbflyRouting(const std::string &name,
+                 const FlattenedButterfly &topo)
+{
+    if (name == "dor")
+        return std::make_unique<DimensionOrder>(topo);
+    if (name == "minad")
+        return std::make_unique<MinAdaptive>(topo);
+    if (name == "val")
+        return std::make_unique<Valiant>(topo);
+    if (name == "ugal")
+        return std::make_unique<Ugal>(topo, false);
+    if (name == "ugals")
+        return std::make_unique<Ugal>(topo, true);
+    if (name == "closad" || name == "default")
+        return std::make_unique<ClosAd>(topo);
+    FBFLY_FATAL("unknown flattened-butterfly routing '", name,
+                "' (dor|minad|val|ugal|ugals|closad)");
+}
+
+} // namespace
+
+NetworkBundle
+makeNetworkBundle(const std::string &topo_spec,
+                  const std::string &routing_name)
+{
+    NetworkBundle bundle;
+    const auto parts = split(topo_spec, '-');
+    FBFLY_ASSERT(!parts.empty(), "empty topology spec");
+    const std::string &kind = parts[0];
+
+    auto expect_args = [&](std::size_t n) {
+        if (parts.size() != n + 1) {
+            FBFLY_FATAL("topology '", kind, "' expects ", n,
+                        " size arguments, got ", parts.size() - 1,
+                        " in '", topo_spec, "'");
+        }
+    };
+
+    if (kind == "fbfly") {
+        expect_args(2);
+        const int k = static_cast<int>(toInt(parts[1], "k"));
+        const int n = static_cast<int>(toInt(parts[2], "n"));
+        auto topo = std::make_unique<FlattenedButterfly>(k, n);
+        bundle.routing = makeFbflyRouting(routing_name, *topo);
+        bundle.terminalsPerRouter = k;
+        bundle.topology = std::move(topo);
+    } else if (kind == "butterfly") {
+        expect_args(2);
+        const int k = static_cast<int>(toInt(parts[1], "k"));
+        const int n = static_cast<int>(toInt(parts[2], "n"));
+        auto topo = std::make_unique<Butterfly>(k, n);
+        if (routing_name != "default" && routing_name != "dest")
+            FBFLY_FATAL("butterfly supports only 'dest' routing");
+        bundle.routing = std::make_unique<ButterflyDest>(*topo);
+        bundle.terminalsPerRouter = k;
+        bundle.topology = std::move(topo);
+    } else if (kind == "clos") {
+        expect_args(3);
+        const auto nodes = toInt(parts[1], "nodes");
+        const int c = static_cast<int>(toInt(parts[2], "c"));
+        const int u = static_cast<int>(toInt(parts[3], "u"));
+        auto topo = std::make_unique<FoldedClos>(nodes, c, u);
+        if (routing_name != "default" && routing_name != "adaptive")
+            FBFLY_FATAL("clos supports only 'adaptive' routing");
+        bundle.routing =
+            std::make_unique<FoldedClosAdaptive>(*topo);
+        bundle.terminalsPerRouter = c;
+        bundle.topology = std::move(topo);
+    } else if (kind == "fattree") {
+        expect_args(5);
+        const auto nodes = toInt(parts[1], "nodes");
+        const int c = static_cast<int>(toInt(parts[2], "c"));
+        const int p = static_cast<int>(toInt(parts[3], "p"));
+        const int u1 = static_cast<int>(toInt(parts[4], "u1"));
+        const int u2 = static_cast<int>(toInt(parts[5], "u2"));
+        auto topo = std::make_unique<FatTree>(nodes, c, p, u1, u2);
+        if (routing_name != "default" && routing_name != "adaptive")
+            FBFLY_FATAL("fattree supports only 'adaptive' routing");
+        bundle.routing = std::make_unique<FatTreeAdaptive>(*topo);
+        bundle.terminalsPerRouter = c;
+        bundle.topology = std::move(topo);
+    } else if (kind == "hypercube") {
+        expect_args(1);
+        const int d = static_cast<int>(toInt(parts[1], "dims"));
+        auto topo = std::make_unique<Hypercube>(d);
+        if (routing_name != "default" && routing_name != "ecube")
+            FBFLY_FATAL("hypercube supports only 'ecube' routing");
+        bundle.routing = std::make_unique<HypercubeEcube>(*topo);
+        bundle.terminalsPerRouter = 1;
+        bundle.channelPeriod = 2; // equal-bisection default (Fig. 6)
+        bundle.topology = std::move(topo);
+    } else if (kind == "torus") {
+        expect_args(2);
+        const int k = static_cast<int>(toInt(parts[1], "k"));
+        const int n = static_cast<int>(toInt(parts[2], "n"));
+        auto topo = std::make_unique<Torus>(k, n);
+        if (routing_name == "torval") {
+            bundle.routing = std::make_unique<TorusValiant>(*topo);
+        } else if (routing_name == "default" ||
+                   routing_name == "tordor") {
+            bundle.routing = std::make_unique<TorusDor>(*topo);
+        } else {
+            FBFLY_FATAL("torus supports 'tordor' or 'torval' "
+                        "routing");
+        }
+        bundle.terminalsPerRouter = 1;
+        bundle.topology = std::move(topo);
+    } else if (kind == "ghc") {
+        expect_args(1);
+        std::vector<int> radices;
+        for (const auto &r : split(parts[1], 'x'))
+            radices.push_back(static_cast<int>(toInt(r, "radix")));
+        auto topo =
+            std::make_unique<GeneralizedHypercube>(radices);
+        if (routing_name == "ghcadapt") {
+            bundle.routing = std::make_unique<GhcAdaptive>(*topo);
+        } else if (routing_name == "default" ||
+                   routing_name == "ghcmin") {
+            bundle.routing = std::make_unique<GhcMinimal>(*topo);
+        } else {
+            FBFLY_FATAL("ghc supports 'ghcmin' or 'ghcadapt' "
+                        "routing");
+        }
+        bundle.terminalsPerRouter = 1;
+        bundle.topology = std::move(topo);
+    } else {
+        FBFLY_FATAL("unknown topology kind '", kind,
+                    "' (fbfly|butterfly|clos|fattree|hypercube|"
+                    "torus|ghc)");
+    }
+    return bundle;
+}
+
+std::unique_ptr<TrafficPattern>
+makeTraffic(const std::string &name, std::int64_t num_nodes,
+            int group_size, std::uint64_t seed)
+{
+    if (name == "uniform")
+        return std::make_unique<UniformRandom>(num_nodes);
+    if (name == "adversarial") {
+        return std::make_unique<AdversarialNeighbor>(num_nodes,
+                                                     group_size);
+    }
+    if (name == "tornado")
+        return std::make_unique<GroupTornado>(num_nodes, group_size);
+    if (name == "transpose")
+        return std::make_unique<Transpose>(num_nodes);
+    if (name == "bitcomp")
+        return std::make_unique<BitComplement>(num_nodes);
+    if (name == "randperm")
+        return std::make_unique<RandomPermutation>(num_nodes, seed);
+    FBFLY_FATAL("unknown traffic '", name,
+                "' (uniform|adversarial|tornado|transpose|bitcomp|"
+                "randperm)");
+}
+
+} // namespace fbfly

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * String-driven factories for topologies, routing algorithms, and
+ * traffic patterns — the glue behind the `fbflysim` command-line
+ * driver and a convenient way to parameterize experiments.
+ *
+ * Topology specs (sizes are positional, separated by '-'):
+ *   fbfly-K-N        k-ary n-flat flattened butterfly
+ *   butterfly-K-N    k-ary n-fly conventional butterfly
+ *   clos-NODES-C-U   two-level folded Clos
+ *   fattree-NODES-C-P-U1-U2  three-level folded Clos
+ *   hypercube-D      binary hypercube, D dimensions
+ *   torus-K-N        k-ary n-cube
+ *   ghc-K1xK2x...    generalized hypercube with given radices
+ *
+ * Routing names: dor, minad, val, ugal, ugals, closad (flattened
+ * butterfly); dest (butterfly); adaptive (clos/fattree); ecube
+ * (hypercube); ghcmin, ghcadapt (ghc); tordor (torus) — or
+ * "default".
+ *
+ * Traffic names: uniform, adversarial, tornado, transpose, bitcomp,
+ * randperm.
+ */
+
+#ifndef FBFLY_HARNESS_FACTORY_H
+#define FBFLY_HARNESS_FACTORY_H
+
+#include <memory>
+#include <string>
+
+#include "routing/routing.h"
+#include "topology/topology.h"
+#include "traffic/traffic_pattern.h"
+
+namespace fbfly
+{
+
+/**
+ * A topology with a compatible routing algorithm and metadata.
+ */
+struct NetworkBundle
+{
+    std::unique_ptr<Topology> topology;
+    std::unique_ptr<RoutingAlgorithm> routing;
+    /** Terminals per router group (the adversarial pattern's group
+     *  size). */
+    int terminalsPerRouter = 1;
+    /** Suggested channel period (2 for the equal-bisection
+     *  hypercube). */
+    Cycle channelPeriod = 1;
+};
+
+/**
+ * Build a topology + routing pair from specs.
+ *
+ * @param topo_spec    e.g. "fbfly-32-2".
+ * @param routing_name e.g. "closad" or "default".
+ * @throws exits via fatal() on malformed specs.
+ */
+NetworkBundle makeNetworkBundle(const std::string &topo_spec,
+                                const std::string &routing_name);
+
+/**
+ * Build a traffic pattern by name for @p num_nodes terminals.
+ *
+ * @param group_size the adversarial/tornado router-group size.
+ * @param seed       seed for randperm.
+ */
+std::unique_ptr<TrafficPattern> makeTraffic(
+    const std::string &name, std::int64_t num_nodes, int group_size,
+    std::uint64_t seed = 1);
+
+} // namespace fbfly
+
+#endif // FBFLY_HARNESS_FACTORY_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Time-series sampling of a running network.
+ *
+ * The paper's Figure 5 studies dynamic response through batch
+ * completion times; this sampler exposes the same transients as
+ * explicit time series — per-window accepted throughput, average
+ * latency of the packets ejected in the window, and network
+ * occupancy — so step-response experiments (a traffic pattern or
+ * load changing mid-run) can be plotted cycle by cycle.
+ */
+
+#ifndef FBFLY_HARNESS_SAMPLER_H
+#define FBFLY_HARNESS_SAMPLER_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace fbfly
+{
+
+class Network;
+
+/**
+ * One aggregated sample window.
+ */
+struct Sample
+{
+    /** First cycle of the window. */
+    Cycle start = 0;
+    /** Accepted throughput over the window, flits/node/cycle. */
+    double accepted = 0.0;
+    /** Mean total latency of packets ejected in the window (0 when
+     *  none ejected). */
+    double avgLatency = 0.0;
+    /** Packets ejected in the window. */
+    std::uint64_t ejected = 0;
+    /** Flits resident in the network at the window boundary. */
+    std::int64_t inFlight = 0;
+    /** Packets waiting in source queues at the window boundary. */
+    std::int64_t backlog = 0;
+};
+
+/**
+ * Collects fixed-width sample windows from a network.
+ *
+ * Call tick() once per cycle after Network::step(); a Sample is
+ * appended every @p window_cycles.
+ */
+class TimeSeriesSampler
+{
+  public:
+    /**
+     * @param net network to observe (must outlive the sampler).
+     * @param window_cycles window width (>= 1).
+     */
+    TimeSeriesSampler(const Network &net, int window_cycles);
+
+    /** Observe the just-completed cycle. */
+    void tick();
+
+    /** Windows collected so far. */
+    const std::vector<Sample> &samples() const { return samples_; }
+
+  private:
+    const Network &net_;
+    int window_;
+    int phase_ = 0;
+
+    Cycle windowStart_ = 0;
+    std::uint64_t lastFlitsEjected_ = 0;
+    std::uint64_t lastPacketsEjected_ = 0;
+    double lastLatencySum_ = 0.0;
+    std::uint64_t lastLatencyCount_ = 0;
+
+    std::vector<Sample> samples_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_HARNESS_SAMPLER_H

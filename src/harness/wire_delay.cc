@@ -1,0 +1,87 @@
+#include "harness/wire_delay.h"
+
+#include <cmath>
+
+#include "common/log.h"
+#include "common/radix.h"
+#include "topology/flattened_butterfly.h"
+#include "topology/folded_clos.h"
+
+namespace fbfly
+{
+
+Cycle
+WireDelayModel::latencyForLength(double meters) const
+{
+    FBFLY_ASSERT(meters >= 0.0 && metersPerCycle > 0.0,
+                 "bad wire-delay query");
+    const auto cycles = static_cast<Cycle>(
+        std::ceil(meters / metersPerCycle));
+    return std::max(minLatency, cycles);
+}
+
+std::vector<Cycle>
+fbflyArcLatencies(const FlattenedButterfly &topo,
+                  const PackagingModel &pkg,
+                  const WireDelayModel &wire)
+{
+    const std::int64_t n = topo.numNodes();
+    const int np = topo.numDims();
+    const int k = topo.k();
+
+    // Physical extent of each dimension: local dimensions stay in a
+    // cabinet pair; the top two span a full floor axis; dimensions
+    // in between span their own subsystem.  Within a dimension the
+    // like elements are spread uniformly over that extent, so the
+    // cable between values a and b runs |a - b| / k of it — the
+    // "minimal Manhattan distance" packaging of Section 5.2, under
+    // which the adjacent-router (worst-case pattern) channels are
+    // physically short.
+    std::vector<double> extent(np + 1, 0.0);
+    std::vector<bool> local(np + 1, false);
+    std::int64_t subsystem = k;
+    for (int d = 1; d <= np; ++d) {
+        subsystem *= k;
+        local[d] = pkg.subsystemIsLocal(subsystem);
+        extent[d] = d >= np - 1
+            ? pkg.edgeLength(n)
+            : pkg.edgeLength(std::min(subsystem, n));
+    }
+
+    // Arc order mirrors FlattenedButterfly::arcs(): router-major,
+    // then dimension, then target value.
+    std::vector<Cycle> out;
+    out.reserve(static_cast<std::size_t>(topo.numRouters()) * np *
+                (k - 1));
+    for (RouterId r = 0; r < topo.numRouters(); ++r) {
+        for (int d = 1; d <= np; ++d) {
+            const int mine = topo.routerDigit(r, d);
+            for (int m = 0; m < k; ++m) {
+                if (m == mine)
+                    continue;
+                double len = pkg.localCableM;
+                if (!local[d]) {
+                    const double raw =
+                        std::abs(m - mine) * extent[d] / k;
+                    len = std::max(raw, pkg.localCableM) +
+                          pkg.cableOverheadM;
+                }
+                out.push_back(wire.latencyForLength(len));
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<Cycle>
+foldedClosArcLatencies(const FoldedClos &topo,
+                       const PackagingModel &pkg,
+                       const WireDelayModel &wire)
+{
+    const double len =
+        pkg.avgGlobalClos(topo.numNodes()) + pkg.cableOverheadM;
+    const Cycle lat = wire.latencyForLength(len);
+    return std::vector<Cycle>(topo.arcs().size(), lat);
+}
+
+} // namespace fbfly

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Wire-delay model (paper Section 5.2).
+ *
+ * Channel latency (time of flight) depends on the physical length of
+ * each cable, not on the hop count.  This module derives per-arc
+ * channel latencies from the Section 4.2 packaging model so the
+ * simulator can compare topologies with realistic wire delays:
+ * the flattened butterfly packages like a direct network with
+ * minimal Manhattan distance, while a folded Clos detours through a
+ * central router cabinet and pays ~2x global wire delay on local
+ * (worst-case-pattern) traffic.
+ */
+
+#ifndef FBFLY_HARNESS_WIRE_DELAY_H
+#define FBFLY_HARNESS_WIRE_DELAY_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "cost/packaging.h"
+
+namespace fbfly
+{
+
+class FlattenedButterfly;
+class FoldedClos;
+
+/**
+ * Converts cable lengths into channel latencies.
+ */
+struct WireDelayModel
+{
+    /** Signal propagation distance per router cycle: ~0.2 m/ns in
+     *  copper at a 1.25 ns cycle (Cray BlackWidow-class 800 MHz). */
+    double metersPerCycle = 0.25;
+    /** Floor for any channel (router-to-router pipelining). */
+    Cycle minLatency = 1;
+
+    /** Latency of a cable of @p meters. */
+    Cycle latencyForLength(double meters) const;
+};
+
+/**
+ * Per-arc latencies for a flattened butterfly, indexed like
+ * FlattenedButterfly::arcs().  Dimension-d cables use the packaging
+ * model's per-dimension lengths plus vertical overhead.
+ */
+std::vector<Cycle> fbflyArcLatencies(const FlattenedButterfly &topo,
+                                     const PackagingModel &pkg,
+                                     const WireDelayModel &wire);
+
+/**
+ * Per-arc latencies for a two-level folded Clos: every up/down cable
+ * runs to the central router cabinet (average E/4 plus overhead).
+ */
+std::vector<Cycle> foldedClosArcLatencies(const FoldedClos &topo,
+                                          const PackagingModel &pkg,
+                                          const WireDelayModel &wire);
+
+} // namespace fbfly
+
+#endif // FBFLY_HARNESS_WIRE_DELAY_H

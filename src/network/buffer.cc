@@ -1,0 +1,47 @@
+#include "network/buffer.h"
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+void
+VcBuffer::push(const Flit &f)
+{
+    FBFLY_ASSERT(!full(), "push into full VC buffer (flow-control bug)");
+    q_.push_back(f);
+}
+
+const Flit &
+VcBuffer::front() const
+{
+    FBFLY_ASSERT(!empty(), "front of empty VC buffer");
+    return q_.front();
+}
+
+Flit &
+VcBuffer::front()
+{
+    FBFLY_ASSERT(!empty(), "front of empty VC buffer");
+    return q_.front();
+}
+
+Flit
+VcBuffer::pop()
+{
+    FBFLY_ASSERT(!empty(), "pop of empty VC buffer");
+    Flit f = q_.front();
+    q_.pop_front();
+    return f;
+}
+
+Flit
+VcBuffer::eraseAt(int i)
+{
+    FBFLY_ASSERT(i >= 0 && i < size(), "eraseAt out of range");
+    Flit f = q_[i];
+    q_.erase(q_.begin() + i);
+    return f;
+}
+
+} // namespace fbfly

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Virtual-channel input buffer.
+ *
+ * Each router input port owns one VcBuffer per virtual channel; the
+ * paper holds the product (VCs x depth) constant at 32 flits per port
+ * when comparing configurations (Section 3.2 / Table 1).
+ */
+
+#ifndef FBFLY_NETWORK_BUFFER_H
+#define FBFLY_NETWORK_BUFFER_H
+
+#include <deque>
+
+#include "common/types.h"
+#include "network/flit.h"
+
+namespace fbfly
+{
+
+/**
+ * A bounded FIFO of flits for one (port, VC) pair.
+ */
+class VcBuffer
+{
+  public:
+    explicit VcBuffer(int depth = 0) : depth_(depth) {}
+
+    /** Capacity in flits. */
+    int depth() const { return depth_; }
+
+    int size() const { return static_cast<int>(q_.size()); }
+    bool empty() const { return q_.empty(); }
+    bool full() const { return size() >= depth_; }
+
+    /** Append a flit; the caller must have checked !full(). */
+    void push(const Flit &f);
+
+    /** Front flit; the caller must have checked !empty(). */
+    const Flit &front() const;
+    Flit &front();
+
+    /** Remove and return the front flit. */
+    Flit pop();
+
+    /** Flit at position @p i (0 = front). */
+    const Flit &at(int i) const { return q_[i]; }
+    Flit &at(int i) { return q_[i]; }
+
+    /** Remove and return the flit at position @p i (bypass mode). */
+    Flit eraseAt(int i);
+
+  private:
+    std::deque<Flit> q_;
+    int depth_;
+};
+
+/**
+ * Per-(port,VC) input unit: the buffer plus the route held by the
+ * packet currently at its head (wormhole: the route persists from the
+ * head flit's decision until the tail flit departs).
+ */
+struct InputUnit
+{
+    VcBuffer buf;
+
+    /** The packet at the head has a route assigned. */
+    bool routed = false;
+    PortId outPort = kInvalid;
+    VcId outVc = kInvalid;
+
+    /** Buffered head flits still needing a route (bypass mode).
+     *  New arrivals are appended, so unrouted heads always live in
+     *  the suffix of the buffer. */
+    int unrouted = 0;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_NETWORK_BUFFER_H

@@ -1,0 +1,56 @@
+#include "network/channel.h"
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+Channel::Channel(Cycle latency, Cycle period)
+    : latency_(latency), period_(period)
+{
+    FBFLY_ASSERT(latency >= 1, "channel latency must be >= 1");
+    FBFLY_ASSERT(period >= 1, "channel period must be >= 1");
+}
+
+bool
+Channel::canSendFlit(Cycle now) const
+{
+    return now >= nextFree_;
+}
+
+void
+Channel::sendFlit(const Flit &f, Cycle now)
+{
+    FBFLY_ASSERT(canSendFlit(now), "channel bandwidth violated");
+    nextFree_ = now + period_;
+    ++flitsCarried_;
+    flits_.emplace_back(now + latency_, f);
+}
+
+std::optional<Flit>
+Channel::receiveFlit(Cycle now)
+{
+    if (flits_.empty() || flits_.front().first > now)
+        return std::nullopt;
+    Flit f = flits_.front().second;
+    flits_.pop_front();
+    return f;
+}
+
+void
+Channel::sendCredit(VcId vc, Cycle now)
+{
+    credits_.emplace_back(now + latency_, vc);
+}
+
+std::optional<VcId>
+Channel::receiveCredit(Cycle now)
+{
+    if (credits_.empty() || credits_.front().first > now)
+        return std::nullopt;
+    VcId vc = credits_.front().second;
+    credits_.pop_front();
+    return vc;
+}
+
+} // namespace fbfly

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Point-to-point channel with latency, bandwidth, and a credit lane.
+ *
+ * A Channel carries flits downstream and flow-control credits
+ * upstream.  `latency` models time of flight (pipelined — a new flit
+ * may enter every `period` cycles regardless of latency).  `period`
+ * expresses channel bandwidth as cycles per flit: the topology
+ * comparison of paper Section 3.3 holds bisection bandwidth constant,
+ * which gives the 10-dimensional hypercube half-bandwidth channels
+ * (period 2) relative to the other topologies.
+ */
+
+#ifndef FBFLY_NETWORK_CHANNEL_H
+#define FBFLY_NETWORK_CHANNEL_H
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/types.h"
+#include "network/flit.h"
+
+namespace fbfly
+{
+
+/**
+ * One unidirectional flit channel with an upstream credit lane.
+ */
+class Channel
+{
+  public:
+    /**
+     * @param latency cycles of flight for flits and credits (>= 1).
+     * @param period  cycles per flit (>= 1); 1 = full bandwidth.
+     */
+    explicit Channel(Cycle latency = 1, Cycle period = 1);
+
+    Cycle latency() const { return latency_; }
+    Cycle period() const { return period_; }
+
+    /** True if bandwidth allows a flit to enter at cycle @p now. */
+    bool canSendFlit(Cycle now) const;
+
+    /** Place a flit on the wire at cycle @p now. */
+    void sendFlit(const Flit &f, Cycle now);
+
+    /**
+     * Take the next flit that has arrived by cycle @p now, if any.
+     * Flits arrive in FIFO order, `latency` cycles after being sent.
+     */
+    std::optional<Flit> receiveFlit(Cycle now);
+
+    /** Send one credit upstream (no bandwidth limit on credits). */
+    void sendCredit(VcId vc, Cycle now);
+
+    /** Take the next credit that has arrived by cycle @p now, if any. */
+    std::optional<VcId> receiveCredit(Cycle now);
+
+    /** Flits currently in flight (for invariant checks). */
+    int flitsInFlight() const { return static_cast<int>(flits_.size()); }
+
+    /** Total flits ever sent (for utilization accounting). */
+    std::uint64_t flitsCarried() const { return flitsCarried_; }
+
+  private:
+    Cycle latency_;
+    Cycle period_;
+    Cycle nextFree_ = 0;
+    std::uint64_t flitsCarried_ = 0;
+    std::deque<std::pair<Cycle, Flit>> flits_;
+    std::deque<std::pair<Cycle, VcId>> credits_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_NETWORK_CHANNEL_H

@@ -1,0 +1,8 @@
+#include "network/flit.h"
+
+// Flit is a plain value type; this translation unit exists so the
+// header has a home in the library and static checks (size growth)
+// can live here.
+
+static_assert(sizeof(fbfly::Flit) <= 96,
+              "Flit grew unexpectedly; check hot-path memory use");

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Flits — the unit of flow control.
+ *
+ * Packets are decomposed into flits at injection.  The head flit
+ * carries all routing state; body/tail flits follow the head's route
+ * (wormhole flow control).  The paper's evaluation uses single-flit
+ * packets (head == tail), but the model supports arbitrary sizes.
+ */
+
+#ifndef FBFLY_NETWORK_FLIT_H
+#define FBFLY_NETWORK_FLIT_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace fbfly
+{
+
+/** Per-packet routing mode for the UGAL / CLOS AD decision. */
+enum RouteMode : std::int8_t
+{
+    /** Minimal-vs-nonminimal choice not yet made (at the source). */
+    kModeUndecided = 0,
+    /** Packet committed to a minimal route. */
+    kModeMinimal = 1,
+    /** Packet committed to a non-minimal (load-balancing) route. */
+    kModeNonminimal = 2,
+};
+
+/**
+ * One flit, copied by value through buffers and channels.
+ *
+ * Routing scratch state (phase / intermediate / ascendDim) is owned by
+ * the head flit and mutated by routing algorithms as the packet makes
+ * progress; see src/routing/.
+ */
+struct Flit
+{
+    FlitId id = 0;
+    PacketId packet = 0;
+    NodeId src = kInvalid;
+    NodeId dst = kInvalid;
+
+    bool head = false;
+    bool tail = false;
+    /** Flits in the packet (valid on the head flit). */
+    int packetSize = 1;
+
+    /** Cycle the packet was created (entered the source queue). */
+    Cycle createTime = 0;
+    /** Cycle the flit entered the network (left the source queue). */
+    Cycle injectTime = 0;
+    /** Inter-router + terminal channel traversals so far. */
+    int hops = 0;
+    /** Packet belongs to the measurement sample (paper Section 3.2). */
+    bool measured = false;
+
+    /**
+     * @name Routing scratch (head flits only)
+     * @{
+     */
+    /** 0 = toward the intermediate, 1 = toward the destination. */
+    std::int8_t phase = 0;
+    /** UGAL / CLOS AD minimal-vs-nonminimal commitment. */
+    std::int8_t routeMode = kModeUndecided;
+    /** Next dimension to process in an ascending phase (CLOS AD). */
+    std::int8_t ascendDim = 1;
+    /** Highest differing dimension at injection (CLOS AD ancestors). */
+    std::int8_t ancestorDim = 0;
+    /** Intermediate router for VAL/UGAL (kInvalid when unused). */
+    std::int32_t intermediate = kInvalid;
+    /** @} */
+
+    /** Virtual channel currently occupied (set when buffered). */
+    VcId vc = kInvalid;
+
+    /**
+     * @name Per-hop route (bypass/speedup mode)
+     * In single-flit (bypass) mode the route decision is stored on
+     * the flit itself when it enters an input buffer, so the switch
+     * can grant any buffered flit whose output is free — the
+     * "sufficient switch speedup" idealization.  Reset on every hop.
+     * @{
+     */
+    bool routed = false;
+    PortId outPort = kInvalid;
+    VcId outVc = kInvalid;
+    /** @} */
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_NETWORK_FLIT_H

@@ -1,0 +1,117 @@
+#include "network/network.h"
+
+#include "common/log.h"
+#include "routing/routing.h"
+#include "topology/topology.h"
+#include "traffic/traffic_pattern.h"
+
+namespace fbfly
+{
+
+Network::Network(const Topology &topo, RoutingAlgorithm &algo,
+                 const TrafficPattern *pattern,
+                 const NetworkConfig &cfg)
+    : topo_(topo), algo_(algo), pattern_(pattern), cfg_(cfg)
+{
+    FBFLY_ASSERT(algo.numVcs() == cfg.numVcs,
+                 "routing algorithm '", algo.name(), "' needs ",
+                 algo.numVcs(), " VCs but the network has ",
+                 cfg.numVcs);
+
+    Rng master(cfg.seed);
+    Rng routerRngs = master.split(0x526f757465ULL);   // "Route"
+    Rng terminalRngs = master.split(0x5465726dccULL); // "Term"
+
+    // Single-flit packets use the bypass (speedup) switch path;
+    // multi-flit wormhole packets need strict per-VC FIFO order.
+    const bool bypass = cfg.packetSize == 1;
+
+    const int num_routers = topo.numRouters();
+    routers_.reserve(num_routers);
+    for (RouterId r = 0; r < num_routers; ++r) {
+        routers_.emplace_back(r, topo.numPorts(r), cfg.numVcs,
+                              cfg.vcDepth, routerRngs.split(r),
+                              bypass);
+    }
+
+    // Inter-router channels.
+    const auto arcs = topo.arcs();
+    FBFLY_ASSERT(cfg.arcLatencies.empty() ||
+                 cfg.arcLatencies.size() == arcs.size(),
+                 "arcLatencies must match the topology's arc list");
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+        const auto &arc = arcs[i];
+        const Cycle latency = cfg.arcLatencies.empty()
+            ? cfg.channelLatency : cfg.arcLatencies[i];
+        channels_.emplace_back(latency, cfg.channelPeriod);
+        Channel *ch = &channels_.back();
+        routers_[arc.src].connectOutput(arc.srcPort, ch, cfg.vcDepth);
+        routers_[arc.dst].connectInput(arc.dstPort, ch);
+    }
+    numArcs_ = arcs.size();
+
+    // Terminals and their channels.
+    const std::int64_t num_nodes = topo.numNodes();
+    terminals_.reserve(num_nodes);
+    for (NodeId n = 0; n < num_nodes; ++n) {
+        terminals_.emplace_back(n, cfg.numVcs, cfg.vcDepth,
+                                terminalRngs.split(n), this);
+        Terminal &term = terminals_.back();
+
+        channels_.emplace_back(cfg.terminalLatency, Cycle{1});
+        Channel *inj = &channels_.back();
+        term.connectToRouter(inj);
+        routers_[topo.injectionRouter(n)]
+            .connectInput(topo.injectionPort(n), inj);
+
+        channels_.emplace_back(cfg.terminalLatency, Cycle{1});
+        Channel *ej = &channels_.back();
+        routers_[topo.ejectionRouter(n)]
+            .connectOutput(topo.ejectionPort(n), ej,
+                           Router::kInfiniteCredits);
+        term.connectFromRouter(ej);
+    }
+}
+
+void
+Network::step()
+{
+    const Cycle t = now_;
+    for (auto &r : routers_)
+        r.receive(t);
+    for (auto &term : terminals_)
+        term.receive(t);
+    for (auto &r : routers_)
+        r.routeAndTraverse(t, algo_);
+    for (auto &term : terminals_)
+        term.inject(t);
+    ++now_;
+}
+
+bool
+Network::quiescent() const
+{
+    return stats_.flitsInjected == stats_.flitsEjected &&
+           stats_.pendingPackets == 0 &&
+           stats_.midPacketTerminals == 0;
+}
+
+std::vector<std::uint64_t>
+Network::interRouterFlitCounts() const
+{
+    std::vector<std::uint64_t> counts;
+    counts.reserve(numArcs_);
+    for (std::size_t i = 0; i < numArcs_; ++i)
+        counts.push_back(channels_[i].flitsCarried());
+    return counts;
+}
+
+NodeId
+Network::drawDest(NodeId src, Rng &rng) const
+{
+    FBFLY_ASSERT(pattern_ != nullptr,
+                 "packet without destination and no traffic pattern");
+    return pattern_->dest(src, rng);
+}
+
+} // namespace fbfly

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Network — the assembled simulator.
+ *
+ * A Network instantiates routers, channels and terminals from a
+ * Topology, drives them cycle by cycle, and aggregates statistics.
+ * Traffic is supplied either through a TrafficPattern (destinations
+ * drawn at injection) or by enqueueing packets with explicit
+ * destinations at terminals.
+ */
+
+#ifndef FBFLY_NETWORK_NETWORK_H
+#define FBFLY_NETWORK_NETWORK_H
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "network/channel.h"
+#include "network/router.h"
+#include "network/terminal.h"
+#include "sim/stats.h"
+
+namespace fbfly
+{
+
+class Topology;
+class RoutingAlgorithm;
+class TrafficPattern;
+
+/**
+ * Simulator configuration knobs.
+ */
+struct NetworkConfig
+{
+    /** Virtual channels per port (usually the routing algorithm's
+     *  requirement). */
+    int numVcs = 1;
+    /** Buffer depth per VC, in flits.  The paper holds
+     *  numVcs * vcDepth = 32 per port (Section 3.2). */
+    int vcDepth = 32;
+    /** Flits per packet (the paper evaluates single-flit packets). */
+    int packetSize = 1;
+    /** Inter-router channel latency, cycles (uniform default). */
+    Cycle channelLatency = 1;
+    /** Optional per-arc latencies (indexed like Topology::arcs());
+     *  overrides channelLatency when non-empty.  Used for the
+     *  Section 5.2 wire-delay studies. */
+    std::vector<Cycle> arcLatencies;
+    /** Inter-router cycles per flit; 2 halves channel bandwidth
+     *  (used for the constant-bisection hypercube of Figure 6). */
+    Cycle channelPeriod = 1;
+    /** Terminal (node<->router) channel latency, cycles. */
+    Cycle terminalLatency = 1;
+    /** Master seed; all component streams derive from it. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Aggregate simulation statistics.
+ */
+struct NetworkStats
+{
+    /** Latency of measured packets: ejection - creation. */
+    RunningStats packetLatency;
+    /** Latency of measured packets: ejection - injection (excludes
+     *  source queueing). */
+    RunningStats networkLatency;
+    /** Channel traversals of measured packets. */
+    RunningStats hops;
+    /** Measured packet latency histogram (unit buckets). */
+    Histogram latencyHist{4096};
+
+    std::uint64_t flitsInjected = 0;
+    std::uint64_t flitsEjected = 0;
+    std::uint64_t packetsEjected = 0;
+    std::uint64_t measuredCreated = 0;
+    std::uint64_t measuredEjected = 0;
+
+    /** Packets sitting in source queues. */
+    std::int64_t pendingPackets = 0;
+    /** Terminals currently mid-packet (wormhole injection). */
+    int midPacketTerminals = 0;
+};
+
+/**
+ * The assembled, runnable network.
+ */
+class Network
+{
+  public:
+    /**
+     * Build a network.
+     *
+     * @param topo   static structure (must outlive the network).
+     * @param algo   routing algorithm (must outlive the network);
+     *               its numVcs() must equal cfg.numVcs.
+     * @param pattern traffic pattern for destination draws, or
+     *               nullptr if all packets carry explicit
+     *               destinations.
+     * @param cfg    simulator configuration.
+     */
+    Network(const Topology &topo, RoutingAlgorithm &algo,
+            const TrafficPattern *pattern, const NetworkConfig &cfg);
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /** Advance one cycle. */
+    void step();
+
+    /** Current cycle (cycles completed). */
+    Cycle now() const { return now_; }
+
+    Terminal &terminal(NodeId n) { return terminals_[n]; }
+    Router &router(RouterId r) { return routers_[r]; }
+    int numRouters() const { return static_cast<int>(routers_.size()); }
+    std::int64_t numNodes() const
+    {
+        return static_cast<std::int64_t>(terminals_.size());
+    }
+
+    const Topology &topologyRef() const { return topo_; }
+
+    NetworkStats &stats() { return stats_; }
+    const NetworkStats &stats() const { return stats_; }
+
+    /** True when no packet or flit exists anywhere in the system. */
+    bool quiescent() const;
+
+    /** Flits carried so far by each inter-router channel, indexed
+     *  like Topology::arcs().  Snapshot before/after a window to
+     *  compute channel utilizations (load-balance diagnostics). */
+    std::vector<std::uint64_t> interRouterFlitCounts() const;
+
+    /** @name Services used by terminals @{ */
+    NodeId drawDest(NodeId src, Rng &rng) const;
+    int packetSize() const { return cfg_.packetSize; }
+    PacketId nextPacketId() { return nextPacket_++; }
+    FlitId nextFlitId() { return nextFlit_++; }
+    /** @} */
+
+  private:
+    const Topology &topo_;
+    RoutingAlgorithm &algo_;
+    const TrafficPattern *pattern_;
+    NetworkConfig cfg_;
+
+    Cycle now_ = 0;
+    PacketId nextPacket_ = 0;
+    FlitId nextFlit_ = 0;
+
+    std::deque<Channel> channels_;
+    std::vector<Router> routers_;
+    std::vector<Terminal> terminals_;
+    std::size_t numArcs_ = 0;
+
+    NetworkStats stats_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_NETWORK_NETWORK_H

@@ -1,0 +1,368 @@
+#include "network/router.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+Router::Router(RouterId id, int num_ports, int num_vcs, int vc_depth,
+               Rng rng, bool bypass)
+    : id_(id), numPorts_(num_ports), numVcs_(num_vcs),
+      vcDepth_(vc_depth), rng_(rng), bypass_(bypass)
+{
+    FBFLY_ASSERT(num_ports > 0 && num_vcs > 0 && vc_depth > 0,
+                 "bad router geometry: ports=", num_ports,
+                 " vcs=", num_vcs, " depth=", vc_depth);
+
+    inputs_.resize(static_cast<std::size_t>(numPorts_) * numVcs_);
+    for (auto &in : inputs_)
+        in.buf = VcBuffer(vcDepth_);
+    inputChannels_.assign(numPorts_, nullptr);
+    outputs_.resize(numPorts_);
+    inOccupiedList_.assign(inputs_.size(), 0);
+    candidates_.resize(numPorts_);
+    blockedTag_.assign(inputs_.size(), 0);
+}
+
+void
+Router::connectInput(PortId port, Channel *ch)
+{
+    FBFLY_ASSERT(port >= 0 && port < numPorts_, "input port range");
+    FBFLY_ASSERT(inputChannels_[port] == nullptr,
+                 "router ", id_, " input port ", port, " double-wired");
+    inputChannels_[port] = ch;
+}
+
+void
+Router::connectOutput(PortId port, Channel *ch, int downstream_depth)
+{
+    FBFLY_ASSERT(port >= 0 && port < numPorts_, "output port range");
+    OutputUnit &ou = outputs_[port];
+    FBFLY_ASSERT(ou.channel == nullptr,
+                 "router ", id_, " output port ", port, " double-wired");
+    ou.channel = ch;
+    ou.downstreamDepth = downstream_depth;
+    ou.credits.assign(numVcs_, downstream_depth);
+    ou.vcOwner.assign(numVcs_, -1);
+}
+
+void
+Router::markOccupied(int unit)
+{
+    if (!inOccupiedList_[unit]) {
+        inOccupiedList_[unit] = 1;
+        occupied_.push_back(unit);
+    }
+}
+
+void
+Router::receive(Cycle now)
+{
+    // Credits arrive on the channels this router transmits on.
+    for (auto &ou : outputs_) {
+        if (ou.channel == nullptr)
+            continue;
+        while (auto vc = ou.channel->receiveCredit(now)) {
+            FBFLY_ASSERT(*vc >= 0 && *vc < numVcs_, "credit VC range");
+            ++ou.credits[*vc];
+            FBFLY_ASSERT(ou.credits[*vc] <= ou.downstreamDepth,
+                         "credit overflow on router ", id_);
+        }
+    }
+
+    // Flits arrive on input channels.
+    for (PortId p = 0; p < numPorts_; ++p) {
+        Channel *ch = inputChannels_[p];
+        if (ch == nullptr)
+            continue;
+        while (auto f = ch->receiveFlit(now)) {
+            FBFLY_ASSERT(f->vc >= 0 && f->vc < numVcs_,
+                         "arriving flit VC range");
+            // The route decided at the previous hop is consumed.
+            f->routed = false;
+            f->outPort = kInvalid;
+            f->outVc = kInvalid;
+            const int unit = unitIndex(p, f->vc);
+            inputs_[unit].buf.push(*f);
+            ++bufferedFlits_;
+            if (bypass_ && f->head) {
+                ++unroutedFlits_;
+                ++inputs_[unit].unrouted;
+            }
+            markOccupied(unit);
+        }
+    }
+}
+
+void
+Router::routeAndTraverse(Cycle now, RoutingAlgorithm &algo)
+{
+    // "Sufficient switch speedup": alternate routing and allocation
+    // until the switch makes no further progress this cycle.  Output
+    // channels self-limit to one flit per period via canSendFlit, so
+    // link bandwidth is respected while input buffers drain freely.
+    for (;;) {
+        routePass(algo);
+        if (allocatePass(now) == 0)
+            break;
+    }
+}
+
+void
+Router::routePass(RoutingAlgorithm &algo)
+{
+    if (bypass_ && unroutedFlits_ == 0)
+        return;
+
+    // Collect input units with routing work, compacting units that
+    // have drained out of the occupied list.
+    needRoute_.clear();
+    for (std::size_t i = 0; i < occupied_.size();) {
+        const int unit = occupied_[i];
+        InputUnit &in = inputs_[unit];
+        if (in.buf.empty()) {
+            inOccupiedList_[unit] = 0;
+            occupied_[i] = occupied_.back();
+            occupied_.pop_back();
+            continue;
+        }
+        if (bypass_) {
+            if (in.unrouted > 0)
+                needRoute_.push_back(unit);
+        } else if (!in.routed && in.buf.front().head) {
+            needRoute_.push_back(unit);
+        }
+        ++i;
+    }
+    if (needRoute_.empty())
+        return;
+
+    // Deterministic decision order with a rotating start so that no
+    // input is permanently favoured by the sequential allocator.
+    std::sort(needRoute_.begin(), needRoute_.end());
+    const int total = static_cast<int>(inputs_.size());
+    const int start = routeRotate_++ % total;
+    auto pivot = std::lower_bound(needRoute_.begin(),
+                                  needRoute_.end(), start);
+    std::rotate(needRoute_.begin(), pivot, needRoute_.end());
+
+    const bool seq = algo.sequential();
+    deferredCommits_.clear();
+
+    auto decide = [&](Flit &head) -> RouteDecision {
+        const RouteDecision d = algo.route(*this, head);
+        FBFLY_ASSERT(d.outPort >= 0 && d.outPort < numPorts_,
+                     "route decision port range on router ", id_);
+        FBFLY_ASSERT(d.outVc >= 0 && d.outVc < numVcs_,
+                     "route decision VC range on router ", id_);
+        FBFLY_ASSERT(outputs_[d.outPort].channel != nullptr,
+                     "routed to unwired output ", d.outPort,
+                     " on router ", id_);
+        if (seq) {
+            outputs_[d.outPort].committed += head.packetSize;
+        } else {
+            deferredCommits_.emplace_back(d.outPort,
+                                          head.packetSize);
+        }
+        return d;
+    };
+
+    for (const int unit : needRoute_) {
+        InputUnit &in = inputs_[unit];
+        if (bypass_) {
+            // Unrouted heads are the newest arrivals, i.e. a suffix
+            // of the buffer: scan from the back.
+            for (int j = in.buf.size() - 1;
+                 j >= 0 && in.unrouted > 0; --j) {
+                Flit &f = in.buf.at(j);
+                if (!f.head || f.routed)
+                    continue;
+                const RouteDecision d = decide(f);
+                f.routed = true;
+                f.outPort = d.outPort;
+                f.outVc = d.outVc;
+                --unroutedFlits_;
+                --in.unrouted;
+            }
+        } else {
+            Flit &head = in.buf.front();
+            const RouteDecision d = decide(head);
+            in.routed = true;
+            in.outPort = d.outPort;
+            in.outVc = d.outVc;
+        }
+    }
+
+    // Greedy allocator: all of this pass's decisions used the same
+    // snapshot; apply their queue updates en masse (Section 3.1).
+    for (const auto &[port, flits] : deferredCommits_)
+        outputs_[port].committed += flits;
+}
+
+int
+Router::allocatePass(Cycle now)
+{
+    // Gather, per output port, one candidate flit per input unit
+    // that could traverse this cycle.
+    usedOutputs_.clear();
+    ++passTag_;
+    for (std::size_t i = 0; i < occupied_.size(); ++i) {
+        const int unit = occupied_[i];
+        InputUnit &in = inputs_[unit];
+        if (in.buf.empty())
+            continue;
+
+        if (bypass_) {
+            // Any routed flit whose output is available may go: a
+            // blocked flit does not block the ones behind it, and a
+            // unit may offer one flit per distinct output (it can
+            // win several in a cycle — input speedup).  A (port,vc)
+            // found blocked in this pass is remembered so the
+            // (common) runs of same-destination flits skip the
+            // checks.
+            for (int j = 0; j < in.buf.size(); ++j) {
+                const Flit &f = in.buf.at(j);
+                if (!f.routed)
+                    continue;
+                const int tag_idx = unitIndex(f.outPort, f.outVc);
+                if (blockedTag_[tag_idx] == passTag_)
+                    continue;
+                OutputUnit &ou = outputs_[f.outPort];
+                if (!ou.channel->canSendFlit(now) ||
+                    ou.credits[f.outVc] <= 0) {
+                    blockedTag_[tag_idx] = passTag_;
+                    continue;
+                }
+                auto &cands = candidates_[f.outPort];
+                if (!cands.empty() && cands.back().first == unit)
+                    continue; // one offer per output per unit
+                if (cands.empty())
+                    usedOutputs_.push_back(f.outPort);
+                cands.emplace_back(unit, j);
+            }
+        } else {
+            if (!in.routed)
+                continue;
+            OutputUnit &ou = outputs_[in.outPort];
+            if (!ou.channel->canSendFlit(now) ||
+                ou.credits[in.outVc] <= 0) {
+                continue;
+            }
+            const int owner = ou.vcOwner[in.outVc];
+            const bool is_head = in.buf.front().head;
+            // Wormhole: a head may claim a free VC; body flits may
+            // only continue on a VC their packet already owns.
+            if (owner == -1 ? !is_head : owner != unit)
+                continue;
+            if (candidates_[in.outPort].empty())
+                usedOutputs_.push_back(in.outPort);
+            candidates_[in.outPort].emplace_back(unit, 0);
+        }
+    }
+
+    // Arbitrate each contested output, collecting winners before
+    // any buffer mutation: a unit can win several outputs in one
+    // pass, and erasing lower buffer indices first would invalidate
+    // the higher ones.
+    const int total = static_cast<int>(inputs_.size());
+    winners_.clear();
+    for (const PortId port : usedOutputs_) {
+        auto &cands = candidates_[port];
+        OutputUnit &ou = outputs_[port];
+
+        // Round-robin arbitration: grant the candidate closest after
+        // the last winner.
+        std::pair<int, int> best = cands[0];
+        int bestDist = (best.first - ou.rrPtr + total) % total;
+        for (std::size_t i = 1; i < cands.size(); ++i) {
+            const int dist =
+                (cands[i].first - ou.rrPtr + total) % total;
+            if (dist < bestDist) {
+                best = cands[i];
+                bestDist = dist;
+            }
+        }
+        cands.clear();
+        winners_.push_back({port, best.first, best.second});
+        ou.rrPtr = (best.first + 1) % total;
+    }
+
+    // Execute grants in descending buffer-index order per unit so
+    // pending indices stay valid as flits are erased.
+    std::sort(winners_.begin(), winners_.end(),
+              [](const Grant &a, const Grant &b) {
+                  if (a.unit != b.unit)
+                      return a.unit < b.unit;
+                  return a.index > b.index;
+              });
+
+    for (const Grant &g : winners_) {
+        InputUnit &in = inputs_[g.unit];
+        OutputUnit &ou = outputs_[g.port];
+        Flit f = bypass_ ? in.buf.eraseAt(g.index) : in.buf.pop();
+        --bufferedFlits_;
+
+        const VcId out_vc = bypass_ ? f.outVc : in.outVc;
+        FBFLY_ASSERT(out_vc >= 0 && out_vc < numVcs_,
+                     "grant without route");
+        if (f.head)
+            ou.vcOwner[out_vc] = g.unit;
+        if (f.tail) {
+            ou.vcOwner[out_vc] = -1;
+            if (!bypass_)
+                in.routed = false;
+        }
+
+        f.vc = out_vc;
+        ++f.hops;
+        // The route is consumed by this hop.
+        f.routed = false;
+        f.outPort = kInvalid;
+        f.outVc = kInvalid;
+
+        if (ou.downstreamDepth != kInfiniteCredits)
+            --ou.credits[out_vc];
+        if (ou.committed > 0)
+            --ou.committed;
+        ou.channel->sendFlit(f, now);
+
+        // Return a credit for the freed input-buffer slot.
+        const PortId in_port = g.unit / numVcs_;
+        const VcId in_vc = g.unit % numVcs_;
+        if (inputChannels_[in_port] != nullptr)
+            inputChannels_[in_port]->sendCredit(in_vc, now);
+    }
+    return static_cast<int>(winners_.size());
+}
+
+int
+Router::estimatedQueue(PortId port) const
+{
+    FBFLY_ASSERT(port >= 0 && port < numPorts_, "queue query range");
+    const OutputUnit &ou = outputs_[port];
+    int occ = ou.committed;
+    if (ou.downstreamDepth != kInfiniteCredits) {
+        for (const int c : ou.credits)
+            occ += ou.downstreamDepth - c;
+    }
+    return occ;
+}
+
+int
+Router::credits(PortId port, VcId vc) const
+{
+    FBFLY_ASSERT(port >= 0 && port < numPorts_ && vc >= 0 &&
+                 vc < numVcs_, "credit query range");
+    return outputs_[port].credits.empty()
+        ? 0 : outputs_[port].credits[vc];
+}
+
+const InputUnit &
+Router::inputUnit(PortId port, VcId vc) const
+{
+    return inputs_[unitIndex(port, vc)];
+}
+
+} // namespace fbfly

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Single-cycle input-queued virtual-channel router.
+ *
+ * This models the router of paper Section 3.2: an input-queued switch
+ * with credit-based flow control and "sufficient switch speedup" so
+ * that the switch itself never limits throughput.  We realize the
+ * speedup idealization as input speedup: each output port accepts at
+ * most one flit per cycle (links carry one flit per `period` cycles —
+ * the physical limit), but an input port may forward flits from
+ * several of its VCs in the same cycle, so allocation matching never
+ * creates head-of-line loss.
+ *
+ * Adaptive routing algorithms estimate output queue lengths from
+ * credit counts (occupancy of the downstream input buffer) plus a
+ * count of flits already committed to the output by earlier routing
+ * decisions.  The commitment update discipline implements the greedy
+ * vs sequential allocators of Section 3.1: a sequential allocator
+ * applies each decision's commitment before the next input decides;
+ * a greedy allocator defers all of a cycle's commitments until every
+ * input has decided on the same snapshot.
+ */
+
+#ifndef FBFLY_NETWORK_ROUTER_H
+#define FBFLY_NETWORK_ROUTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "network/buffer.h"
+#include "network/channel.h"
+#include "routing/routing.h"
+
+namespace fbfly
+{
+
+/**
+ * One router of the simulated network.
+ */
+class Router
+{
+  public:
+    /** Credit level used for sink (terminal ejection) outputs. */
+    static constexpr int kInfiniteCredits = 1 << 28;
+
+    /**
+     * @param id        router identifier.
+     * @param num_ports port count (terminal + inter-router).
+     * @param num_vcs   virtual channels per port.
+     * @param vc_depth  buffer depth per VC, in flits.
+     * @param rng       private random stream (tie-breaks).
+     * @param bypass    single-flit speedup mode: routes are decided
+     *                  at buffer entry and any buffered flit may be
+     *                  granted, so a blocked flit never blocks the
+     *                  ones behind it.  Requires single-flit packets
+     *                  (the paper's configuration); multi-flit
+     *                  wormhole uses the strict FIFO path.
+     */
+    Router(RouterId id, int num_ports, int num_vcs, int vc_depth,
+           Rng rng, bool bypass = true);
+
+    RouterId id() const { return id_; }
+    int numPorts() const { return numPorts_; }
+    int numVcs() const { return numVcs_; }
+    int vcDepth() const { return vcDepth_; }
+
+    /** @name Wiring (called by Network during construction) @{ */
+
+    /** Attach the channel that delivers flits into @p port. */
+    void connectInput(PortId port, Channel *ch);
+
+    /**
+     * Attach the channel this router transmits on from @p port.
+     *
+     * @param downstream_depth credit budget per VC, i.e. the depth of
+     *        the buffer at the far end (kInfiniteCredits for sinks).
+     */
+    void connectOutput(PortId port, Channel *ch, int downstream_depth);
+
+    /** @} */
+
+    /** @name Per-cycle phases (called by Network in order) @{ */
+
+    /** Drain arriving flits into input buffers and arriving credits. */
+    void receive(Cycle now);
+
+    /**
+     * Route and traverse with "sufficient switch speedup"
+     * (Section 3.2): repeated rounds of routing decisions for newly
+     * exposed heads followed by switch allocation, until no flit
+     * moves.  Each output channel still carries at most one flit per
+     * `period` cycles (the physical link limit, enforced by the
+     * channel), but an input FIFO may drain several flits in one
+     * cycle — eliminating the head-of-line blocking a speedup-1
+     * input-queued switch would add (the classic 58.6% limit), which
+     * the paper explicitly idealizes away.
+     */
+    void routeAndTraverse(Cycle now, RoutingAlgorithm &algo);
+
+    /** @} */
+
+    /** @name Queue state for adaptive routing @{ */
+
+    /**
+     * Estimated queue length of output @p port: downstream buffer
+     * occupancy inferred from credits, plus flits committed to the
+     * port by routing decisions whose flits have not yet departed.
+     */
+    int estimatedQueue(PortId port) const;
+
+    /** Credits available on (port, vc). */
+    int credits(PortId port, VcId vc) const;
+
+    /** @} */
+
+    /** Random stream for routing tie-breaks. */
+    Rng &rng() { return rng_; }
+
+    /** Total flits buffered in this router's input units. */
+    int bufferedFlits() const { return bufferedFlits_; }
+
+    /** Input unit accessor for tests. */
+    const InputUnit &inputUnit(PortId port, VcId vc) const;
+
+  private:
+    struct OutputUnit
+    {
+        Channel *channel = nullptr;
+        std::vector<int> credits; // per VC
+        /** -1 free, else the input-unit index holding the VC. */
+        std::vector<int> vcOwner;
+        int downstreamDepth = 0;
+        /** Flits committed by routing decisions, not yet departed. */
+        int committed = 0;
+        /** Round-robin pointer over input units. */
+        int rrPtr = 0;
+    };
+
+    int unitIndex(PortId port, VcId vc) const
+    {
+        return static_cast<int>(port) * numVcs_ + vc;
+    }
+
+    void markOccupied(int unit);
+
+    /** One routing pass over unrouted heads. */
+    void routePass(RoutingAlgorithm &algo);
+
+    /** One allocation pass; returns the number of flits granted. */
+    int allocatePass(Cycle now);
+
+    RouterId id_;
+    int numPorts_;
+    int numVcs_;
+    int vcDepth_;
+    Rng rng_;
+    bool bypass_;
+    int unroutedFlits_ = 0;
+
+    std::vector<InputUnit> inputs_;     // [port * numVcs + vc]
+    std::vector<Channel *> inputChannels_; // [port]
+    std::vector<OutputUnit> outputs_;   // [port]
+
+    /** Input units that may hold flits (lazily compacted). */
+    std::vector<int> occupied_;
+    std::vector<char> inOccupiedList_;
+    int bufferedFlits_ = 0;
+
+    /** Scratch: per-output (unit, buffer index) switch candidates. */
+    std::vector<std::vector<std::pair<int, int>>> candidates_;
+    std::vector<int> usedOutputs_;
+    std::vector<int> needRoute_;
+
+    /** Scratch: arbitration winners awaiting execution. */
+    struct Grant
+    {
+        PortId port;
+        int unit;
+        int index;
+    };
+    std::vector<Grant> winners_;
+
+    /** Scratch: (port,vc) pairs found blocked in the current
+     *  allocation pass, so repeated flits skip the checks. */
+    std::vector<std::uint32_t> blockedTag_;
+    std::uint32_t passTag_ = 0;
+
+    /** Scratch: deferred commitments for greedy allocators. */
+    std::vector<std::pair<PortId, int>> deferredCommits_;
+
+    /** Rotating start offset for routing-order fairness. */
+    int routeRotate_ = 0;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_NETWORK_ROUTER_H

@@ -1,0 +1,119 @@
+#include "network/terminal.h"
+
+#include "common/log.h"
+#include "network/flit.h"
+#include "network/network.h"
+
+namespace fbfly
+{
+
+Terminal::Terminal(NodeId id, int num_vcs, int vc_depth, Rng rng,
+                   Network *parent)
+    : id_(id), numVcs_(num_vcs), rng_(rng), parent_(parent),
+      credits_(num_vcs, vc_depth)
+{
+}
+
+void
+Terminal::enqueuePacket(Cycle create_time, NodeId dst, bool measured)
+{
+    queue_.push_back({create_time, dst, measured});
+    ++parent_->stats().pendingPackets;
+    if (measured)
+        ++parent_->stats().measuredCreated;
+}
+
+void
+Terminal::receive(Cycle now)
+{
+    if (toRouter_ != nullptr) {
+        while (auto vc = toRouter_->receiveCredit(now)) {
+            FBFLY_ASSERT(*vc >= 0 && *vc < numVcs_,
+                         "terminal credit VC range");
+            ++credits_[*vc];
+        }
+    }
+    if (fromRouter_ == nullptr)
+        return;
+    while (auto f = fromRouter_->receiveFlit(now)) {
+        FBFLY_ASSERT(f->dst == id_, "flit for node ", f->dst,
+                     " ejected at node ", id_);
+        NetworkStats &st = parent_->stats();
+        ++st.flitsEjected;
+        if (f->tail) {
+            ++st.packetsEjected;
+            if (f->measured) {
+                ++st.measuredEjected;
+                const auto lat =
+                    static_cast<double>(now - f->createTime);
+                st.packetLatency.add(lat);
+                st.networkLatency.add(
+                    static_cast<double>(now - f->injectTime));
+                st.hops.add(f->hops);
+                st.latencyHist.add(now - f->createTime);
+            }
+        }
+    }
+}
+
+void
+Terminal::inject(Cycle now)
+{
+    if (toRouter_ == nullptr)
+        return;
+
+    // Start a new packet if idle and the channel + some VC allow it.
+    if (remainingFlits_ == 0) {
+        if (queue_.empty() || !toRouter_->canSendFlit(now))
+            return;
+        VcId vc = kInvalid;
+        for (int i = 0; i < numVcs_; ++i) {
+            const int c = (lastVc_ + 1 + i) % numVcs_;
+            if (credits_[c] > 0) {
+                vc = c;
+                break;
+            }
+        }
+        if (vc == kInvalid)
+            return;
+        lastVc_ = vc;
+        currentVc_ = vc;
+        current_ = queue_.front();
+        queue_.pop_front();
+        --parent_->stats().pendingPackets;
+        ++parent_->stats().midPacketTerminals;
+        if (current_.dst == kInvalid)
+            current_.dst = parent_->drawDest(id_, rng_);
+        remainingFlits_ = parent_->packetSize();
+        flitIndex_ = 0;
+        currentPacket_ = parent_->nextPacketId();
+    }
+
+    // Send the next flit of the in-progress packet.
+    if (!toRouter_->canSendFlit(now) || credits_[currentVc_] <= 0)
+        return;
+
+    Flit f;
+    f.id = parent_->nextFlitId();
+    f.packet = currentPacket_;
+    f.src = id_;
+    f.dst = current_.dst;
+    f.head = flitIndex_ == 0;
+    f.tail = remainingFlits_ == 1;
+    f.packetSize = parent_->packetSize();
+    f.createTime = current_.create;
+    f.injectTime = now;
+    f.measured = current_.measured;
+    f.vc = currentVc_;
+
+    --credits_[currentVc_];
+    toRouter_->sendFlit(f, now);
+    ++parent_->stats().flitsInjected;
+
+    ++flitIndex_;
+    --remainingFlits_;
+    if (remainingFlits_ == 0)
+        --parent_->stats().midPacketTerminals;
+}
+
+} // namespace fbfly

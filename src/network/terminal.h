@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Terminal — a processing node's network interface.
+ *
+ * Each terminal owns an unbounded source queue of pending packets,
+ * injects flits into its router's terminal input port under credit
+ * flow control, and receives (ejects) flits addressed to it,
+ * reporting per-packet statistics to the Network.
+ *
+ * To keep memory O(1) per queued packet even far beyond saturation,
+ * the queue stores only (creation time, destination, measured);
+ * destinations may be left unresolved (kInvalid) and drawn from the
+ * network's traffic pattern at injection time.
+ */
+
+#ifndef FBFLY_NETWORK_TERMINAL_H
+#define FBFLY_NETWORK_TERMINAL_H
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "network/channel.h"
+
+namespace fbfly
+{
+
+class Network;
+class TrafficPattern;
+
+/**
+ * Injection/ejection endpoint for one node.
+ */
+class Terminal
+{
+  public:
+    Terminal(NodeId id, int num_vcs, int vc_depth, Rng rng,
+             Network *parent);
+
+    NodeId id() const { return id_; }
+
+    /** @name Wiring (called by Network) @{ */
+    void connectToRouter(Channel *ch) { toRouter_ = ch; }
+    void connectFromRouter(Channel *ch) { fromRouter_ = ch; }
+    /** @} */
+
+    /**
+     * Queue one packet for injection.
+     *
+     * @param create_time creation cycle (for latency accounting).
+     * @param dst destination node, or kInvalid to draw from the
+     *        network's traffic pattern at injection time.
+     * @param measured whether the packet belongs to the measurement
+     *        sample.
+     */
+    void enqueuePacket(Cycle create_time, NodeId dst, bool measured);
+
+    /** @name Per-cycle phases (called by Network) @{ */
+
+    /** Drain ejected flits (recording stats) and returned credits. */
+    void receive(Cycle now);
+
+    /** Inject up to one flit if credits and bandwidth allow. */
+    void inject(Cycle now);
+
+    /** @} */
+
+    /** Packets waiting (not yet started injecting). */
+    std::int64_t sourceQueueLength() const
+    {
+        return static_cast<std::int64_t>(queue_.size());
+    }
+
+    /** True while a packet is partially injected. */
+    bool midPacket() const { return remainingFlits_ > 0; }
+
+    Rng &rng() { return rng_; }
+
+  private:
+    struct Pending
+    {
+        Cycle create;
+        NodeId dst;
+        bool measured;
+    };
+
+    NodeId id_;
+    int numVcs_;
+    Rng rng_;
+    Network *parent_;
+
+    Channel *toRouter_ = nullptr;
+    Channel *fromRouter_ = nullptr;
+
+    std::deque<Pending> queue_;
+    std::vector<int> credits_; // per router-side input VC
+    int lastVc_ = 0;
+
+    /** In-progress packet state (wormhole: one VC per packet). */
+    int remainingFlits_ = 0;
+    int flitIndex_ = 0;
+    VcId currentVc_ = kInvalid;
+    Pending current_{};
+    PacketId currentPacket_ = 0;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_NETWORK_TERMINAL_H

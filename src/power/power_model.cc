@@ -1,0 +1,31 @@
+#include "power/power_model.h"
+
+namespace fbfly
+{
+
+double
+PowerModel::signalPower(LinkLocale locale, bool direct) const
+{
+    if (locale == LinkLocale::GlobalCable)
+        return linkGlobalW;
+    return direct ? linkLocalW : linkGlobalLocalW;
+}
+
+PowerBreakdown
+PowerModel::power(const Inventory &inv) const
+{
+    PowerBreakdown out;
+    for (const auto &g : inv.routers) {
+        out.switchPower += static_cast<double>(g.count) *
+                           switchPowerW * g.signalsPerRouter /
+                           baselineRouterSignals;
+    }
+    for (const auto &g : inv.links) {
+        out.linkPower += static_cast<double>(g.count) *
+                         g.signalsPerLink *
+                         signalPower(g.locale, inv.direct);
+    }
+    return out;
+}
+
+} // namespace fbfly

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Power model (paper Section 5.3, Table 5).
+ *
+ * Total network power = P_switch + P_link.  P_switch is proportional
+ * to the router's total bandwidth (the signals it actually uses);
+ * P_link depends on the medium each SerDes drives.  Direct topologies
+ * (flattened butterfly, hypercube) dedicate SerDes to local links and
+ * pay only P_link_ll (40 mW/signal) for them; indirect topologies
+ * (butterfly, folded Clos) must provision global-capable SerDes
+ * everywhere and pay P_link_gl (160 mW) even on local runs.  Global
+ * cables always cost P_link_gg (200 mW).
+ */
+
+#ifndef FBFLY_POWER_POWER_MODEL_H
+#define FBFLY_POWER_POWER_MODEL_H
+
+#include "cost/topology_cost.h"
+
+namespace fbfly
+{
+
+/** Priced power of an inventory, in watts. */
+struct PowerBreakdown
+{
+    double switchPower = 0.0;
+    double linkPower = 0.0;
+    double total() const { return switchPower + linkPower; }
+};
+
+/**
+ * Table 5 power parameters and the per-inventory evaluator.
+ */
+struct PowerModel
+{
+    /** Switch power of a fully-used radix-64 router, W. */
+    double switchPowerW = 40.0;
+    /** Per-signal SerDes power driving a global cable, W. */
+    double linkGlobalW = 0.200;
+    /** Per-signal power of a global-capable SerDes on a local link
+     *  (20% below global: equalizer/driver savings), W. */
+    double linkGlobalLocalW = 0.160;
+    /** Per-signal power of a dedicated short-reach SerDes, W. */
+    double linkLocalW = 0.040;
+
+    /** Signals of a fully-used radix-64 router (both directions). */
+    double baselineRouterSignals = 64 * 3.0 * 2.0;
+
+    /** Power of one signal on the given medium.
+     *
+     *  @param direct whether the topology can dedicate local SerDes.
+     */
+    double signalPower(LinkLocale locale, bool direct) const;
+
+    /** Total power of an inventory. */
+    PowerBreakdown power(const Inventory &inv) const;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_POWER_POWER_MODEL_H

@@ -1,0 +1,20 @@
+#include "routing/butterfly_dest.h"
+
+#include "network/flit.h"
+#include "network/router.h"
+
+namespace fbfly
+{
+
+ButterflyDest::ButterflyDest(const Butterfly &topo) : topo_(topo)
+{
+}
+
+RouteDecision
+ButterflyDest::route(Router &router, Flit &flit)
+{
+    const int stage = topo_.stageOf(router.id());
+    return {topo_.outputPortFor(stage, flit.dst), 0};
+}
+
+} // namespace fbfly

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Destination-tag routing on the conventional butterfly (Table 1).
+ *
+ * The packet's path is fully determined by its destination address:
+ * at stage s the output port is the destination digit rewritten by
+ * that stage's wiring.  One VC; the network is feed-forward, so
+ * routing is trivially deadlock-free.
+ */
+
+#ifndef FBFLY_ROUTING_BUTTERFLY_DEST_H
+#define FBFLY_ROUTING_BUTTERFLY_DEST_H
+
+#include "routing/routing.h"
+#include "topology/butterfly.h"
+
+namespace fbfly
+{
+
+/**
+ * Destination-based butterfly routing.
+ */
+class ButterflyDest : public RoutingAlgorithm
+{
+  public:
+    explicit ButterflyDest(const Butterfly &topo);
+
+    std::string name() const override { return "destination-based"; }
+    int numVcs() const override { return 1; }
+    RouteDecision route(Router &router, Flit &flit) override;
+
+  private:
+    const Butterfly &topo_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_ROUTING_BUTTERFLY_DEST_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CLOS AD — non-minimal adaptive routing in a flattened Clos
+ * (paper Section 3.1).
+ *
+ * Like UGAL, each packet chooses between minimal and non-minimal at
+ * the source using queue lengths to estimate delay; unlike UGAL, a
+ * non-minimal packet does not commit to a random intermediate.
+ * Instead it is routed as if adaptively ascending to the middle stage
+ * of a folded Clos: in each dimension (taken in ascending order up to
+ * the closest-common-ancestor dimension) it takes the channel with
+ * the shortest queue — including a "dummy queue" for staying at the
+ * current coordinate, whose cost is the queue of the descending
+ * channel that staying will require later.  The intermediate is thus
+ * chosen adaptively among the closest common ancestors, so the hop
+ * count never exceeds that of the corresponding folded Clos.
+ *
+ * CLOS AD uses a sequential routing-decision allocator, eliminating
+ * both sources of transient load imbalance identified in Section 3.2.
+ */
+
+#ifndef FBFLY_ROUTING_CLOS_AD_H
+#define FBFLY_ROUTING_CLOS_AD_H
+
+#include "routing/fbfly_base.h"
+
+namespace fbfly
+{
+
+/**
+ * Adaptive flattened-Clos routing (CLOS AD).
+ */
+class ClosAd : public FbflyRouting
+{
+  public:
+    explicit ClosAd(const FlattenedButterfly &topo);
+
+    std::string name() const override { return "CLOS AD"; }
+    int numVcs() const override { return 2 * topo_.numDims(); }
+    bool sequential() const override { return true; }
+    RouteDecision route(Router &router, Flit &flit) override;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_ROUTING_CLOS_AD_H

@@ -1,0 +1,24 @@
+#include "routing/dor.h"
+
+#include "network/flit.h"
+#include "network/router.h"
+
+namespace fbfly
+{
+
+DimensionOrder::DimensionOrder(const FlattenedButterfly &topo)
+    : FbflyRouting(topo)
+{
+}
+
+RouteDecision
+DimensionOrder::route(Router &router, Flit &flit)
+{
+    const RouterId cur = router.id();
+    const RouterId dst = dstRouter(flit);
+    if (cur == dst)
+        return eject(flit);
+    return {dorPort(cur, dst), 0};
+}
+
+} // namespace fbfly

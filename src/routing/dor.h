@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Deterministic dimension-order (minimal) routing on the flattened
+ * butterfly.
+ *
+ * Fixes the lowest differing dimension first.  Used standalone as the
+ * oblivious minimal baseline and as the per-phase subroute of VAL
+ * (paper Section 3.1: "our evaluation uses dimension order routing").
+ * Deadlock-free on a single VC: each hop is taken in a strictly higher
+ * dimension than the last, so the channel dependency graph is acyclic.
+ */
+
+#ifndef FBFLY_ROUTING_DOR_H
+#define FBFLY_ROUTING_DOR_H
+
+#include "routing/fbfly_base.h"
+
+namespace fbfly
+{
+
+/**
+ * Minimal dimension-order routing (1 VC).
+ */
+class DimensionOrder : public FbflyRouting
+{
+  public:
+    explicit DimensionOrder(const FlattenedButterfly &topo);
+
+    std::string name() const override { return "DOR"; }
+    int numVcs() const override { return 1; }
+    RouteDecision route(Router &router, Flit &flit) override;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_ROUTING_DOR_H

@@ -1,0 +1,88 @@
+#include "routing/fbfly_base.h"
+
+#include "common/log.h"
+#include "network/flit.h"
+#include "network/router.h"
+
+namespace fbfly
+{
+
+FbflyRouting::FbflyRouting(const FlattenedButterfly &topo)
+    : topo_(topo)
+{
+}
+
+RouterId
+FbflyRouting::dstRouter(const Flit &flit) const
+{
+    return topo_.routerOf(flit.dst);
+}
+
+RouteDecision
+FbflyRouting::eject(const Flit &flit) const
+{
+    return {topo_.terminalPort(flit.dst), 0};
+}
+
+int
+FbflyRouting::lowestDiffDim(RouterId cur, RouterId tgt) const
+{
+    for (int d = 1; d <= topo_.numDims(); ++d) {
+        if (topo_.routerDigit(cur, d) != topo_.routerDigit(tgt, d))
+            return d;
+    }
+    return 0;
+}
+
+PortId
+FbflyRouting::dorPort(RouterId cur, RouterId tgt) const
+{
+    const int d = lowestDiffDim(cur, tgt);
+    FBFLY_ASSERT(d >= 1, "dorPort with cur == tgt");
+    return topo_.portToward(cur, d, topo_.routerDigit(tgt, d));
+}
+
+PortId
+FbflyRouting::bestProductive(Router &router, RouterId dst_router,
+                             int &best_queue) const
+{
+    const RouterId cur = router.id();
+    PortId best = kInvalid;
+    best_queue = 0;
+    int ties = 0;
+    for (int d = 1; d <= topo_.numDims(); ++d) {
+        const int dst_dig = topo_.routerDigit(dst_router, d);
+        if (topo_.routerDigit(cur, d) == dst_dig)
+            continue;
+        const PortId p = topo_.portToward(cur, d, dst_dig);
+        const int q = router.estimatedQueue(p);
+        if (best == kInvalid || q < best_queue) {
+            best = p;
+            best_queue = q;
+            ties = 1;
+        } else if (q == best_queue) {
+            // Reservoir-style uniform tie-break.
+            ++ties;
+            if (router.rng().nextBounded(ties) == 0)
+                best = p;
+        }
+    }
+    FBFLY_ASSERT(best != kInvalid, "no productive channel");
+    return best;
+}
+
+RouteDecision
+FbflyRouting::minimalHop(Router &router, Flit &flit,
+                         int vc_offset) const
+{
+    const RouterId cur = router.id();
+    const RouterId dst = dstRouter(flit);
+    if (cur == dst)
+        return eject(flit);
+    const int diff = topo_.minimalHops(cur, dst);
+    int q = 0;
+    const PortId p = bestProductive(router, dst, q);
+    return {p, vc_offset + diff - 1};
+}
+
+} // namespace fbfly

@@ -1,0 +1,49 @@
+#include "routing/folded_clos_adaptive.h"
+
+#include "network/flit.h"
+#include "network/router.h"
+
+namespace fbfly
+{
+
+FoldedClosAdaptive::FoldedClosAdaptive(const FoldedClos &topo)
+    : topo_(topo)
+{
+}
+
+RouteDecision
+FoldedClosAdaptive::route(Router &router, Flit &flit)
+{
+    const RouterId r = router.id();
+    const RouterId dst_leaf = topo_.leafOf(flit.dst);
+
+    if (!topo_.isLeaf(r)) {
+        // Middle stage: one deterministic down channel per leaf.
+        return {topo_.downPort(dst_leaf), 0};
+    }
+    if (r == dst_leaf) {
+        // Local (or descending) traffic: eject.
+        return {topo_.ejectionPort(flit.dst), 0};
+    }
+
+    // Ascend on the least-occupied uplink (sequential allocator).
+    PortId best = kInvalid;
+    int best_q = 0;
+    int ties = 0;
+    for (int i = 0; i < topo_.u(); ++i) {
+        const PortId p = topo_.uplinkPort(i);
+        const int q = router.estimatedQueue(p);
+        if (best == kInvalid || q < best_q) {
+            best = p;
+            best_q = q;
+            ties = 1;
+        } else if (q == best_q) {
+            ++ties;
+            if (router.rng().nextBounded(ties) == 0)
+                best = p;
+        }
+    }
+    return {best, 0};
+}
+
+} // namespace fbfly

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Adaptive (sequential) routing in a folded Clos, after Kim, Dally &
+ * Abts, "Adaptive Routing in High-radix Clos Network" (SC'06) — the
+ * folded-Clos row of the paper's Table 1.
+ *
+ * Going up, a packet picks the uplink with the shortest estimated
+ * queue using a sequential allocator; coming down the path is
+ * deterministic (each middle router has exactly one channel per
+ * leaf).  Up-then-down ordering makes one VC deadlock-free.
+ */
+
+#ifndef FBFLY_ROUTING_FOLDED_CLOS_ADAPTIVE_H
+#define FBFLY_ROUTING_FOLDED_CLOS_ADAPTIVE_H
+
+#include "routing/routing.h"
+#include "topology/folded_clos.h"
+
+namespace fbfly
+{
+
+/**
+ * Adaptive-up / deterministic-down folded-Clos routing.
+ */
+class FoldedClosAdaptive : public RoutingAlgorithm
+{
+  public:
+    explicit FoldedClosAdaptive(const FoldedClos &topo);
+
+    std::string name() const override { return "adaptive sequential"; }
+    int numVcs() const override { return 1; }
+    bool sequential() const override { return true; }
+    RouteDecision route(Router &router, Flit &flit) override;
+
+  private:
+    const FoldedClos &topo_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_ROUTING_FOLDED_CLOS_ADAPTIVE_H

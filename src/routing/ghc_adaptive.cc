@@ -1,0 +1,49 @@
+#include "routing/ghc_adaptive.h"
+
+#include "common/log.h"
+#include "network/flit.h"
+#include "network/router.h"
+
+namespace fbfly
+{
+
+GhcAdaptive::GhcAdaptive(const GeneralizedHypercube &topo)
+    : topo_(topo)
+{
+}
+
+RouteDecision
+GhcAdaptive::route(Router &router, Flit &flit)
+{
+    const RouterId r = router.id();
+    const RouterId dst = flit.dst; // one terminal per router
+
+    PortId best = kInvalid;
+    int best_q = 0;
+    int remaining = 0;
+    int ties = 0;
+    for (int d = 0; d < topo_.numDims(); ++d) {
+        const int want = topo_.routerDigit(dst, d);
+        if (topo_.routerDigit(r, d) == want)
+            continue;
+        ++remaining;
+        const PortId p = topo_.portToward(r, d, want);
+        const int q = router.estimatedQueue(p);
+        if (best == kInvalid || q < best_q) {
+            best = p;
+            best_q = q;
+            ties = 1;
+        } else if (q == best_q) {
+            ++ties;
+            if (router.rng().nextBounded(ties) == 0)
+                best = p;
+        }
+    }
+    if (best == kInvalid)
+        return {0, 0}; // terminal port
+    // Hops-remaining VC indexing keeps the adaptive order
+    // deadlock-free.
+    return {best, remaining - 1};
+}
+
+} // namespace fbfly

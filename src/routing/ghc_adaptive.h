@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal adaptive routing on the generalized hypercube, after
+ * Young & Yalamanchili (the paper's reference [33], discussed in
+ * Section 6).
+ *
+ * The packet may correct its differing digits in any order, choosing
+ * at each hop the productive channel with the shortest queue.  This
+ * adds path diversity over dimension-order GHC routing but — as the
+ * paper notes — provides no load balancing for traffic that is
+ * bottlenecked on a single productive channel, so it still collapses
+ * on adversarial patterns that the flattened butterfly's non-minimal
+ * routing spreads.
+ *
+ * Deadlock freedom uses the hops-remaining VC scheme (one VC per
+ * dimension), like MIN AD on the flattened butterfly.
+ */
+
+#ifndef FBFLY_ROUTING_GHC_ADAPTIVE_H
+#define FBFLY_ROUTING_GHC_ADAPTIVE_H
+
+#include "routing/routing.h"
+#include "topology/generalized_hypercube.h"
+
+namespace fbfly
+{
+
+/**
+ * Minimal adaptive GHC routing (n dims -> n VCs).
+ */
+class GhcAdaptive : public RoutingAlgorithm
+{
+  public:
+    explicit GhcAdaptive(const GeneralizedHypercube &topo);
+
+    std::string name() const override { return "GHC adaptive"; }
+    int numVcs() const override { return topo_.numDims(); }
+    RouteDecision route(Router &router, Flit &flit) override;
+
+  private:
+    const GeneralizedHypercube &topo_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_ROUTING_GHC_ADAPTIVE_H

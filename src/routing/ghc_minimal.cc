@@ -1,0 +1,26 @@
+#include "routing/ghc_minimal.h"
+
+#include "network/flit.h"
+#include "network/router.h"
+
+namespace fbfly
+{
+
+GhcMinimal::GhcMinimal(const GeneralizedHypercube &topo) : topo_(topo)
+{
+}
+
+RouteDecision
+GhcMinimal::route(Router &router, Flit &flit)
+{
+    const RouterId r = router.id();
+    const RouterId dst = flit.dst; // one terminal per router
+    for (int d = 0; d < topo_.numDims(); ++d) {
+        const int want = topo_.routerDigit(dst, d);
+        if (topo_.routerDigit(r, d) != want)
+            return {topo_.portToward(r, d, want), 0};
+    }
+    return {0, 0}; // terminal port
+}
+
+} // namespace fbfly

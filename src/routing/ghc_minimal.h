@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal dimension-order routing on the generalized hypercube.
+ *
+ * The 1980s GHC (paper Section 2.3) used minimal routing without
+ * load balancing, which is why it "suffers the same performance
+ * bottleneck as a conventional butterfly on adversarial traffic" —
+ * this baseline lets that claim be demonstrated in simulation.
+ */
+
+#ifndef FBFLY_ROUTING_GHC_MINIMAL_H
+#define FBFLY_ROUTING_GHC_MINIMAL_H
+
+#include "routing/routing.h"
+#include "topology/generalized_hypercube.h"
+
+namespace fbfly
+{
+
+/**
+ * Deterministic minimal GHC routing (dimension order, 1 VC).
+ */
+class GhcMinimal : public RoutingAlgorithm
+{
+  public:
+    explicit GhcMinimal(const GeneralizedHypercube &topo);
+
+    std::string name() const override { return "GHC minimal"; }
+    int numVcs() const override { return 1; }
+    RouteDecision route(Router &router, Flit &flit) override;
+
+  private:
+    const GeneralizedHypercube &topo_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_ROUTING_GHC_MINIMAL_H

@@ -1,0 +1,27 @@
+#include "routing/hypercube_ecube.h"
+
+#include "network/flit.h"
+#include "network/router.h"
+
+namespace fbfly
+{
+
+HypercubeEcube::HypercubeEcube(const Hypercube &topo) : topo_(topo)
+{
+}
+
+RouteDecision
+HypercubeEcube::route(Router &router, Flit &flit)
+{
+    const RouterId r = router.id();
+    const std::uint32_t diff =
+        static_cast<std::uint32_t>(r) ^
+        static_cast<std::uint32_t>(flit.dst);
+    if (diff == 0)
+        return {topo_.dims(), 0}; // terminal port
+    // Lowest differing bit first.
+    const int d = __builtin_ctz(diff);
+    return {d, 0};
+}
+
+} // namespace fbfly

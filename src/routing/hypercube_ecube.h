@@ -1,0 +1,37 @@
+/**
+ * @file
+ * E-cube (dimension-order) routing on the binary hypercube — the
+ * hypercube row of the paper's Table 1.
+ *
+ * Differing address bits are corrected lowest-first; the strictly
+ * increasing dimension order makes one VC deadlock-free.
+ */
+
+#ifndef FBFLY_ROUTING_HYPERCUBE_ECUBE_H
+#define FBFLY_ROUTING_HYPERCUBE_ECUBE_H
+
+#include "routing/routing.h"
+#include "topology/hypercube.h"
+
+namespace fbfly
+{
+
+/**
+ * Deterministic e-cube hypercube routing.
+ */
+class HypercubeEcube : public RoutingAlgorithm
+{
+  public:
+    explicit HypercubeEcube(const Hypercube &topo);
+
+    std::string name() const override { return "e-cube"; }
+    int numVcs() const override { return 1; }
+    RouteDecision route(Router &router, Flit &flit) override;
+
+  private:
+    const Hypercube &topo_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_ROUTING_HYPERCUBE_ECUBE_H

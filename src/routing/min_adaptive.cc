@@ -1,0 +1,17 @@
+#include "routing/min_adaptive.h"
+
+namespace fbfly
+{
+
+MinAdaptive::MinAdaptive(const FlattenedButterfly &topo)
+    : FbflyRouting(topo)
+{
+}
+
+RouteDecision
+MinAdaptive::route(Router &router, Flit &flit)
+{
+    return minimalHop(router, flit, 0);
+}
+
+} // namespace fbfly

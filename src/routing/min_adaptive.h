@@ -1,0 +1,33 @@
+/**
+ * @file
+ * MIN AD — minimal adaptive routing (paper Section 3.1).
+ *
+ * At each hop the productive channel with the shortest estimated
+ * queue is chosen.  n' virtual channels indexed by hops remaining
+ * prevent deadlock.  Uses a greedy routing-decision allocator.
+ */
+
+#ifndef FBFLY_ROUTING_MIN_ADAPTIVE_H
+#define FBFLY_ROUTING_MIN_ADAPTIVE_H
+
+#include "routing/fbfly_base.h"
+
+namespace fbfly
+{
+
+/**
+ * Minimal adaptive routing (MIN AD).
+ */
+class MinAdaptive : public FbflyRouting
+{
+  public:
+    explicit MinAdaptive(const FlattenedButterfly &topo);
+
+    std::string name() const override { return "MIN AD"; }
+    int numVcs() const override { return topo_.numDims(); }
+    RouteDecision route(Router &router, Flit &flit) override;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_ROUTING_MIN_ADAPTIVE_H

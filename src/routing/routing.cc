@@ -1,0 +1,8 @@
+#include "routing/routing.h"
+
+namespace fbfly
+{
+
+RoutingAlgorithm::~RoutingAlgorithm() = default;
+
+} // namespace fbfly

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Routing-algorithm interface.
+ *
+ * A RoutingAlgorithm is consulted once per packet per router, when the
+ * packet's head flit reaches the front of an input VC with no route
+ * assigned.  The algorithm inspects the router's output-queue
+ * estimates (derived from credit counts, paper Section 3.1) and
+ * returns an (output port, output VC) pair, possibly mutating the head
+ * flit's routing scratch state (phase, intermediate, ...).
+ *
+ * The `sequential()` flag selects the routing-decision allocator of
+ * Section 3.1: sequential allocators make each input's decision
+ * visible to the next input within the same cycle; greedy allocators
+ * let every input decide on the same snapshot and apply the updates
+ * en masse afterwards — the source of the transient load imbalance
+ * shown in the paper's Figure 5.
+ */
+
+#ifndef FBFLY_ROUTING_ROUTING_H
+#define FBFLY_ROUTING_ROUTING_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace fbfly
+{
+
+class Router;
+struct Flit;
+
+/** The result of a routing decision. */
+struct RouteDecision
+{
+    PortId outPort = kInvalid;
+    VcId outVc = kInvalid;
+};
+
+/**
+ * Abstract routing algorithm, shared by all routers of a network.
+ */
+class RoutingAlgorithm
+{
+  public:
+    virtual ~RoutingAlgorithm();
+
+    /** Human-readable name for reports ("UGAL-S", "CLOS AD", ...). */
+    virtual std::string name() const = 0;
+
+    /** Virtual channels per port this algorithm needs for deadlock
+     *  freedom. */
+    virtual int numVcs() const = 0;
+
+    /**
+     * Decide the next hop for the packet headed by @p flit at
+     * @p router.
+     *
+     * May mutate @p flit's routing scratch fields.  The decision is
+     * final: the packet waits for credits on the returned (port, VC)
+     * rather than re-routing.
+     */
+    virtual RouteDecision route(Router &router, Flit &flit) = 0;
+
+    /** True: sequential routing-decision allocator (UGAL-S, CLOS AD). */
+    virtual bool sequential() const { return false; }
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_ROUTING_ROUTING_H

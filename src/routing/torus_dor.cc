@@ -1,0 +1,57 @@
+#include "routing/torus_dor.h"
+
+#include "network/flit.h"
+#include "network/router.h"
+
+namespace fbfly
+{
+
+TorusDor::TorusDor(const Torus &topo) : topo_(topo)
+{
+}
+
+RouteDecision
+TorusDor::route(Router &router, Flit &flit)
+{
+    const RouterId cur = router.id();
+    const RouterId dst = flit.dst; // one terminal per router
+    const int k = topo_.k();
+
+    // First routing decision (at the injection router): reset the
+    // per-dimension scratch so dimension 0 starts on VC 0.
+    if (flit.hops == 0 && flit.phase == 0) {
+        flit.ascendDim = -1;
+        flit.phase = 1;
+    }
+
+    for (int d = 0; d < topo_.n(); ++d) {
+        const int mine = topo_.routerDigit(cur, d);
+        const int want = topo_.routerDigit(dst, d);
+        if (mine == want)
+            continue;
+
+        // Shorter way around the ring; ties go "+".
+        const int fwd = (want - mine + k) % k;
+        const bool plus = fwd <= k - fwd;
+
+        // Dateline: VC 1 once the wrap edge of this dimension has
+        // been crossed.  The flit's vc field carries the state
+        // within the dimension; a packet entering a new dimension
+        // starts back on VC 0 (a fresh, higher-ordered channel
+        // class, so the dependency chain stays acyclic).
+        const bool crossing_wrap =
+            plus ? mine == k - 1 : mine == 0;
+        VcId vc = flit.vc;
+        if (flit.ascendDim != d) {
+            // First hop in this dimension.
+            vc = 0;
+            flit.ascendDim = static_cast<std::int8_t>(d);
+        }
+        if (crossing_wrap)
+            vc = 1;
+        return {topo_.portFor(d, plus), vc};
+    }
+    return {2 * topo_.n(), 0}; // terminal port
+}
+
+} // namespace fbfly

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Dimension-order routing on the torus, with dateline VCs.
+ *
+ * Dimensions are corrected in ascending order, taking the shorter
+ * way around each ring.  Wrap-around rings create cyclic channel
+ * dependencies, broken with the classic dateline scheme: a packet
+ * starts each dimension on VC 0 and moves to VC 1 after crossing the
+ * ring's wrap-around edge (digit k-1 -> 0 going "+", 0 -> k-1 going
+ * "-"), which cuts every ring cycle [Dally & Seitz].
+ */
+
+#ifndef FBFLY_ROUTING_TORUS_DOR_H
+#define FBFLY_ROUTING_TORUS_DOR_H
+
+#include "routing/routing.h"
+#include "topology/torus.h"
+
+namespace fbfly
+{
+
+/**
+ * Deterministic torus dimension-order routing (2 VCs).
+ */
+class TorusDor : public RoutingAlgorithm
+{
+  public:
+    explicit TorusDor(const Torus &topo);
+
+    std::string name() const override { return "torus DOR"; }
+    int numVcs() const override { return 2; }
+    RouteDecision route(Router &router, Flit &flit) override;
+
+  private:
+    const Torus &topo_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_ROUTING_TORUS_DOR_H

@@ -1,0 +1,65 @@
+#include "routing/torus_valiant.h"
+
+#include "common/log.h"
+#include "network/flit.h"
+#include "network/router.h"
+
+namespace fbfly
+{
+
+TorusValiant::TorusValiant(const Torus &topo) : topo_(topo)
+{
+}
+
+RouteDecision
+TorusValiant::route(Router &router, Flit &flit)
+{
+    const RouterId cur = router.id();
+    const int k = topo_.k();
+
+    if (flit.phase == 0 && flit.intermediate == kInvalid) {
+        // First decision, at the source router.
+        flit.intermediate = static_cast<std::int32_t>(
+            router.rng().nextBounded(topo_.numRouters()));
+        flit.ascendDim = -1;
+    }
+    if (flit.phase == 0 && cur == flit.intermediate) {
+        flit.phase = 1;
+        flit.ascendDim = -1;
+    }
+    const RouterId tgt =
+        flit.phase == 0 ? flit.intermediate : flit.dst;
+    if (flit.phase == 1 && cur == tgt)
+        return {2 * topo_.n(), 0}; // terminal port
+
+    for (int d = 0; d < topo_.n(); ++d) {
+        const int mine = topo_.routerDigit(cur, d);
+        const int want = topo_.routerDigit(tgt, d);
+        if (mine == want)
+            continue;
+        const int fwd = (want - mine + k) % k;
+        const bool plus = fwd <= k - fwd;
+        const bool crossing_wrap =
+            plus ? mine == k - 1 : mine == 0;
+
+        // Dateline VC within the phase's pair of VCs.
+        VcId vc = flit.vc;
+        const VcId base = flit.phase == 0 ? 0 : 2;
+        if (flit.ascendDim != d) {
+            vc = base;
+            flit.ascendDim = static_cast<std::int8_t>(d);
+        }
+        if (crossing_wrap)
+            vc = base + 1;
+        // A phase-0 VC leaking into phase 1 (intermediate reached
+        // mid-dimension) is prevented by the ascendDim reset above.
+        if (vc < base)
+            vc = base;
+        return {topo_.portFor(d, plus), vc};
+    }
+    // Phase 0 target reached exactly here (cur == intermediate was
+    // handled above), so only phase 1 can fall through.
+    FBFLY_PANIC("torus VAL routing fell through");
+}
+
+} // namespace fbfly

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Valiant's randomized routing on the torus.
+ *
+ * The paper's Section 6 traces its non-minimal routing to work on
+ * tori (GOAL, Valiant): tornado-like patterns drive dimension-order
+ * torus routing to a fraction of capacity, and routing through a
+ * random intermediate restores worst-case throughput at the price of
+ * doubled hop count.  Two phases x two dateline VCs = 4 VCs.
+ */
+
+#ifndef FBFLY_ROUTING_TORUS_VALIANT_H
+#define FBFLY_ROUTING_TORUS_VALIANT_H
+
+#include "routing/routing.h"
+#include "topology/torus.h"
+
+namespace fbfly
+{
+
+/**
+ * Torus Valiant routing (4 VCs: phase x dateline).
+ */
+class TorusValiant : public RoutingAlgorithm
+{
+  public:
+    explicit TorusValiant(const Torus &topo);
+
+    std::string name() const override { return "torus VAL"; }
+    int numVcs() const override { return 4; }
+    RouteDecision route(Router &router, Flit &flit) override;
+
+  private:
+    const Torus &topo_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_ROUTING_TORUS_VALIANT_H

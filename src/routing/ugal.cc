@@ -1,0 +1,74 @@
+#include "routing/ugal.h"
+
+#include "network/flit.h"
+#include "network/router.h"
+
+namespace fbfly
+{
+
+Ugal::Ugal(const FlattenedButterfly &topo, bool sequential_alloc)
+    : FbflyRouting(topo), seq_(sequential_alloc)
+{
+}
+
+RouteDecision
+Ugal::route(Router &router, Flit &flit)
+{
+    const RouterId cur = router.id();
+    const RouterId dst = dstRouter(flit);
+    const int np = topo_.numDims();
+
+    if (flit.routeMode == kModeUndecided) {
+        // The minimal-vs-nonminimal choice, made once at the source
+        // router: minimize estimated delay = queue length x hops.
+        if (cur == dst) {
+            flit.routeMode = kModeMinimal;
+        } else {
+            const int h_min = topo_.minimalHops(cur, dst);
+            int q_min = 0;
+            (void)bestProductive(router, dst, q_min);
+
+            const auto b = static_cast<RouterId>(
+                router.rng().nextBounded(topo_.numRouters()));
+            const int h_val =
+                topo_.minimalHops(cur, b) + topo_.minimalHops(b, dst);
+            int q_val = q_min;
+            if (b != cur)
+                q_val = router.estimatedQueue(dorPort(cur, b));
+
+            // Estimated delay = (queue + the hop itself) x hops;
+            // counting the hop keeps empty-queue comparisons honest
+            // (an empty non-minimal path still costs h_val cycles).
+            if (static_cast<long>(q_min + 1) * h_min <=
+                static_cast<long>(q_val + 1) * h_val) {
+                flit.routeMode = kModeMinimal;
+            } else {
+                flit.routeMode = kModeNonminimal;
+                flit.intermediate = b;
+                flit.phase = 0;
+            }
+        }
+    }
+
+    if (flit.routeMode == kModeMinimal) {
+        // Route like MIN AD on the phase-1 VC set.
+        return minimalHop(router, flit, np);
+    }
+
+    // Non-minimal: Valiant through the recorded intermediate, with
+    // dimension-order subroutes and hops-remaining VC indexing.
+    if (flit.phase == 0) {
+        if (cur != flit.intermediate) {
+            const int remaining =
+                topo_.minimalHops(cur, flit.intermediate);
+            return {dorPort(cur, flit.intermediate), remaining - 1};
+        }
+        flit.phase = 1;
+    }
+    if (cur == dst)
+        return eject(flit);
+    const int remaining = topo_.minimalHops(cur, dst);
+    return {dorPort(cur, dst), np + remaining - 1};
+}
+
+} // namespace fbfly

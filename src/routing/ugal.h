@@ -1,0 +1,53 @@
+/**
+ * @file
+ * UGAL / UGAL-S — universal globally-adaptive load-balanced routing
+ * (paper Section 3.1, after Singh).
+ *
+ * At the source router, each packet chooses between the minimal route
+ * (MIN AD) and Valiant's non-minimal route through a random
+ * intermediate by comparing estimated delays — the product of queue
+ * length and hop count for each choice.  Benign traffic and low loads
+ * route minimally; adversarial traffic at high load routes
+ * non-minimally.
+ *
+ * UGAL uses the greedy routing-decision allocator (all inputs of a
+ * router decide on the same queue snapshot each cycle).  UGAL-S is
+ * identical but uses the sequential allocator, which removes the
+ * transient load imbalance of greedy allocation (Figure 5).
+ */
+
+#ifndef FBFLY_ROUTING_UGAL_H
+#define FBFLY_ROUTING_UGAL_H
+
+#include "routing/fbfly_base.h"
+
+namespace fbfly
+{
+
+/**
+ * UGAL (greedy) and UGAL-S (sequential) routing.
+ */
+class Ugal : public FbflyRouting
+{
+  public:
+    /**
+     * @param topo the flattened butterfly.
+     * @param sequential_alloc true for UGAL-S.
+     */
+    Ugal(const FlattenedButterfly &topo, bool sequential_alloc);
+
+    std::string name() const override
+    {
+        return seq_ ? "UGAL-S" : "UGAL";
+    }
+    int numVcs() const override { return 2 * topo_.numDims(); }
+    bool sequential() const override { return seq_; }
+    RouteDecision route(Router &router, Flit &flit) override;
+
+  private:
+    bool seq_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_ROUTING_UGAL_H

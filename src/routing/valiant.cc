@@ -1,0 +1,35 @@
+#include "routing/valiant.h"
+
+#include "network/flit.h"
+#include "network/router.h"
+
+namespace fbfly
+{
+
+Valiant::Valiant(const FlattenedButterfly &topo) : FbflyRouting(topo)
+{
+}
+
+RouteDecision
+Valiant::route(Router &router, Flit &flit)
+{
+    const RouterId cur = router.id();
+
+    if (flit.phase == 0) {
+        if (flit.intermediate == kInvalid) {
+            // First decision, at the source router: draw b uniformly.
+            flit.intermediate = static_cast<std::int32_t>(
+                router.rng().nextBounded(topo_.numRouters()));
+        }
+        if (cur != flit.intermediate)
+            return {dorPort(cur, flit.intermediate), 0};
+        flit.phase = 1;
+    }
+
+    const RouterId dst = dstRouter(flit);
+    if (cur == dst)
+        return eject(flit);
+    return {dorPort(cur, dst), 1};
+}
+
+} // namespace fbfly

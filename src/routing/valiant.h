@@ -1,0 +1,36 @@
+/**
+ * @file
+ * VAL — Valiant's non-minimal oblivious routing (paper Section 3.1).
+ *
+ * Every packet routes minimally (dimension order) to a uniformly
+ * random intermediate router, then minimally to its destination.
+ * This converts any traffic pattern into two phases of random
+ * traffic, halving worst-case throughput loss at the cost of doubled
+ * hop count and a 50% cap on benign throughput.  Two VCs, one per
+ * phase, avoid deadlock.
+ */
+
+#ifndef FBFLY_ROUTING_VALIANT_H
+#define FBFLY_ROUTING_VALIANT_H
+
+#include "routing/fbfly_base.h"
+
+namespace fbfly
+{
+
+/**
+ * Valiant's randomized oblivious routing (VAL).
+ */
+class Valiant : public FbflyRouting
+{
+  public:
+    explicit Valiant(const FlattenedButterfly &topo);
+
+    std::string name() const override { return "VAL"; }
+    int numVcs() const override { return 2; }
+    RouteDecision route(Router &router, Flit &flit) override;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_ROUTING_VALIANT_H

@@ -1,0 +1,105 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+void
+RunningStats::add(double x)
+{
+    ++count_;
+    if (count_ == 1) {
+        mean_ = min_ = max_ = x;
+        m2_ = 0.0;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(std::size_t num_buckets)
+    : buckets_(std::max<std::size_t>(num_buckets, 1), 0)
+{
+}
+
+void
+Histogram::add(std::uint64_t x)
+{
+    const std::size_t b =
+        std::min<std::size_t>(x, buckets_.size() - 1);
+    ++buckets_[b];
+    ++count_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    FBFLY_ASSERT(p > 0.0 && p <= 1.0, "percentile out of range");
+    if (count_ == 0)
+        return 0;
+    const std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        seen += buckets_[b];
+        if (seen >= target)
+            return b;
+    }
+    return buckets_.size() - 1;
+}
+
+} // namespace fbfly

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Statistics collection for simulation experiments.
+ *
+ * RunningStats accumulates count/mean/variance/min/max with Welford's
+ * online algorithm; Histogram buckets integer samples (e.g. packet
+ * latencies) for percentile queries.
+ */
+
+#ifndef FBFLY_SIM_STATS_H
+#define FBFLY_SIM_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace fbfly
+{
+
+/**
+ * Online mean / variance / extrema accumulator.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram of non-negative integer samples.
+ *
+ * Samples at or above the bucket count land in the final (overflow)
+ * bucket; percentile queries therefore saturate at the top bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param num_buckets number of unit-width buckets (>= 1). */
+    explicit Histogram(std::size_t num_buckets = 1024);
+
+    /** Record one sample. */
+    void add(std::uint64_t x);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+
+    /** Number of samples in bucket @p b. */
+    std::uint64_t bucket(std::size_t b) const { return buckets_.at(b); }
+
+    std::size_t numBuckets() const { return buckets_.size(); }
+
+    /**
+     * Smallest value v such that at least @p p of the samples are <= v.
+     *
+     * @param p percentile in (0, 1].
+     */
+    std::uint64_t percentile(double p) const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_SIM_STATS_H

@@ -1,0 +1,90 @@
+#include "topology/butterfly.h"
+
+#include "common/log.h"
+#include "common/radix.h"
+
+namespace fbfly
+{
+
+Butterfly::Butterfly(int k, int n) : k_(k), n_(n)
+{
+    FBFLY_ASSERT(k >= 2 && n >= 2, "butterfly requires k,n >= 2");
+    numNodes_ = ipow(k, n);
+    numRows_ = static_cast<int>(ipow(k, n - 1));
+}
+
+std::string
+Butterfly::name() const
+{
+    return std::to_string(k_) + "-ary " + std::to_string(n_) + "-fly";
+}
+
+int
+Butterfly::numPorts(RouterId) const
+{
+    return 2 * k_;
+}
+
+std::vector<Topology::Arc>
+Butterfly::arcs() const
+{
+    std::vector<Arc> out;
+    out.reserve(static_cast<std::size_t>(n_ - 1) * numRows_ * k_);
+    for (int s = 0; s + 1 < n_; ++s) {
+        for (int row = 0; row < numRows_; ++row) {
+            const RouterId src = s * numRows_ + row;
+            for (int p = 0; p < k_; ++p) {
+                const int row2 = nextRow(s, row, p);
+                const RouterId dst = (s + 1) * numRows_ + row2;
+                // The receiving input port is the sender's digit in
+                // the rewritten position, making ports unique per
+                // source.
+                const PortId in = digit(row, n_ - 2 - s, k_);
+                out.push_back({src, k_ + p, dst, in});
+            }
+        }
+    }
+    return out;
+}
+
+RouterId
+Butterfly::injectionRouter(NodeId node) const
+{
+    return static_cast<RouterId>(node / k_);
+}
+
+PortId
+Butterfly::injectionPort(NodeId node) const
+{
+    return node % k_;
+}
+
+RouterId
+Butterfly::ejectionRouter(NodeId node) const
+{
+    return (n_ - 1) * numRows_ + static_cast<RouterId>(node / k_);
+}
+
+PortId
+Butterfly::ejectionPort(NodeId node) const
+{
+    return k_ + node % k_;
+}
+
+PortId
+Butterfly::outputPortFor(int stage, NodeId dst) const
+{
+    FBFLY_ASSERT(stage >= 0 && stage < n_, "stage range");
+    if (stage == n_ - 1)
+        return k_ + dst % k_; // terminal hop: digit 0
+    // Rewrite row digit (n-2-stage) == node digit (n-1-stage).
+    return k_ + digit(dst, n_ - 1 - stage, k_);
+}
+
+int
+Butterfly::nextRow(int stage, int row, int p) const
+{
+    return static_cast<int>(setDigit(row, n_ - 2 - stage, k_, p));
+}
+
+} // namespace fbfly

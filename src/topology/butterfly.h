@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Conventional butterfly (k-ary n-fly).
+ *
+ * A unidirectional multistage network: n stages of k^(n-1) routers,
+ * each with k inputs and k outputs.  Stage s output p leads to the
+ * stage s+1 router whose row has digit (n-2-s) replaced by p, so a
+ * packet's path is fully determined by its destination (no path
+ * diversity — the weakness the flattened butterfly fixes).
+ *
+ * Router ids: stage * numRows + row.  Ports 0..k-1 are inputs,
+ * k..2k-1 are outputs (output p is port k+p).  Stage-0 inputs and
+ * stage-(n-1) outputs attach terminals.
+ */
+
+#ifndef FBFLY_TOPOLOGY_BUTTERFLY_H
+#define FBFLY_TOPOLOGY_BUTTERFLY_H
+
+#include "topology/topology.h"
+
+namespace fbfly
+{
+
+/**
+ * k-ary n-fly conventional butterfly.
+ */
+class Butterfly : public Topology
+{
+  public:
+    /**
+     * @param k router arity (k inputs, k outputs).
+     * @param n number of stages (N = k^n nodes).
+     */
+    Butterfly(int k, int n);
+
+    /** @name Topology interface @{ */
+    std::string name() const override;
+    std::int64_t numNodes() const override { return numNodes_; }
+    int numRouters() const override { return n_ * numRows_; }
+    int numPorts(RouterId r) const override;
+    std::vector<Arc> arcs() const override;
+    RouterId injectionRouter(NodeId node) const override;
+    PortId injectionPort(NodeId node) const override;
+    RouterId ejectionRouter(NodeId node) const override;
+    PortId ejectionPort(NodeId node) const override;
+    /** @} */
+
+    /** @name Butterfly structure @{ */
+    int k() const { return k_; }
+    int n() const { return n_; }
+    int numRows() const { return numRows_; }
+    int stageOf(RouterId r) const { return r / numRows_; }
+    int rowOf(RouterId r) const { return r % numRows_; }
+
+    /**
+     * Destination-tag routing: the output port a packet for @p dst
+     * must take at a stage-@p stage router.
+     */
+    PortId outputPortFor(int stage, NodeId dst) const;
+
+    /** Row reached by taking output @p p from row @p row at
+     *  @p stage. */
+    int nextRow(int stage, int row, int p) const;
+    /** @} */
+
+  private:
+    int k_;
+    int n_;
+    std::int64_t numNodes_;
+    int numRows_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_TOPOLOGY_BUTTERFLY_H

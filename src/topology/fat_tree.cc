@@ -1,0 +1,110 @@
+#include "topology/fat_tree.h"
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+FatTree::FatTree(std::int64_t num_nodes, int c, int p, int u1,
+                 int u2)
+    : numNodes_(num_nodes), c_(c), p_(p), u1_(u1), u2_(u2)
+{
+    FBFLY_ASSERT(c >= 1 && p >= 1 && u1 >= 1 && u2 >= 1,
+                 "fat tree parameters must be positive");
+    FBFLY_ASSERT(num_nodes % (static_cast<std::int64_t>(c) * p) == 0,
+                 "node count must be a multiple of c * p");
+    numLeaves_ = static_cast<int>(num_nodes / c);
+    numPods_ = numLeaves_ / p_;
+    FBFLY_ASSERT(numPods_ >= 2, "fat tree needs >= 2 pods "
+                 "(use FoldedClos for 2-level networks)");
+}
+
+std::string
+FatTree::name() const
+{
+    return "fat-tree(c=" + std::to_string(c_) +
+           ",p=" + std::to_string(p_) + ",u1=" + std::to_string(u1_) +
+           ",u2=" + std::to_string(u2_) + ")";
+}
+
+FatTree::Level
+FatTree::levelOf(RouterId r) const
+{
+    if (r < numLeaves_)
+        return Level::Leaf;
+    if (r < numLeaves_ + numPods_ * u1_)
+        return Level::Middle;
+    return Level::Top;
+}
+
+int
+FatTree::numPorts(RouterId r) const
+{
+    switch (levelOf(r)) {
+      case Level::Leaf:
+        return c_ + u1_;
+      case Level::Middle:
+        return p_ + u2_;
+      case Level::Top:
+        return numPods_ * u1_;
+    }
+    return 0;
+}
+
+std::vector<Topology::Arc>
+FatTree::arcs() const
+{
+    std::vector<Arc> out;
+    // Leaf <-> pod middles.
+    for (RouterId leaf = 0; leaf < numLeaves_; ++leaf) {
+        const int pod = podOfLeaf(leaf);
+        const int leaf_in_pod = leaf % p_;
+        for (int i = 0; i < u1_; ++i) {
+            const RouterId mid = middleId(pod, i);
+            out.push_back({leaf, leafUplinkPort(i), mid,
+                           middleDownPort(leaf_in_pod)});
+            out.push_back({mid, middleDownPort(leaf_in_pod), leaf,
+                           leafUplinkPort(i)});
+        }
+    }
+    // Pod middles <-> tops.
+    for (int pod = 0; pod < numPods_; ++pod) {
+        for (int i = 0; i < u1_; ++i) {
+            const RouterId mid = middleId(pod, i);
+            for (int j = 0; j < u2_; ++j) {
+                const RouterId top = topId(j);
+                out.push_back({mid, middleUplinkPort(j), top,
+                               topDownPort(pod, i)});
+                out.push_back({top, topDownPort(pod, i), mid,
+                               middleUplinkPort(j)});
+            }
+        }
+    }
+    return out;
+}
+
+RouterId
+FatTree::injectionRouter(NodeId node) const
+{
+    return leafOf(node);
+}
+
+PortId
+FatTree::injectionPort(NodeId node) const
+{
+    return node % c_;
+}
+
+RouterId
+FatTree::ejectionRouter(NodeId node) const
+{
+    return leafOf(node);
+}
+
+PortId
+FatTree::ejectionPort(NodeId node) const
+{
+    return node % c_;
+}
+
+} // namespace fbfly

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Three-level folded Clos (fat tree).
+ *
+ * The configuration the paper's Clos needs beyond 1K nodes ("a
+ * 3-stage folded-Clos"), organized BlackWidow-style: leaves carry
+ * terminals and uplink into per-pod middle routers; pod middles
+ * uplink into a top stage that spans all pods.
+ *
+ *  - leaves:   L = N/c, grouped into pods of p leaves;
+ *  - middles:  u1 per pod, each connecting once to every leaf of its
+ *              pod (down degree p) and carrying u2 uplinks;
+ *  - tops:     u2 routers, each connecting once to every middle of
+ *              every pod (down degree pods * u1).
+ *
+ * Taper u1/c at the first level and u2/p... at the second controls
+ * the bisection, mirroring the 2-level FoldedClos class.
+ *
+ * Router ids: leaves [0, L), middles [L, L + pods*u1), tops after
+ * that.  Leaf ports: 0..c-1 terminals, c+i = uplink to pod middle i.
+ * Middle ports: 0..p-1 down to pod leaves, p+j = uplink to top j.
+ * Top ports: one per (pod, middle) pair, index pod*u1 + middle.
+ */
+
+#ifndef FBFLY_TOPOLOGY_FAT_TREE_H
+#define FBFLY_TOPOLOGY_FAT_TREE_H
+
+#include "topology/topology.h"
+
+namespace fbfly
+{
+
+/**
+ * Three-level tapered fat tree.
+ */
+class FatTree : public Topology
+{
+  public:
+    /**
+     * @param num_nodes terminals (multiple of c * p).
+     * @param c terminals per leaf.
+     * @param p leaves per pod.
+     * @param u1 uplinks per leaf == middles per pod.
+     * @param u2 uplinks per middle == number of top routers.
+     */
+    FatTree(std::int64_t num_nodes, int c, int p, int u1, int u2);
+
+    /** @name Topology interface @{ */
+    std::string name() const override;
+    std::int64_t numNodes() const override { return numNodes_; }
+    int numRouters() const override
+    {
+        return numLeaves_ + numPods_ * u1_ + u2_;
+    }
+    int numPorts(RouterId r) const override;
+    std::vector<Arc> arcs() const override;
+    RouterId injectionRouter(NodeId node) const override;
+    PortId injectionPort(NodeId node) const override;
+    RouterId ejectionRouter(NodeId node) const override;
+    PortId ejectionPort(NodeId node) const override;
+    /** @} */
+
+    /** @name Structure @{ */
+    int c() const { return c_; }
+    int p() const { return p_; }
+    int u1() const { return u1_; }
+    int u2() const { return u2_; }
+    int numLeaves() const { return numLeaves_; }
+    int numPods() const { return numPods_; }
+
+    enum class Level { Leaf, Middle, Top };
+    Level levelOf(RouterId r) const;
+
+    RouterId leafOf(NodeId node) const { return node / c_; }
+    int podOfLeaf(RouterId leaf) const { return leaf / p_; }
+    int podOfMiddle(RouterId middle) const
+    {
+        return (middle - numLeaves_) / u1_;
+    }
+    /** Index of a middle within its pod. */
+    int middleIndex(RouterId middle) const
+    {
+        return (middle - numLeaves_) % u1_;
+    }
+    RouterId middleId(int pod, int index) const
+    {
+        return numLeaves_ + pod * u1_ + index;
+    }
+    RouterId topId(int index) const
+    {
+        return numLeaves_ + numPods_ * u1_ + index;
+    }
+
+    /** Leaf port of uplink @p i. */
+    PortId leafUplinkPort(int i) const { return c_ + i; }
+    /** Middle port down to the pod-local leaf @p leaf_in_pod. */
+    PortId middleDownPort(int leaf_in_pod) const
+    {
+        return leaf_in_pod;
+    }
+    /** Middle port of uplink @p j. */
+    PortId middleUplinkPort(int j) const { return p_ + j; }
+    /** Top port down to (pod, middle-index). */
+    PortId topDownPort(int pod, int middle_index) const
+    {
+        return pod * u1_ + middle_index;
+    }
+    /** @} */
+
+  private:
+    std::int64_t numNodes_;
+    int c_;
+    int p_;
+    int u1_;
+    int u2_;
+    int numLeaves_;
+    int numPods_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_TOPOLOGY_FAT_TREE_H

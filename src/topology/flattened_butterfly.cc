@@ -1,0 +1,182 @@
+#include "topology/flattened_butterfly.h"
+
+#include "common/log.h"
+#include "common/radix.h"
+
+namespace fbfly
+{
+
+FlattenedButterfly::FlattenedButterfly(int k, int n) : k_(k), n_(n)
+{
+    FBFLY_ASSERT(k >= 2, "flattened butterfly requires k >= 2");
+    FBFLY_ASSERT(n >= 2, "flattened butterfly requires n >= 2 "
+                 "(n' >= 1 dimension)");
+    numNodes_ = ipow(k, n);
+    numRouters_ = static_cast<int>(ipow(k, n - 1));
+    FBFLY_ASSERT(k <= 127, "digit table uses int8 digits");
+
+    digits_.resize(static_cast<std::size_t>(numRouters_) * (n - 1));
+    for (RouterId r = 0; r < numRouters_; ++r) {
+        std::int64_t v = r;
+        for (int d = 0; d < n - 1; ++d) {
+            digits_[static_cast<std::size_t>(r) * (n - 1) + d] =
+                static_cast<std::int8_t>(v % k);
+            v /= k;
+        }
+    }
+}
+
+std::string
+FlattenedButterfly::name() const
+{
+    return std::to_string(k_) + "-ary " + std::to_string(n_) + "-flat";
+}
+
+int
+FlattenedButterfly::numPorts(RouterId) const
+{
+    // k terminal ports + (k-1) ports in each of n-1 dimensions
+    // == radix k' = n(k-1)+1.
+    return radix();
+}
+
+std::vector<Topology::Arc>
+FlattenedButterfly::arcs() const
+{
+    std::vector<Arc> out;
+    out.reserve(static_cast<std::size_t>(numRouters_) * numDims() *
+                (k_ - 1));
+    for (RouterId r = 0; r < numRouters_; ++r) {
+        for (int d = 1; d <= numDims(); ++d) {
+            const int mine = routerDigit(r, d);
+            for (int m = 0; m < k_; ++m) {
+                if (m == mine)
+                    continue;
+                const RouterId j = neighbor(r, d, m);
+                out.push_back({r, portToward(r, d, m),
+                               j, portToward(j, d, mine)});
+            }
+        }
+    }
+    return out;
+}
+
+RouterId
+FlattenedButterfly::injectionRouter(NodeId node) const
+{
+    return routerOf(node);
+}
+
+PortId
+FlattenedButterfly::injectionPort(NodeId node) const
+{
+    return terminalPort(node);
+}
+
+RouterId
+FlattenedButterfly::ejectionRouter(NodeId node) const
+{
+    return routerOf(node);
+}
+
+PortId
+FlattenedButterfly::ejectionPort(NodeId node) const
+{
+    return terminalPort(node);
+}
+
+RouterId
+FlattenedButterfly::routerOf(NodeId node) const
+{
+    FBFLY_ASSERT(node >= 0 && node < numNodes_, "node id range");
+    return node / k_;
+}
+
+RouterId
+FlattenedButterfly::neighbor(RouterId r, int dim, int value) const
+{
+    // Equation (1) of the paper: j = i + [m - digit_d(i)] k^(d-1).
+    return static_cast<RouterId>(setDigit(r, dim - 1, k_, value));
+}
+
+PortId
+FlattenedButterfly::portToward(RouterId r, int dim, int value) const
+{
+    const int mine = routerDigit(r, dim);
+    FBFLY_ASSERT(value != mine && value >= 0 && value < k_,
+                 "portToward: value ", value, " invalid for digit ",
+                 mine);
+    const int base = k_ + (dim - 1) * (k_ - 1);
+    const int idx = value < mine ? value : value - 1;
+    return base + idx;
+}
+
+PortId
+FlattenedButterfly::terminalPort(NodeId node) const
+{
+    return node % k_;
+}
+
+int
+FlattenedButterfly::minimalHops(RouterId a, RouterId b) const
+{
+    const std::int8_t *da =
+        &digits_[static_cast<std::size_t>(a) * (n_ - 1)];
+    const std::int8_t *db =
+        &digits_[static_cast<std::size_t>(b) * (n_ - 1)];
+    int hops = 0;
+    for (int d = 0; d < n_ - 1; ++d)
+        hops += da[d] != db[d] ? 1 : 0;
+    return hops;
+}
+
+int
+FlattenedButterfly::highestDiffDim(RouterId a, RouterId b) const
+{
+    const std::int8_t *da =
+        &digits_[static_cast<std::size_t>(a) * (n_ - 1)];
+    const std::int8_t *db =
+        &digits_[static_cast<std::size_t>(b) * (n_ - 1)];
+    for (int d = n_ - 2; d >= 0; --d) {
+        if (da[d] != db[d])
+            return d + 1;
+    }
+    return 0;
+}
+
+std::int64_t
+FlattenedButterfly::maxNodes(int k_prime, int n_prime)
+{
+    // Invert k' = n(k-1)+1 with n = n'+1: the largest feasible base k
+    // is 1 + (k'-1)/n.
+    const int n = n_prime + 1;
+    const int k = 1 + (k_prime - 1) / n;
+    if (k < 2)
+        return 0;
+    return ipow(k, n);
+}
+
+int
+FlattenedButterfly::minDimsForRadix(int router_radix, std::int64_t n,
+                                    int max_dims)
+{
+    // Section 5.1.2: smallest n' with floor(k/(n'+1))^(n'+1) >= N.
+    for (int np = 1; np <= max_dims; ++np) {
+        const std::int64_t base = router_radix / (np + 1);
+        if (base < 2)
+            break;
+        if (ipow(base, np + 1) >= n)
+            return np;
+    }
+    return -1;
+}
+
+int
+FlattenedButterfly::effectiveRadix(int router_radix, int n_prime)
+{
+    // Section 5.1.2: k' = (floor(k/(n'+1)) - 1)(n'+1) + 1.
+    const int base = router_radix / (n_prime + 1);
+    return (base - 1) * (n_prime + 1) + 1;
+}
+
+} // namespace fbfly

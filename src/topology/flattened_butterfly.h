@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The flattened butterfly topology (paper Section 2).
+ *
+ * A k-ary n-flat is derived from a k-ary n-fly by flattening the
+ * routers of each row into one: N = k^n nodes are served by N/k
+ * routers of radix k' = n(k-1)+1, connected in n' = n-1 dimensions.
+ * In each dimension every group of k routers is completely connected
+ * (Equation 1 of the paper).
+ *
+ * Addressing: a node has an n-digit radix-k address; digit 0 selects
+ * the terminal port on its router and digits 1..n-1 form the (n-1)-
+ * digit router address.  An inter-router hop in dimension d
+ * (1 <= d <= n') changes router digit d-1 (= node digit d).
+ */
+
+#ifndef FBFLY_TOPOLOGY_FLATTENED_BUTTERFLY_H
+#define FBFLY_TOPOLOGY_FLATTENED_BUTTERFLY_H
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace fbfly
+{
+
+/**
+ * k-ary n-flat flattened butterfly.
+ */
+class FlattenedButterfly : public Topology
+{
+  public:
+    /**
+     * @param k digits base == terminals per router.
+     * @param n digits per node address (n >= 2); dimensions n' = n-1.
+     */
+    FlattenedButterfly(int k, int n);
+
+    /** @name Topology interface @{ */
+    std::string name() const override;
+    std::int64_t numNodes() const override { return numNodes_; }
+    int numRouters() const override { return numRouters_; }
+    int numPorts(RouterId r) const override;
+    std::vector<Arc> arcs() const override;
+    RouterId injectionRouter(NodeId node) const override;
+    PortId injectionPort(NodeId node) const override;
+    RouterId ejectionRouter(NodeId node) const override;
+    PortId ejectionPort(NodeId node) const override;
+    /** @} */
+
+    /** @name Flattened-butterfly parameters @{ */
+    int k() const { return k_; }
+    int n() const { return n_; }
+    /** Number of inter-router dimensions, n' = n-1. */
+    int numDims() const { return n_ - 1; }
+    /** Router radix k' = n(k-1)+1 (terminals + inter-router ports). */
+    int radix() const { return n_ * (k_ - 1) + 1; }
+    /** @} */
+
+    /** @name Coordinate math used by routing algorithms @{ */
+
+    /** Router serving a node. */
+    RouterId routerOf(NodeId node) const;
+
+    /** Digit of router @p r in dimension @p dim (1..n'). */
+    int
+    routerDigit(RouterId r, int dim) const
+    {
+        return digits_[static_cast<std::size_t>(r) * (n_ - 1) +
+                       (dim - 1)];
+    }
+
+    /** Router reached from @p r by setting dimension @p dim to
+     *  @p value. */
+    RouterId neighbor(RouterId r, int dim, int value) const;
+
+    /**
+     * Output port on @p r for the channel toward @p value in
+     * dimension @p dim.  @p value must differ from r's own digit.
+     */
+    PortId portToward(RouterId r, int dim, int value) const;
+
+    /** Terminal port on routerOf(node) serving @p node. */
+    PortId terminalPort(NodeId node) const;
+
+    /** Minimal inter-router hops between routers @p a and @p b. */
+    int minimalHops(RouterId a, RouterId b) const;
+
+    /** Highest dimension in which @p a and @p b differ (0 if equal).
+     *  In the folded-Clos analogy this is the level of the closest
+     *  common ancestor, which bounds the CLOS AD intermediate set. */
+    int highestDiffDim(RouterId a, RouterId b) const;
+
+    /** @} */
+
+    /** @name Static scaling formulas (paper Figure 2 / Section 5.1.2)
+     *  @{ */
+
+    /** Nodes reachable with radix k' and n' dimensions: the largest
+     *  N = k^(n'+1) with k' >= n(k-1)+1, or 0 if even k=2 is
+     *  infeasible. */
+    static std::int64_t maxNodes(int k_prime, int n_prime);
+
+    /** Smallest n' such that radix-k routers scale to >= N nodes
+     *  (Section 5.1.2), or -1 if none exists up to @p max_dims. */
+    static int minDimsForRadix(int router_radix, std::int64_t n,
+                               int max_dims = 16);
+
+    /** Effective radix k' used when building with radix-k routers and
+     *  n' dimensions (Section 5.1.2). */
+    static int effectiveRadix(int router_radix, int n_prime);
+
+    /** @} */
+
+  private:
+    int k_;
+    int n_;
+    std::int64_t numNodes_;
+    int numRouters_;
+    /** Precomputed router digits, [r * (n-1) + (dim-1)] — digit
+     *  queries are on the routing hot path. */
+    std::vector<std::int8_t> digits_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_TOPOLOGY_FLATTENED_BUTTERFLY_H

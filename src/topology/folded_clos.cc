@@ -1,0 +1,70 @@
+#include "topology/folded_clos.h"
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+FoldedClos::FoldedClos(std::int64_t num_nodes, int c, int u)
+    : numNodes_(num_nodes), c_(c), u_(u)
+{
+    FBFLY_ASSERT(c >= 1 && u >= 1, "folded Clos needs c,u >= 1");
+    FBFLY_ASSERT(num_nodes % c == 0,
+                 "node count must be a multiple of c");
+    numLeaves_ = static_cast<int>(num_nodes / c);
+    FBFLY_ASSERT(numLeaves_ >= 2, "folded Clos needs >= 2 leaves");
+}
+
+std::string
+FoldedClos::name() const
+{
+    return "folded-Clos(c=" + std::to_string(c_) +
+           ",u=" + std::to_string(u_) + ")";
+}
+
+int
+FoldedClos::numPorts(RouterId r) const
+{
+    return isLeaf(r) ? c_ + u_ : numLeaves_;
+}
+
+std::vector<Topology::Arc>
+FoldedClos::arcs() const
+{
+    std::vector<Arc> out;
+    out.reserve(static_cast<std::size_t>(numLeaves_) * u_ * 2);
+    for (RouterId l = 0; l < numLeaves_; ++l) {
+        for (int i = 0; i < u_; ++i) {
+            const RouterId m = numLeaves_ + i;
+            out.push_back({l, uplinkPort(i), m, downPort(l)});
+            out.push_back({m, downPort(l), l, uplinkPort(i)});
+        }
+    }
+    return out;
+}
+
+RouterId
+FoldedClos::injectionRouter(NodeId node) const
+{
+    return leafOf(node);
+}
+
+PortId
+FoldedClos::injectionPort(NodeId node) const
+{
+    return node % c_;
+}
+
+RouterId
+FoldedClos::ejectionRouter(NodeId node) const
+{
+    return leafOf(node);
+}
+
+PortId
+FoldedClos::ejectionPort(NodeId node) const
+{
+    return node % c_;
+}
+
+} // namespace fbfly

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Two-level folded Clos (fat tree).
+ *
+ * Leaf routers carry c terminals and u uplinks; each of the u middle
+ * routers connects once to every leaf.  With u < c the network is
+ * tapered: the paper's Figure 6 comparison holds bisection bandwidth
+ * constant across topologies, which gives the folded Clos a 2:1 taper
+ * (u = c/2) and hence 50% uniform-random throughput — the folded Clos
+ * "uses 1/2 of the bandwidth for load-balancing to the middle
+ * stages".  With u = c the network is non-blocking (the configuration
+ * the Section 4 cost comparison charges the Clos for).
+ *
+ * Router ids: leaves 0..L-1 then middles L..L+u-1.  Leaf ports:
+ * 0..c-1 terminals, c+i = uplink to middle i.  Middle ports: port l
+ * connects down to leaf l.
+ */
+
+#ifndef FBFLY_TOPOLOGY_FOLDED_CLOS_H
+#define FBFLY_TOPOLOGY_FOLDED_CLOS_H
+
+#include "topology/topology.h"
+
+namespace fbfly
+{
+
+/**
+ * Two-level folded-Clos network.
+ */
+class FoldedClos : public Topology
+{
+  public:
+    /**
+     * @param num_nodes total terminals (must be a multiple of c).
+     * @param c terminals per leaf router.
+     * @param u uplinks per leaf == number of middle routers.
+     */
+    FoldedClos(std::int64_t num_nodes, int c, int u);
+
+    /** @name Topology interface @{ */
+    std::string name() const override;
+    std::int64_t numNodes() const override { return numNodes_; }
+    int numRouters() const override { return numLeaves_ + u_; }
+    int numPorts(RouterId r) const override;
+    std::vector<Arc> arcs() const override;
+    RouterId injectionRouter(NodeId node) const override;
+    PortId injectionPort(NodeId node) const override;
+    RouterId ejectionRouter(NodeId node) const override;
+    PortId ejectionPort(NodeId node) const override;
+    /** @} */
+
+    /** @name Structure @{ */
+    int c() const { return c_; }
+    int u() const { return u_; }
+    int numLeaves() const { return numLeaves_; }
+    bool isLeaf(RouterId r) const { return r < numLeaves_; }
+    RouterId leafOf(NodeId node) const { return node / c_; }
+    /** Uplink port on a leaf toward middle @p i. */
+    PortId uplinkPort(int i) const { return c_ + i; }
+    /** Down port on a middle toward leaf @p l. */
+    PortId downPort(RouterId leaf) const { return leaf; }
+    /** @} */
+
+  private:
+    std::int64_t numNodes_;
+    int c_;
+    int u_;
+    int numLeaves_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_TOPOLOGY_FOLDED_CLOS_H

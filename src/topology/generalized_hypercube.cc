@@ -1,0 +1,97 @@
+#include "topology/generalized_hypercube.h"
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+GeneralizedHypercube::GeneralizedHypercube(std::vector<int> radices)
+    : radices_(std::move(radices))
+{
+    FBFLY_ASSERT(!radices_.empty(), "GHC needs >= 1 dimension");
+    numNodes_ = 1;
+    strides_.resize(radices_.size());
+    portBase_.resize(radices_.size());
+    int base = 1; // port 0 is the terminal
+    for (std::size_t i = 0; i < radices_.size(); ++i) {
+        FBFLY_ASSERT(radices_[i] >= 2, "GHC radix >= 2 per dimension");
+        strides_[i] = numNodes_;
+        numNodes_ *= radices_[i];
+        portBase_[i] = base;
+        base += radices_[i] - 1;
+    }
+    totalPorts_ = base;
+}
+
+std::string
+GeneralizedHypercube::name() const
+{
+    std::string s = "GHC(";
+    for (std::size_t i = 0; i < radices_.size(); ++i) {
+        if (i)
+            s += ",";
+        s += std::to_string(radices_[i]);
+    }
+    return s + ")";
+}
+
+int
+GeneralizedHypercube::numPorts(RouterId) const
+{
+    return totalPorts_;
+}
+
+std::vector<Topology::Arc>
+GeneralizedHypercube::arcs() const
+{
+    std::vector<Arc> out;
+    for (RouterId r = 0; r < numNodes_; ++r) {
+        for (int d = 0; d < numDims(); ++d) {
+            const int mine = routerDigit(r, d);
+            for (int m = 0; m < radices_[d]; ++m) {
+                if (m == mine)
+                    continue;
+                const RouterId j = neighbor(r, d, m);
+                out.push_back({r, portToward(r, d, m),
+                               j, portToward(j, d, mine)});
+            }
+        }
+    }
+    return out;
+}
+
+int
+GeneralizedHypercube::routerDigit(RouterId r, int dim) const
+{
+    return static_cast<int>((r / strides_[dim]) % radices_[dim]);
+}
+
+RouterId
+GeneralizedHypercube::neighbor(RouterId r, int dim, int value) const
+{
+    const int mine = routerDigit(r, dim);
+    return r + static_cast<RouterId>((value - mine) * strides_[dim]);
+}
+
+PortId
+GeneralizedHypercube::portToward(RouterId r, int dim, int value) const
+{
+    const int mine = routerDigit(r, dim);
+    FBFLY_ASSERT(value != mine && value >= 0 && value < radices_[dim],
+                 "GHC portToward bad value");
+    const int idx = value < mine ? value : value - 1;
+    return portBase_[dim] + idx;
+}
+
+int
+GeneralizedHypercube::minimalHops(RouterId a, RouterId b) const
+{
+    int hops = 0;
+    for (int d = 0; d < numDims(); ++d) {
+        if (routerDigit(a, d) != routerDigit(b, d))
+            ++hops;
+    }
+    return hops;
+}
+
+} // namespace fbfly

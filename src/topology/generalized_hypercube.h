@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Generalized hypercube (Bhuyan & Agrawal), paper Section 2.3.
+ *
+ * A mixed-radix k-ary n-cube whose rings are replaced by complete
+ * connections: in dimension i every group of k_i routers is fully
+ * connected.  Exactly one terminal attaches to each router — the
+ * paper's (8,8,16) GHC serves 1K nodes with 1024 routers, which is
+ * what makes it a factor of k more expensive than the concentrated
+ * flattened butterfly.
+ *
+ * Port layout: port 0 is the terminal; dimension i (0-based) owns
+ * ports base_i .. base_i + k_i - 2, where base_0 = 1.
+ */
+
+#ifndef FBFLY_TOPOLOGY_GENERALIZED_HYPERCUBE_H
+#define FBFLY_TOPOLOGY_GENERALIZED_HYPERCUBE_H
+
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace fbfly
+{
+
+/**
+ * Mixed-radix generalized hypercube.
+ */
+class GeneralizedHypercube : public Topology
+{
+  public:
+    /** @param radices per-dimension group sizes, e.g. {8, 8, 16}. */
+    explicit GeneralizedHypercube(std::vector<int> radices);
+
+    /** @name Topology interface @{ */
+    std::string name() const override;
+    std::int64_t numNodes() const override { return numNodes_; }
+    int numRouters() const override
+    {
+        return static_cast<int>(numNodes_);
+    }
+    int numPorts(RouterId r) const override;
+    std::vector<Arc> arcs() const override;
+    RouterId injectionRouter(NodeId node) const override { return node; }
+    PortId injectionPort(NodeId) const override { return 0; }
+    RouterId ejectionRouter(NodeId node) const override { return node; }
+    PortId ejectionPort(NodeId) const override { return 0; }
+    /** @} */
+
+    /** @name Structure @{ */
+    int numDims() const { return static_cast<int>(radices_.size()); }
+    int radixOf(int dim) const { return radices_[dim]; }
+
+    /** Mixed-radix digit of router @p r in dimension @p dim. */
+    int routerDigit(RouterId r, int dim) const;
+
+    /** Router reached by setting dimension @p dim to @p value. */
+    RouterId neighbor(RouterId r, int dim, int value) const;
+
+    /** Port toward @p value in @p dim (value != own digit). */
+    PortId portToward(RouterId r, int dim, int value) const;
+
+    /** Minimal inter-router hops between two routers. */
+    int minimalHops(RouterId a, RouterId b) const;
+    /** @} */
+
+  private:
+    std::vector<int> radices_;
+    std::vector<std::int64_t> strides_; // dim i stride in router ids
+    std::vector<int> portBase_;
+    std::int64_t numNodes_;
+    int totalPorts_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_TOPOLOGY_GENERALIZED_HYPERCUBE_H

@@ -1,0 +1,39 @@
+#include "topology/hypercube.h"
+
+#include "common/log.h"
+#include "common/radix.h"
+
+namespace fbfly
+{
+
+Hypercube::Hypercube(int dims) : dims_(dims)
+{
+    FBFLY_ASSERT(dims >= 1 && dims <= 30, "hypercube dims range");
+    numNodes_ = std::int64_t{1} << dims;
+}
+
+std::string
+Hypercube::name() const
+{
+    return std::to_string(dims_) + "-cube";
+}
+
+int
+Hypercube::numPorts(RouterId) const
+{
+    return dims_ + 1; // dims links + 1 terminal
+}
+
+std::vector<Topology::Arc>
+Hypercube::arcs() const
+{
+    std::vector<Arc> out;
+    out.reserve(static_cast<std::size_t>(numNodes_) * dims_);
+    for (RouterId r = 0; r < numNodes_; ++r) {
+        for (int d = 0; d < dims_; ++d)
+            out.push_back({r, d, neighbor(r, d), d});
+    }
+    return out;
+}
+
+} // namespace fbfly

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Binary hypercube.
+ *
+ * 2^n routers with one terminal each; port d (0 <= d < n) connects
+ * router r to r XOR 2^d; port n is the terminal.  Used as a
+ * comparison topology in paper Section 3.3 (a 10-dimensional
+ * hypercube for N = 1024, with half-bandwidth channels so bisection
+ * bandwidth matches the flattened butterfly) and in the Section 4
+ * cost model.
+ */
+
+#ifndef FBFLY_TOPOLOGY_HYPERCUBE_H
+#define FBFLY_TOPOLOGY_HYPERCUBE_H
+
+#include "topology/topology.h"
+
+namespace fbfly
+{
+
+/**
+ * n-dimensional binary hypercube, one terminal per router.
+ */
+class Hypercube : public Topology
+{
+  public:
+    /** @param dims number of dimensions (N = 2^dims nodes). */
+    explicit Hypercube(int dims);
+
+    /** @name Topology interface @{ */
+    std::string name() const override;
+    std::int64_t numNodes() const override { return numNodes_; }
+    int numRouters() const override
+    {
+        return static_cast<int>(numNodes_);
+    }
+    int numPorts(RouterId r) const override;
+    std::vector<Arc> arcs() const override;
+    RouterId injectionRouter(NodeId node) const override { return node; }
+    PortId injectionPort(NodeId) const override { return dims_; }
+    RouterId ejectionRouter(NodeId node) const override { return node; }
+    PortId ejectionPort(NodeId) const override { return dims_; }
+    /** @} */
+
+    /** @name Structure @{ */
+    int dims() const { return dims_; }
+    RouterId neighbor(RouterId r, int d) const { return r ^ (1 << d); }
+    /** @} */
+
+  private:
+    int dims_;
+    std::int64_t numNodes_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_TOPOLOGY_HYPERCUBE_H

@@ -1,0 +1,8 @@
+#include "topology/topology.h"
+
+namespace fbfly
+{
+
+Topology::~Topology() = default;
+
+} // namespace fbfly

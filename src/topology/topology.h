@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Topology interface.
+ *
+ * A Topology describes the static structure of a network: how many
+ * routers, how ports are laid out, which directed channels (arcs)
+ * connect them, and where each terminal attaches.  The Network class
+ * instantiates routers and channels from this description; routing
+ * algorithms are written against the concrete subclasses, which expose
+ * coordinate math (e.g. "the port toward value m in dimension d").
+ */
+
+#ifndef FBFLY_TOPOLOGY_TOPOLOGY_H
+#define FBFLY_TOPOLOGY_TOPOLOGY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fbfly
+{
+
+/**
+ * Static description of a network structure.
+ */
+class Topology
+{
+  public:
+    /** One directed inter-router channel. */
+    struct Arc
+    {
+        RouterId src;
+        PortId srcPort;
+        RouterId dst;
+        PortId dstPort;
+    };
+
+    virtual ~Topology();
+
+    /** Topology name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Number of terminals (processing nodes). */
+    virtual std::int64_t numNodes() const = 0;
+
+    /** Number of routers. */
+    virtual int numRouters() const = 0;
+
+    /** Ports on router @p r (terminal + inter-router + unused). */
+    virtual int numPorts(RouterId r) const = 0;
+
+    /** All directed inter-router channels. */
+    virtual std::vector<Arc> arcs() const = 0;
+
+    /** Router a node injects into. */
+    virtual RouterId injectionRouter(NodeId n) const = 0;
+
+    /** Port (on the injection router) a node injects into. */
+    virtual PortId injectionPort(NodeId n) const = 0;
+
+    /** Router a node ejects from (== injection router unless the
+     *  topology is unidirectional, like the conventional butterfly). */
+    virtual RouterId ejectionRouter(NodeId n) const = 0;
+
+    /** Port (on the ejection router) a node ejects from. */
+    virtual PortId ejectionPort(NodeId n) const = 0;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_TOPOLOGY_TOPOLOGY_H

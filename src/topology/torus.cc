@@ -1,0 +1,75 @@
+#include "topology/torus.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/radix.h"
+
+namespace fbfly
+{
+
+Torus::Torus(int k, int n) : k_(k), n_(n)
+{
+    FBFLY_ASSERT(k >= 2 && n >= 1, "torus requires k >= 2, n >= 1");
+    numNodes_ = ipow(k, n);
+}
+
+std::string
+Torus::name() const
+{
+    return std::to_string(k_) + "-ary " + std::to_string(n_) +
+           "-cube";
+}
+
+int
+Torus::numPorts(RouterId) const
+{
+    return 2 * n_ + 1;
+}
+
+std::vector<Topology::Arc>
+Torus::arcs() const
+{
+    // The "+" output of r meets the "-" input of its successor and
+    // vice versa, giving two unidirectional channels per ring edge.
+    std::vector<Arc> out;
+    out.reserve(static_cast<std::size_t>(numNodes_) * 2 * n_);
+    for (RouterId r = 0; r < numNodes_; ++r) {
+        for (int d = 0; d < n_; ++d) {
+            out.push_back({r, portFor(d, true),
+                           neighbor(r, d, true), portFor(d, false)});
+            out.push_back({r, portFor(d, false),
+                           neighbor(r, d, false),
+                           portFor(d, true)});
+        }
+    }
+    return out;
+}
+
+int
+Torus::routerDigit(RouterId r, int dim) const
+{
+    return digit(r, dim, k_);
+}
+
+RouterId
+Torus::neighbor(RouterId r, int dim, bool plus) const
+{
+    const int mine = routerDigit(r, dim);
+    const int next = plus ? (mine + 1) % k_ : (mine + k_ - 1) % k_;
+    return static_cast<RouterId>(setDigit(r, dim, k_, next));
+}
+
+int
+Torus::minimalHops(RouterId a, RouterId b) const
+{
+    int hops = 0;
+    for (int d = 0; d < n_; ++d) {
+        const int delta =
+            std::abs(routerDigit(a, d) - routerDigit(b, d));
+        hops += std::min(delta, k_ - delta);
+    }
+    return hops;
+}
+
+} // namespace fbfly

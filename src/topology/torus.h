@@ -1,0 +1,82 @@
+/**
+ * @file
+ * k-ary n-cube (torus) topology.
+ *
+ * The low-radix baseline of the paper's introduction: "Over the past
+ * 20 years k-ary n-cubes have been widely used — SGI Origin 2000,
+ * Cray T3E, Cray XT3.  Low-radix networks, such as k-ary n-cubes,
+ * are unable to take full advantage of increased router bandwidth."
+ * Including it lets the library demonstrate that contrast directly:
+ * the generalized hypercube / flattened butterfly replace each
+ * dimension's ring with a complete graph.
+ *
+ * One terminal per router.  Ports: dimension d owns ports 2d (the
+ * "+" direction) and 2d+1 (the "-" direction); port 2n is the
+ * terminal.  For k == 2 the two directions collapse onto the same
+ * neighbor but remain distinct physical channels.
+ */
+
+#ifndef FBFLY_TOPOLOGY_TORUS_H
+#define FBFLY_TOPOLOGY_TORUS_H
+
+#include "topology/topology.h"
+
+namespace fbfly
+{
+
+/**
+ * k-ary n-cube with unidirectional channel pairs per direction.
+ */
+class Torus : public Topology
+{
+  public:
+    /**
+     * @param k ring size per dimension (>= 2).
+     * @param n number of dimensions (N = k^n).
+     */
+    Torus(int k, int n);
+
+    /** @name Topology interface @{ */
+    std::string name() const override;
+    std::int64_t numNodes() const override { return numNodes_; }
+    int numRouters() const override
+    {
+        return static_cast<int>(numNodes_);
+    }
+    int numPorts(RouterId r) const override;
+    std::vector<Arc> arcs() const override;
+    RouterId injectionRouter(NodeId node) const override { return node; }
+    PortId injectionPort(NodeId) const override { return 2 * n_; }
+    RouterId ejectionRouter(NodeId node) const override { return node; }
+    PortId ejectionPort(NodeId) const override { return 2 * n_; }
+    /** @} */
+
+    /** @name Structure @{ */
+    int k() const { return k_; }
+    int n() const { return n_; }
+
+    /** Digit of router @p r in dimension @p dim (0-based). */
+    int routerDigit(RouterId r, int dim) const;
+
+    /** Neighbor in dimension @p dim: @p plus ? +1 : -1 (mod k). */
+    RouterId neighbor(RouterId r, int dim, bool plus) const;
+
+    /** Output port for direction (@p dim, @p plus). */
+    PortId portFor(int dim, bool plus) const
+    {
+        return 2 * dim + (plus ? 0 : 1);
+    }
+
+    /** Minimal hop count (shortest way around each ring). */
+    int minimalHops(RouterId a, RouterId b) const;
+    /** @} */
+
+  private:
+    int k_;
+    int n_;
+    std::int64_t numNodes_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_TOPOLOGY_TORUS_H

@@ -1,0 +1,98 @@
+#include "traffic/injection.h"
+
+#include "common/log.h"
+#include "network/network.h"
+
+namespace fbfly
+{
+
+BernoulliInjection::BernoulliInjection(double offered_load,
+                                       int packet_size,
+                                       std::uint64_t seed)
+    : rate_(offered_load / packet_size), packetSize_(packet_size),
+      rng_(seed)
+{
+    FBFLY_ASSERT(offered_load >= 0.0 && rate_ <= 1.0,
+                 "offered load out of range: ", offered_load);
+}
+
+void
+BernoulliInjection::tick(Network &net, bool measured)
+{
+    const std::int64_t n = net.numNodes();
+    const Cycle now = net.now();
+    for (NodeId node = 0; node < n; ++node) {
+        if (rng_.nextBernoulli(rate_))
+            net.terminal(node).enqueuePacket(now, kInvalid, measured);
+    }
+}
+
+void
+loadBatch(Network &net, int packets_per_node, bool measured)
+{
+    const std::int64_t n = net.numNodes();
+    const Cycle now = net.now();
+    for (NodeId node = 0; node < n; ++node) {
+        for (int i = 0; i < packets_per_node; ++i)
+            net.terminal(node).enqueuePacket(now, kInvalid, measured);
+    }
+}
+
+OnOffInjection::OnOffInjection(double offered_load, double mean_burst,
+                               int packet_size, std::uint64_t seed,
+                               double on_rate)
+    : onRate_(on_rate / packet_size), packetSize_(packet_size),
+      rng_(seed)
+{
+    FBFLY_ASSERT(mean_burst >= 1.0, "mean burst length >= 1");
+    FBFLY_ASSERT(on_rate > 0.0 && on_rate <= 1.0,
+                 "on_rate must be in (0, 1]");
+    const double packet_load = offered_load / packet_size;
+    FBFLY_ASSERT(packet_load <= onRate_ + 1e-12,
+                 "offered load exceeds the on-state rate");
+
+    // Long-run on fraction f satisfies f * onRate = packet_load;
+    // mean burst length B gives pOnToOff = 1/B; balance
+    // f = pOffToOn / (pOffToOn + pOnToOff) yields pOffToOn.
+    const double f = packet_load / onRate_;
+    pOnToOff_ = 1.0 / mean_burst;
+    if (f >= 1.0 - 1e-12) {
+        pOffToOn_ = 1.0;
+        pOnToOff_ = 0.0;
+    } else {
+        pOffToOn_ = pOnToOff_ * f / (1.0 - f);
+        FBFLY_ASSERT(pOffToOn_ <= 1.0,
+                     "burst/load combination infeasible");
+    }
+}
+
+void
+OnOffInjection::tick(Network &net, bool measured)
+{
+    const std::int64_t n = net.numNodes();
+    if (on_.empty())
+        on_.assign(n, 0);
+    const Cycle now = net.now();
+    for (NodeId node = 0; node < n; ++node) {
+        if (on_[node]) {
+            if (rng_.nextBernoulli(pOnToOff_))
+                on_[node] = 0;
+        } else if (rng_.nextBernoulli(pOffToOn_)) {
+            on_[node] = 1;
+        }
+        if (on_[node] && rng_.nextBernoulli(onRate_))
+            net.terminal(node).enqueuePacket(now, kInvalid, measured);
+    }
+}
+
+double
+OnOffInjection::offeredLoad() const
+{
+    const double f =
+        pOnToOff_ + pOffToOn_ > 0.0
+            ? pOffToOn_ / (pOffToOn_ + pOnToOff_)
+            : 1.0;
+    return f * onRate_ * packetSize_;
+}
+
+} // namespace fbfly

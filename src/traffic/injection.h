@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Injection processes.
+ *
+ * The paper injects packets with a Bernoulli process (Section 3.2)
+ * for the open-loop latency/throughput experiments, and delivers
+ * fixed-size batches for the dynamic-response experiment of
+ * Figure 5.
+ */
+
+#ifndef FBFLY_TRAFFIC_INJECTION_H
+#define FBFLY_TRAFFIC_INJECTION_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace fbfly
+{
+
+class Network;
+
+/**
+ * Open-loop Bernoulli packet injection.
+ *
+ * Each cycle, each node independently generates a packet with
+ * probability offered_load / packet_size, so the offered load in
+ * flits/node/cycle equals @p offered_load.
+ */
+class BernoulliInjection
+{
+  public:
+    /**
+     * @param offered_load flits per node per cycle in [0, 1].
+     * @param packet_size  flits per packet.
+     * @param seed         stream seed (independent of network streams).
+     */
+    BernoulliInjection(double offered_load, int packet_size,
+                       std::uint64_t seed);
+
+    /**
+     * Enqueue this cycle's arrivals at every terminal of @p net.
+     *
+     * @param measured whether packets created this cycle belong to
+     *        the measurement sample.
+     */
+    void tick(Network &net, bool measured);
+
+    double offeredLoad() const { return rate_ * packetSize_; }
+
+  private:
+    double rate_; // packets per node per cycle
+    int packetSize_;
+    Rng rng_;
+};
+
+/**
+ * Batch injection: load every node's source queue with a fixed number
+ * of packets at time zero; terminals then drain them as fast as flow
+ * control allows (Figure 5).
+ */
+void loadBatch(Network &net, int packets_per_node, bool measured);
+
+/**
+ * Two-state Markov-modulated (on/off) bursty injection.
+ *
+ * Each node alternates between an "on" state, injecting a packet
+ * every cycle with probability on_rate, and a silent "off" state.
+ * The state transition probabilities are derived from the requested
+ * average offered load and mean burst length, so the long-run load
+ * matches a Bernoulli process of the same rate while arrivals are
+ * clumped — the transient stress that motivates the paper's
+ * sequential-allocator and adaptive-intermediate results.
+ */
+class OnOffInjection
+{
+  public:
+    /**
+     * @param offered_load  average flits per node per cycle.
+     * @param mean_burst    mean "on" period length in cycles (>= 1).
+     * @param packet_size   flits per packet.
+     * @param seed          stream seed.
+     * @param on_rate       injection probability while "on"
+     *                      (default 1.0: saturated bursts).
+     */
+    OnOffInjection(double offered_load, double mean_burst,
+                   int packet_size, std::uint64_t seed,
+                   double on_rate = 1.0);
+
+    /** Enqueue this cycle's arrivals at every terminal of @p net. */
+    void tick(Network &net, bool measured);
+
+    double offeredLoad() const;
+
+  private:
+    double onRate_;   // packets/cycle while on
+    double pOnToOff_; // on -> off transition probability
+    double pOffToOn_; // off -> on transition probability
+    int packetSize_;
+    Rng rng_;
+    std::vector<char> on_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_TRAFFIC_INJECTION_H

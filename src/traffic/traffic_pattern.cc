@@ -1,0 +1,164 @@
+#include "traffic/traffic_pattern.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::int64_t x)
+{
+    return x > 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+TrafficPattern::TrafficPattern(std::int64_t num_nodes)
+    : numNodes_(num_nodes)
+{
+    FBFLY_ASSERT(num_nodes >= 2, "traffic needs at least two nodes");
+}
+
+TrafficPattern::~TrafficPattern() = default;
+
+UniformRandom::UniformRandom(std::int64_t num_nodes)
+    : TrafficPattern(num_nodes)
+{
+}
+
+NodeId
+UniformRandom::dest(NodeId src, Rng &rng) const
+{
+    // Uniform over the other N-1 nodes.
+    const auto draw = static_cast<NodeId>(
+        rng.nextBounded(static_cast<std::uint64_t>(numNodes_ - 1)));
+    return draw >= src ? draw + 1 : draw;
+}
+
+AdversarialNeighbor::AdversarialNeighbor(std::int64_t num_nodes,
+                                         int group_size,
+                                         int group_offset)
+    : TrafficPattern(num_nodes), groupSize_(group_size),
+      groupOffset_(group_offset)
+{
+    FBFLY_ASSERT(group_size >= 1 && num_nodes % group_size == 0,
+                 "group size must divide node count");
+    const std::int64_t groups = num_nodes / group_size;
+    FBFLY_ASSERT(group_offset % groups != 0,
+                 "group offset must move traffic off-router");
+}
+
+NodeId
+AdversarialNeighbor::dest(NodeId src, Rng &rng) const
+{
+    const std::int64_t groups = numNodes_ / groupSize_;
+    const std::int64_t g = (src / groupSize_ + groupOffset_) % groups;
+    const auto within = static_cast<std::int64_t>(
+        rng.nextBounded(static_cast<std::uint64_t>(groupSize_)));
+    return static_cast<NodeId>(g * groupSize_ + within);
+}
+
+BitComplement::BitComplement(std::int64_t num_nodes)
+    : TrafficPattern(num_nodes)
+{
+    FBFLY_ASSERT(isPowerOfTwo(num_nodes),
+                 "bit-complement requires a power-of-two node count");
+}
+
+NodeId
+BitComplement::dest(NodeId src, Rng &) const
+{
+    return static_cast<NodeId>((numNodes_ - 1) ^ src);
+}
+
+Transpose::Transpose(std::int64_t num_nodes)
+    : TrafficPattern(num_nodes)
+{
+    FBFLY_ASSERT(isPowerOfTwo(num_nodes),
+                 "transpose requires a power-of-two node count");
+    bits_ = 0;
+    while ((std::int64_t{1} << bits_) < num_nodes)
+        ++bits_;
+    FBFLY_ASSERT(bits_ % 2 == 0,
+                 "transpose requires an even number of address bits");
+}
+
+NodeId
+Transpose::dest(NodeId src, Rng &) const
+{
+    const int half = bits_ / 2;
+    const std::int64_t lo = src & ((std::int64_t{1} << half) - 1);
+    const std::int64_t hi = src >> half;
+    return static_cast<NodeId>((lo << half) | hi);
+}
+
+GroupTornado::GroupTornado(std::int64_t num_nodes, int group_size)
+    : TrafficPattern(num_nodes), groupSize_(group_size)
+{
+    FBFLY_ASSERT(group_size >= 1 && num_nodes % group_size == 0,
+                 "group size must divide node count");
+    FBFLY_ASSERT(num_nodes / group_size >= 2, "need >= 2 groups");
+}
+
+NodeId
+GroupTornado::dest(NodeId src, Rng &rng) const
+{
+    const std::int64_t groups = numNodes_ / groupSize_;
+    const std::int64_t g = (src / groupSize_ + groups / 2) % groups;
+    const auto within = static_cast<std::int64_t>(
+        rng.nextBounded(static_cast<std::uint64_t>(groupSize_)));
+    return static_cast<NodeId>(g * groupSize_ + within);
+}
+
+Hotspot::Hotspot(std::int64_t num_nodes, std::vector<NodeId> hot,
+                 double fraction)
+    : TrafficPattern(num_nodes), hot_(std::move(hot)),
+      fraction_(fraction)
+{
+    FBFLY_ASSERT(!hot_.empty(), "hotspot needs >= 1 hot node");
+    FBFLY_ASSERT(fraction >= 0.0 && fraction <= 1.0,
+                 "hot fraction in [0,1]");
+    for (const NodeId h : hot_)
+        FBFLY_ASSERT(h >= 0 && h < num_nodes, "hot node range");
+}
+
+NodeId
+Hotspot::dest(NodeId src, Rng &rng) const
+{
+    if (rng.nextBernoulli(fraction_)) {
+        const NodeId h = hot_[rng.nextBounded(hot_.size())];
+        if (h != src)
+            return h;
+    }
+    const auto draw = static_cast<NodeId>(
+        rng.nextBounded(static_cast<std::uint64_t>(numNodes_ - 1)));
+    return draw >= src ? draw + 1 : draw;
+}
+
+RandomPermutation::RandomPermutation(std::int64_t num_nodes,
+                                     std::uint64_t seed)
+    : TrafficPattern(num_nodes), perm_(num_nodes)
+{
+    std::iota(perm_.begin(), perm_.end(), 0);
+    Rng rng(seed);
+    // Fisher-Yates shuffle with the deterministic stream.
+    for (std::int64_t i = num_nodes - 1; i > 0; --i) {
+        const auto j = static_cast<std::int64_t>(
+            rng.nextBounded(static_cast<std::uint64_t>(i + 1)));
+        std::swap(perm_[i], perm_[j]);
+    }
+}
+
+NodeId
+RandomPermutation::dest(NodeId src, Rng &) const
+{
+    return perm_[src];
+}
+
+} // namespace fbfly

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Synthetic traffic patterns (paper Section 3.2).
+ *
+ * A TrafficPattern maps a source node to a destination node, possibly
+ * using randomness.  Destinations are drawn when a packet is injected;
+ * for the patterns used in the paper (uniform random and the
+ * adversarial adjacent-router pattern) this is statistically identical
+ * to drawing at creation time and keeps source queues O(1) per packet.
+ */
+
+#ifndef FBFLY_TRAFFIC_TRAFFIC_PATTERN_H
+#define FBFLY_TRAFFIC_TRAFFIC_PATTERN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace fbfly
+{
+
+/**
+ * Abstract source -> destination map.
+ */
+class TrafficPattern
+{
+  public:
+    explicit TrafficPattern(std::int64_t num_nodes);
+    virtual ~TrafficPattern();
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Destination for a packet from @p src.
+     *
+     * @param rng the source terminal's private stream.
+     */
+    virtual NodeId dest(NodeId src, Rng &rng) const = 0;
+
+    std::int64_t numNodes() const { return numNodes_; }
+
+  protected:
+    std::int64_t numNodes_;
+};
+
+/**
+ * Uniform random traffic over all nodes other than the source — the
+ * benign pattern of Figure 4(a).
+ */
+class UniformRandom : public TrafficPattern
+{
+  public:
+    explicit UniformRandom(std::int64_t num_nodes);
+    std::string name() const override { return "uniform-random"; }
+    NodeId dest(NodeId src, Rng &rng) const override;
+};
+
+/**
+ * The paper's worst-case pattern: each node attached to router R_i
+ * sends to a randomly selected node attached to router R_{i+1}
+ * (Section 3.2).  With minimal routing all of a router's injected
+ * traffic then contends for one inter-router channel.
+ *
+ * @p group_size is the number of terminals per router (k for a
+ * flattened butterfly); groups wrap around.
+ */
+class AdversarialNeighbor : public TrafficPattern
+{
+  public:
+    AdversarialNeighbor(std::int64_t num_nodes, int group_size,
+                        int group_offset = 1);
+    std::string name() const override { return "adversarial-neighbor"; }
+    NodeId dest(NodeId src, Rng &rng) const override;
+
+  private:
+    int groupSize_;
+    int groupOffset_;
+};
+
+/**
+ * Bit-complement permutation: dst = ~src (mod N); N must be a power
+ * of two.
+ */
+class BitComplement : public TrafficPattern
+{
+  public:
+    explicit BitComplement(std::int64_t num_nodes);
+    std::string name() const override { return "bit-complement"; }
+    NodeId dest(NodeId src, Rng &rng) const override;
+};
+
+/**
+ * Transpose permutation: the address (b bits, b even) is rotated by
+ * b/2, swapping the high and low halves; N must be an even power of
+ * two.
+ */
+class Transpose : public TrafficPattern
+{
+  public:
+    explicit Transpose(std::int64_t num_nodes);
+    std::string name() const override { return "transpose"; }
+    NodeId dest(NodeId src, Rng &rng) const override;
+
+  private:
+    int bits_;
+};
+
+/**
+ * Group tornado: traffic from the nodes of router group g goes to a
+ * random node of group (g + G/2) mod G — an adversarial pattern at
+ * maximal group distance.
+ */
+class GroupTornado : public TrafficPattern
+{
+  public:
+    GroupTornado(std::int64_t num_nodes, int group_size);
+    std::string name() const override { return "group-tornado"; }
+    NodeId dest(NodeId src, Rng &rng) const override;
+
+  private:
+    int groupSize_;
+};
+
+/**
+ * Hotspot traffic: with probability @p fraction the destination is
+ * one of a few fixed hot nodes (uniformly among them); otherwise
+ * uniform random.  Models the many-to-few contention that adaptive
+ * routing cannot fix (the hot ejection link itself saturates), a
+ * useful contrast to the channel-imbalance patterns it can.
+ */
+class Hotspot : public TrafficPattern
+{
+  public:
+    /**
+     * @param hot     the hot destinations (non-empty).
+     * @param fraction probability of targeting a hot node, in [0,1].
+     */
+    Hotspot(std::int64_t num_nodes, std::vector<NodeId> hot,
+            double fraction);
+    std::string name() const override { return "hotspot"; }
+    NodeId dest(NodeId src, Rng &rng) const override;
+
+  private:
+    std::vector<NodeId> hot_;
+    double fraction_;
+};
+
+/**
+ * A fixed random permutation of the nodes, drawn once from a seed.
+ */
+class RandomPermutation : public TrafficPattern
+{
+  public:
+    RandomPermutation(std::int64_t num_nodes, std::uint64_t seed);
+    std::string name() const override { return "random-permutation"; }
+    NodeId dest(NodeId src, Rng &rng) const override;
+
+  private:
+    std::vector<NodeId> perm_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_TRAFFIC_TRAFFIC_PATTERN_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the VC buffer (network/buffer.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/buffer.h"
+
+namespace fbfly
+{
+namespace
+{
+
+Flit
+makeFlit(FlitId id)
+{
+    Flit f;
+    f.id = id;
+    return f;
+}
+
+TEST(VcBuffer, StartsEmpty)
+{
+    VcBuffer buf(4);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_FALSE(buf.full());
+    EXPECT_EQ(buf.size(), 0);
+    EXPECT_EQ(buf.depth(), 4);
+}
+
+TEST(VcBuffer, PushPopFifo)
+{
+    VcBuffer buf(4);
+    buf.push(makeFlit(1));
+    buf.push(makeFlit(2));
+    EXPECT_EQ(buf.size(), 2);
+    EXPECT_EQ(buf.front().id, 1u);
+    EXPECT_EQ(buf.pop().id, 1u);
+    EXPECT_EQ(buf.pop().id, 2u);
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(VcBuffer, FullAtDepth)
+{
+    VcBuffer buf(2);
+    buf.push(makeFlit(1));
+    EXPECT_FALSE(buf.full());
+    buf.push(makeFlit(2));
+    EXPECT_TRUE(buf.full());
+}
+
+TEST(VcBuffer, EraseAtMiddle)
+{
+    VcBuffer buf(8);
+    for (FlitId i = 0; i < 5; ++i)
+        buf.push(makeFlit(i));
+    EXPECT_EQ(buf.eraseAt(2).id, 2u);
+    EXPECT_EQ(buf.size(), 4);
+    EXPECT_EQ(buf.at(0).id, 0u);
+    EXPECT_EQ(buf.at(1).id, 1u);
+    EXPECT_EQ(buf.at(2).id, 3u);
+    EXPECT_EQ(buf.at(3).id, 4u);
+}
+
+TEST(VcBuffer, EraseAtFrontEqualsPop)
+{
+    VcBuffer buf(4);
+    buf.push(makeFlit(7));
+    buf.push(makeFlit(8));
+    EXPECT_EQ(buf.eraseAt(0).id, 7u);
+    EXPECT_EQ(buf.front().id, 8u);
+}
+
+TEST(VcBuffer, MutableAtAllowsRouting)
+{
+    VcBuffer buf(4);
+    buf.push(makeFlit(1));
+    buf.at(0).routed = true;
+    buf.at(0).outPort = 3;
+    EXPECT_TRUE(buf.front().routed);
+    EXPECT_EQ(buf.front().outPort, 3);
+}
+
+TEST(VcBufferDeath, OverflowPanics)
+{
+    VcBuffer buf(1);
+    buf.push(makeFlit(1));
+    EXPECT_DEATH(buf.push(makeFlit(2)), "full VC buffer");
+}
+
+TEST(VcBufferDeath, PopEmptyPanics)
+{
+    VcBuffer buf(1);
+    EXPECT_DEATH(buf.pop(), "empty VC buffer");
+}
+
+} // namespace
+} // namespace fbfly

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the conventional butterfly (k-ary n-fly): stage wiring,
+ * destination-tag routing reachability, and the unique-path property
+ * (no path diversity — Section 2 of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/radix.h"
+#include "topology/butterfly.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(Butterfly, PaperConfiguration)
+{
+    // Figure 6's conventional butterfly: 2 stages of radix-32
+    // routers for 1024 nodes.
+    Butterfly topo(32, 2);
+    EXPECT_EQ(topo.numNodes(), 1024);
+    EXPECT_EQ(topo.numRows(), 32);
+    EXPECT_EQ(topo.numRouters(), 64);
+}
+
+TEST(Butterfly, StageAndRowDecomposition)
+{
+    Butterfly topo(2, 4);
+    EXPECT_EQ(topo.numRouters(), 4 * 8);
+    EXPECT_EQ(topo.stageOf(0), 0);
+    EXPECT_EQ(topo.rowOf(0), 0);
+    EXPECT_EQ(topo.stageOf(8), 1);
+    EXPECT_EQ(topo.rowOf(8), 0);
+    EXPECT_EQ(topo.stageOf(31), 3);
+    EXPECT_EQ(topo.rowOf(31), 7);
+}
+
+TEST(Butterfly, ArcCount)
+{
+    // (n-1) wiring columns of N channels each.
+    Butterfly topo(2, 4);
+    EXPECT_EQ(topo.arcs().size(), 3u * 16);
+    Butterfly big(32, 2);
+    EXPECT_EQ(big.arcs().size(), 1024u);
+}
+
+TEST(Butterfly, ArcsAreFeedForwardAndBijective)
+{
+    Butterfly topo(4, 3);
+    std::map<std::pair<int, int>, int> out_use;
+    std::map<std::pair<int, int>, int> in_use;
+    for (const auto &a : topo.arcs()) {
+        EXPECT_EQ(topo.stageOf(a.dst), topo.stageOf(a.src) + 1);
+        // Outputs are ports k..2k-1, inputs 0..k-1.
+        EXPECT_GE(a.srcPort, topo.k());
+        EXPECT_LT(a.srcPort, 2 * topo.k());
+        EXPECT_GE(a.dstPort, 0);
+        EXPECT_LT(a.dstPort, topo.k());
+        ++out_use[{a.src, a.srcPort}];
+        ++in_use[{a.dst, a.dstPort}];
+    }
+    for (const auto &[key, count] : out_use)
+        EXPECT_EQ(count, 1);
+    for (const auto &[key, count] : in_use)
+        EXPECT_EQ(count, 1);
+}
+
+/** Walk destination-tag routing through the wiring tables and check
+ *  it reaches the destination's ejection router, for every pair. */
+TEST(Butterfly, DestinationTagRoutingReachesEveryPair)
+{
+    Butterfly topo(2, 4);
+    // Build output-port -> next-router maps from the arcs.
+    std::map<std::pair<int, int>, RouterId> wire;
+    for (const auto &a : topo.arcs())
+        wire[{a.src, a.srcPort}] = a.dst;
+
+    for (NodeId src = 0; src < topo.numNodes(); ++src) {
+        for (NodeId dst = 0; dst < topo.numNodes(); ++dst) {
+            RouterId r = topo.injectionRouter(src);
+            for (int s = 0; s + 1 < topo.n(); ++s) {
+                const PortId p = topo.outputPortFor(s, dst);
+                ASSERT_TRUE(wire.count({r, p}));
+                r = wire[{r, p}];
+            }
+            EXPECT_EQ(r, topo.ejectionRouter(dst))
+                << src << " -> " << dst;
+            EXPECT_EQ(topo.outputPortFor(topo.n() - 1, dst),
+                      topo.ejectionPort(dst));
+        }
+    }
+}
+
+TEST(Butterfly, NoPathDiversity)
+{
+    // The output port at every stage is a function of the
+    // destination only: exactly one path per (src, dst) pair.
+    Butterfly topo(4, 2);
+    for (NodeId dst = 0; dst < topo.numNodes(); ++dst) {
+        for (int s = 0; s < topo.n(); ++s) {
+            const PortId p = topo.outputPortFor(s, dst);
+            EXPECT_GE(p, topo.k());
+            EXPECT_LT(p, 2 * topo.k());
+        }
+    }
+}
+
+TEST(Butterfly, InjectionEjectionDisjointRouters)
+{
+    Butterfly topo(4, 2);
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        EXPECT_EQ(topo.stageOf(topo.injectionRouter(n)), 0);
+        EXPECT_EQ(topo.stageOf(topo.ejectionRouter(n)),
+                  topo.n() - 1);
+        EXPECT_LT(topo.injectionPort(n), topo.k());
+        EXPECT_GE(topo.ejectionPort(n), topo.k());
+    }
+}
+
+/** Flattening correspondence: collapsing the rows of a k-ary n-fly
+ *  yields the k-ary n-flat's channels (paper Section 2.1). */
+TEST(Butterfly, FlatteningEliminatesIntraRowChannels)
+{
+    Butterfly topo(4, 2);
+    int intra_row = 0;
+    int inter_row = 0;
+    for (const auto &a : topo.arcs()) {
+        if (topo.rowOf(a.src) == topo.rowOf(a.dst))
+            ++intra_row;
+        else
+            ++inter_row;
+    }
+    // k-ary 2-fly: each router has one channel to its own row
+    // (eliminated by flattening) and k-1 to other rows (kept):
+    // kept channels = rows * (k-1) = the n-flat's arc count.
+    EXPECT_EQ(intra_row, topo.numRows());
+    EXPECT_EQ(inter_row, topo.numRows() * (topo.k() - 1));
+}
+
+} // namespace
+} // namespace fbfly

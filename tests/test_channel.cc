@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the channel model (network/channel.h): latency,
+ * bandwidth (period), FIFO order, and the credit lane.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/channel.h"
+
+namespace fbfly
+{
+namespace
+{
+
+Flit
+makeFlit(FlitId id)
+{
+    Flit f;
+    f.id = id;
+    f.head = f.tail = true;
+    return f;
+}
+
+TEST(Channel, DeliversAfterLatency)
+{
+    Channel ch(3, 1);
+    ch.sendFlit(makeFlit(1), 10);
+    EXPECT_FALSE(ch.receiveFlit(11).has_value());
+    EXPECT_FALSE(ch.receiveFlit(12).has_value());
+    const auto f = ch.receiveFlit(13);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->id, 1u);
+}
+
+TEST(Channel, FifoOrder)
+{
+    Channel ch(1, 1);
+    ch.sendFlit(makeFlit(1), 0);
+    ch.sendFlit(makeFlit(2), 1);
+    ch.sendFlit(makeFlit(3), 2);
+    EXPECT_EQ(ch.receiveFlit(5)->id, 1u);
+    EXPECT_EQ(ch.receiveFlit(5)->id, 2u);
+    EXPECT_EQ(ch.receiveFlit(5)->id, 3u);
+    EXPECT_FALSE(ch.receiveFlit(5).has_value());
+}
+
+TEST(Channel, BandwidthOneFlitPerCycle)
+{
+    Channel ch(1, 1);
+    EXPECT_TRUE(ch.canSendFlit(0));
+    ch.sendFlit(makeFlit(1), 0);
+    EXPECT_FALSE(ch.canSendFlit(0));
+    EXPECT_TRUE(ch.canSendFlit(1));
+}
+
+TEST(Channel, HalfBandwidthPeriodTwo)
+{
+    // The Figure 6 hypercube uses period-2 channels.
+    Channel ch(1, 2);
+    ch.sendFlit(makeFlit(1), 0);
+    EXPECT_FALSE(ch.canSendFlit(1));
+    EXPECT_TRUE(ch.canSendFlit(2));
+    ch.sendFlit(makeFlit(2), 2);
+    EXPECT_FALSE(ch.canSendFlit(3));
+}
+
+TEST(Channel, PipelinedDespiteLatency)
+{
+    // Latency does not reduce throughput: one flit can enter every
+    // cycle even with a long pipe.
+    Channel ch(5, 1);
+    for (Cycle t = 0; t < 10; ++t) {
+        EXPECT_TRUE(ch.canSendFlit(t));
+        ch.sendFlit(makeFlit(t), t);
+    }
+    int received = 0;
+    for (Cycle t = 5; t < 15; ++t) {
+        while (ch.receiveFlit(t).has_value())
+            ++received;
+    }
+    EXPECT_EQ(received, 10);
+}
+
+TEST(Channel, CreditLaneLatencyAndOrder)
+{
+    Channel ch(2, 1);
+    ch.sendCredit(0, 0);
+    ch.sendCredit(1, 0);
+    EXPECT_FALSE(ch.receiveCredit(1).has_value());
+    EXPECT_EQ(ch.receiveCredit(2).value(), 0);
+    EXPECT_EQ(ch.receiveCredit(2).value(), 1);
+    EXPECT_FALSE(ch.receiveCredit(2).has_value());
+}
+
+TEST(Channel, CreditsUnlimitedBandwidth)
+{
+    Channel ch(1, 1);
+    for (int i = 0; i < 8; ++i)
+        ch.sendCredit(i % 2, 0);
+    int got = 0;
+    while (ch.receiveCredit(1).has_value())
+        ++got;
+    EXPECT_EQ(got, 8);
+}
+
+TEST(Channel, FlitsInFlightTracking)
+{
+    Channel ch(4, 1);
+    EXPECT_EQ(ch.flitsInFlight(), 0);
+    ch.sendFlit(makeFlit(1), 0);
+    ch.sendFlit(makeFlit(2), 1);
+    EXPECT_EQ(ch.flitsInFlight(), 2);
+    (void)ch.receiveFlit(4);
+    EXPECT_EQ(ch.flitsInFlight(), 1);
+}
+
+} // namespace
+} // namespace fbfly

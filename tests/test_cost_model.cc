@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the Table 2 / Figure 7 cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(CostModel, Table2Defaults)
+{
+    CostModel cm;
+    EXPECT_DOUBLE_EQ(cm.routerChipCost, 90.0);
+    EXPECT_DOUBLE_EQ(cm.routerDevelopmentCost, 300.0);
+    EXPECT_DOUBLE_EQ(cm.backplanePerSignal, 1.95);
+    EXPECT_DOUBLE_EQ(cm.cableOverheadPerSignal, 3.72);
+    EXPECT_DOUBLE_EQ(cm.cablePerSignalMeter, 0.81);
+    EXPECT_DOUBLE_EQ(cm.opticalPerSignal, 220.0);
+}
+
+TEST(CostModel, NearbyCableMatchesPaperFigure)
+{
+    // "a cable connecting nearby routers (within 2m) is about $5.34
+    // per signal"
+    CostModel cm;
+    EXPECT_NEAR(cm.electricalSignalCost(2.0), 5.34, 1e-9);
+}
+
+TEST(CostModel, LinearBelowCriticalLength)
+{
+    CostModel cm;
+    for (double len = 0.0; len <= 6.0; len += 0.5) {
+        EXPECT_NEAR(cm.electricalSignalCost(len),
+                    3.72 + 0.81 * len, 1e-9);
+    }
+}
+
+TEST(CostModel, RepeaterStepAtCriticalLength)
+{
+    // Figure 7(b): a step of roughly one connector overhead at 6m.
+    CostModel cm;
+    const double just_under = cm.electricalSignalCost(6.0);
+    const double just_over = cm.electricalSignalCost(6.01);
+    EXPECT_NEAR(just_over - just_under,
+                cm.cableOverheadPerSignal, 0.1);
+}
+
+TEST(CostModel, RepeatersAccumulate)
+{
+    CostModel cm;
+    // 13m needs ceil(13/6)-1 = 2 repeaters.
+    EXPECT_NEAR(cm.electricalSignalCost(13.0),
+                3.72 + 0.81 * 13.0 + 2 * 3.72, 1e-9);
+    // 18m: exactly 3 segments -> 2 repeaters.
+    EXPECT_NEAR(cm.electricalSignalCost(18.0),
+                3.72 + 0.81 * 18.0 + 2 * 3.72, 1e-9);
+}
+
+TEST(CostModel, CostIsMonotonicInLength)
+{
+    CostModel cm;
+    double prev = 0.0;
+    for (double len = 0.5; len <= 30.0; len += 0.5) {
+        const double c = cm.electricalSignalCost(len);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST(CostModel, SignalCostDispatch)
+{
+    CostModel cm;
+    EXPECT_DOUBLE_EQ(cm.signalCost(LinkLocale::Backplane, 0.5),
+                     1.95);
+    EXPECT_NEAR(cm.signalCost(LinkLocale::LocalCable, 2.0), 5.34,
+                1e-9);
+    EXPECT_NEAR(cm.signalCost(LinkLocale::GlobalCable, 4.0),
+                3.72 + 0.81 * 4.0, 1e-9);
+}
+
+TEST(CostModel, OpticalCrossoverIsFarBeyondMachineScale)
+{
+    CostModel cm;
+    const double crossover = cm.opticalCrossoverLength();
+    // Electrical must be cheaper just below, optical at/above.
+    EXPECT_LT(cm.electricalSignalCost(crossover - 2.0),
+              cm.opticalPerSignal);
+    EXPECT_GE(cm.electricalSignalCost(crossover),
+              cm.opticalPerSignal);
+    // Far past the ~30 m edge of even a 64K-node floor.
+    EXPECT_GT(crossover, 100.0);
+    EXPECT_LT(crossover, 300.0);
+}
+
+TEST(CostModel, RouterCostScalesWithPins)
+{
+    CostModel cm;
+    // Full radix-64 router: dev + full chip.
+    EXPECT_NEAR(cm.routerCost(cm.baselineRouterSignals()),
+                390.0, 1e-9);
+    // Half the pins: dev + half the silicon — the hypercube
+    // adjustment of Section 4.3.
+    EXPECT_NEAR(cm.routerCost(cm.baselineRouterSignals() / 2),
+                300.0 + 45.0, 1e-9);
+    // Development cost is a floor.
+    EXPECT_NEAR(cm.routerCost(0.0), 300.0, 1e-9);
+}
+
+} // namespace
+} // namespace fbfly

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the experiment harness (open-loop load points, sweeps,
+ * batch runs) — the Section 3.2 methodology.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "routing/min_adaptive.h"
+#include "routing/valiant.h"
+#include "topology/flattened_butterfly.h"
+#include "traffic/traffic_pattern.h"
+
+namespace fbfly
+{
+namespace
+{
+
+struct Fixture
+{
+    Fixture() : topo(8, 2), algo(topo), pattern(topo.numNodes())
+    {
+        expcfg.warmupCycles = 300;
+        expcfg.measureCycles = 400;
+        expcfg.drainCycles = 1500;
+    }
+    FlattenedButterfly topo;
+    MinAdaptive algo;
+    UniformRandom pattern;
+    NetworkConfig netcfg;
+    ExperimentConfig expcfg;
+};
+
+TEST(Experiment, AcceptedTracksOfferedBelowSaturation)
+{
+    Fixture f;
+    for (const double load : {0.1, 0.3, 0.5, 0.7}) {
+        const auto r = runLoadPoint(f.topo, f.algo, f.pattern,
+                                    f.netcfg, f.expcfg, load);
+        EXPECT_FALSE(r.saturated) << load;
+        EXPECT_NEAR(r.accepted, load, 0.05) << load;
+        EXPECT_GT(r.measuredPackets, 0u);
+    }
+}
+
+TEST(Experiment, LatencyIncreasesWithLoad)
+{
+    Fixture f;
+    const auto lo = runLoadPoint(f.topo, f.algo, f.pattern, f.netcfg,
+                                 f.expcfg, 0.1);
+    const auto hi = runLoadPoint(f.topo, f.algo, f.pattern, f.netcfg,
+                                 f.expcfg, 0.9);
+    EXPECT_GT(hi.avgLatency, lo.avgLatency);
+    EXPECT_GE(lo.p99Latency, lo.avgLatency - 1.0);
+}
+
+TEST(Experiment, SaturationDetectedBeyondCapacity)
+{
+    // An adversarial pattern limits MIN AD to 1/k: a 0.9 offered
+    // load cannot drain within the bound.
+    FlattenedButterfly topo(8, 2);
+    MinAdaptive algo(topo);
+    AdversarialNeighbor wc(topo.numNodes(), topo.k());
+    ExperimentConfig expcfg;
+    expcfg.warmupCycles = 200;
+    expcfg.measureCycles = 200;
+    expcfg.drainCycles = 400;
+    NetworkConfig netcfg;
+    const auto r =
+        runLoadPoint(topo, algo, wc, netcfg, expcfg, 0.9);
+    EXPECT_TRUE(r.saturated);
+    EXPECT_LT(r.accepted, 0.25);
+}
+
+TEST(Experiment, SweepPreservesOrder)
+{
+    Fixture f;
+    const std::vector<double> loads{0.1, 0.2, 0.3};
+    const auto rs = runLoadSweep(f.topo, f.algo, f.pattern, f.netcfg,
+                                 f.expcfg, loads);
+    ASSERT_EQ(rs.size(), loads.size());
+    for (std::size_t i = 0; i < loads.size(); ++i)
+        EXPECT_EQ(rs[i].offered, loads[i]);
+}
+
+TEST(Experiment, DeterministicForEqualSeeds)
+{
+    Fixture f;
+    const auto a = runLoadPoint(f.topo, f.algo, f.pattern, f.netcfg,
+                                f.expcfg, 0.4);
+    const auto b = runLoadPoint(f.topo, f.algo, f.pattern, f.netcfg,
+                                f.expcfg, 0.4);
+    EXPECT_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.measuredPackets, b.measuredPackets);
+
+    ExperimentConfig other = f.expcfg;
+    other.seed = 999;
+    const auto c = runLoadPoint(f.topo, f.algo, f.pattern, f.netcfg,
+                                other, 0.4);
+    EXPECT_NE(a.avgLatency, c.avgLatency);
+}
+
+TEST(Experiment, SaturationThroughputMatchesCapacity)
+{
+    Fixture f;
+    const double t = measureSaturationThroughput(
+        f.topo, f.algo, f.pattern, f.netcfg, f.expcfg);
+    EXPECT_GT(t, 0.85);
+    EXPECT_LE(t, 1.0 + 1e-9);
+}
+
+TEST(Batch, CompletesAndNormalizes)
+{
+    FlattenedButterfly topo(8, 2);
+    Valiant algo(topo);
+    UniformRandom pattern(topo.numNodes());
+    NetworkConfig netcfg;
+    const auto r = runBatch(topo, algo, pattern, netcfg, 7, 10);
+    EXPECT_EQ(r.batchSize, 10);
+    EXPECT_GT(r.completionTime, 10u);
+    EXPECT_NEAR(r.normalizedLatency,
+                static_cast<double>(r.completionTime) / 10, 1e-12);
+}
+
+TEST(Batch, LargerBatchesAmortizeTransients)
+{
+    FlattenedButterfly topo(8, 2);
+    Valiant algo(topo);
+    AdversarialNeighbor wc(topo.numNodes(), topo.k());
+    NetworkConfig netcfg;
+    const auto small = runBatch(topo, algo, wc, netcfg, 7, 1);
+    const auto large = runBatch(topo, algo, wc, netcfg, 7, 200);
+    EXPECT_GT(small.normalizedLatency, large.normalizedLatency);
+    // Large batches approach 1/throughput ~ 2.0 for VAL at 50%.
+    EXPECT_NEAR(large.normalizedLatency, 2.0, 0.5);
+}
+
+} // namespace
+} // namespace fbfly

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the string-driven factories behind fbflysim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/factory.h"
+#include "topology/flattened_butterfly.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(Factory, BuildsFbflyWithEveryRouting)
+{
+    for (const char *routing : {"dor", "minad", "val", "ugal",
+                                "ugals", "closad", "default"}) {
+        const auto b = makeNetworkBundle("fbfly-8-2", routing);
+        EXPECT_EQ(b.topology->numNodes(), 64) << routing;
+        EXPECT_EQ(b.terminalsPerRouter, 8) << routing;
+        EXPECT_GE(b.routing->numVcs(), 1) << routing;
+    }
+}
+
+TEST(Factory, DefaultFbflyRoutingIsClosAd)
+{
+    const auto b = makeNetworkBundle("fbfly-8-2", "default");
+    EXPECT_EQ(b.routing->name(), "CLOS AD");
+}
+
+TEST(Factory, BuildsEveryTopologyKind)
+{
+    struct Case
+    {
+        const char *spec;
+        std::int64_t nodes;
+    };
+    const Case cases[] = {
+        {"fbfly-4-3", 64},      {"butterfly-4-2", 16},
+        {"clos-64-8-4", 64},    {"fattree-128-8-4-4-4", 128},
+        {"hypercube-5", 32},    {"torus-4-2", 16},
+        {"ghc-4x4", 16},
+    };
+    for (const auto &c : cases) {
+        const auto b = makeNetworkBundle(c.spec, "default");
+        EXPECT_EQ(b.topology->numNodes(), c.nodes) << c.spec;
+        EXPECT_NE(b.routing, nullptr) << c.spec;
+    }
+}
+
+TEST(Factory, HypercubeDefaultsToHalfBandwidth)
+{
+    const auto b = makeNetworkBundle("hypercube-4", "default");
+    EXPECT_EQ(b.channelPeriod, 2u);
+    const auto f = makeNetworkBundle("fbfly-4-2", "default");
+    EXPECT_EQ(f.channelPeriod, 1u);
+}
+
+TEST(Factory, BuildsEveryTrafficPattern)
+{
+    for (const char *name : {"uniform", "adversarial", "tornado",
+                             "transpose", "bitcomp", "randperm"}) {
+        const auto p = makeTraffic(name, 64, 8);
+        ASSERT_NE(p, nullptr) << name;
+        Rng rng(1);
+        const NodeId d = p->dest(0, rng);
+        EXPECT_GE(d, 0) << name;
+        EXPECT_LT(d, 64) << name;
+    }
+}
+
+TEST(FactoryDeath, RejectsUnknownTopology)
+{
+    EXPECT_EXIT(makeNetworkBundle("mesh-4-4", "default"),
+                ::testing::ExitedWithCode(1), "unknown topology");
+}
+
+TEST(FactoryDeath, RejectsWrongArgumentCount)
+{
+    EXPECT_EXIT(makeNetworkBundle("fbfly-8", "default"),
+                ::testing::ExitedWithCode(1), "expects");
+}
+
+TEST(FactoryDeath, RejectsBadRouting)
+{
+    EXPECT_EXIT(makeNetworkBundle("hypercube-4", "closad"),
+                ::testing::ExitedWithCode(1), "ecube");
+}
+
+TEST(FactoryDeath, RejectsMalformedSizes)
+{
+    EXPECT_EXIT(makeNetworkBundle("fbfly-8-zzz", "default"),
+                ::testing::ExitedWithCode(1), "bad");
+}
+
+TEST(FactoryDeath, RejectsUnknownTraffic)
+{
+    EXPECT_EXIT(makeTraffic("hotspot", 64, 8),
+                ::testing::ExitedWithCode(1), "unknown traffic");
+}
+
+} // namespace
+} // namespace fbfly

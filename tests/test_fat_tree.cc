@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the three-level folded Clos (fat tree) and its adaptive
+ * routing — the paper's "3-stage" Clos configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harness/experiment.h"
+#include "network/network.h"
+#include "routing/fat_tree_adaptive.h"
+#include "topology/fat_tree.h"
+#include "traffic/injection.h"
+#include "traffic/traffic_pattern.h"
+
+namespace fbfly
+{
+namespace
+{
+
+// Untapered 128-node tree: 16 leaves of 8 terminals, 4 pods of 4
+// leaves, u1 = c = 8 middles/pod, u2 = p = 4 tops — full bandwidth
+// at both levels.
+FatTree
+smallTree()
+{
+    return FatTree(128, 8, 4, 8, 4);
+}
+
+TEST(FatTree, Structure)
+{
+    const FatTree topo = smallTree();
+    EXPECT_EQ(topo.numNodes(), 128);
+    EXPECT_EQ(topo.numLeaves(), 16);
+    EXPECT_EQ(topo.numPods(), 4);
+    EXPECT_EQ(topo.numRouters(), 16 + 4 * 8 + 4);
+    EXPECT_EQ(topo.levelOf(0), FatTree::Level::Leaf);
+    EXPECT_EQ(topo.levelOf(16), FatTree::Level::Middle);
+    EXPECT_EQ(topo.levelOf(topo.topId(0)), FatTree::Level::Top);
+}
+
+TEST(FatTree, PortCounts)
+{
+    const FatTree topo = smallTree();
+    EXPECT_EQ(topo.numPorts(0), 8 + 8);        // leaf: c + u1
+    EXPECT_EQ(topo.numPorts(16), 4 + 4);       // middle: p + u2
+    EXPECT_EQ(topo.numPorts(topo.topId(0)), 32); // top: pods * u1
+}
+
+TEST(FatTree, WiringBijective)
+{
+    const FatTree topo = smallTree();
+    std::map<std::pair<int, int>, int> out_use;
+    std::map<std::pair<int, int>, int> in_use;
+    for (const auto &a : topo.arcs()) {
+        ++out_use[{a.src, a.srcPort}];
+        ++in_use[{a.dst, a.dstPort}];
+    }
+    for (const auto &[key, n] : out_use)
+        EXPECT_EQ(n, 1) << key.first << ":" << key.second;
+    for (const auto &[key, n] : in_use)
+        EXPECT_EQ(n, 1) << key.first << ":" << key.second;
+    // Arc count: 2 * (leaf-middle + middle-top).
+    EXPECT_EQ(topo.arcs().size(),
+              2u * (16 * 8 + 4 * 8 * 4));
+}
+
+TEST(FatTree, PodMembershipConsistent)
+{
+    const FatTree topo = smallTree();
+    for (const auto &a : topo.arcs()) {
+        if (topo.levelOf(a.src) == FatTree::Level::Leaf) {
+            ASSERT_EQ(topo.levelOf(a.dst), FatTree::Level::Middle);
+            EXPECT_EQ(topo.podOfLeaf(a.src),
+                      topo.podOfMiddle(a.dst));
+        }
+    }
+}
+
+TEST(FatTreeAdaptive, HopCountsByCommonAncestorLevel)
+{
+    const FatTree topo = smallTree();
+    FatTreeAdaptive algo(topo);
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+
+    auto hops = [&](NodeId src, NodeId dst) {
+        Network net(topo, algo, nullptr, cfg);
+        net.terminal(src).enqueuePacket(0, dst, true);
+        while (!net.quiescent())
+            net.step();
+        return net.stats().hops.mean();
+    };
+
+    EXPECT_EQ(hops(0, 7), 1.0);   // same leaf: eject
+    EXPECT_EQ(hops(0, 15), 3.0);  // same pod: leaf-mid-leaf + eject
+    EXPECT_EQ(hops(0, 127), 5.0); // cross pod: through a top router
+}
+
+TEST(FatTreeAdaptive, AllPairsDeliver)
+{
+    const FatTree topo = smallTree();
+    FatTreeAdaptive algo(topo);
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    cfg.vcDepth = 8;
+    Network net(topo, algo, nullptr, cfg);
+    std::uint64_t sent = 0;
+    for (NodeId src = 0; src < 128; src += 3) {
+        for (NodeId dst = 0; dst < 128; dst += 5) {
+            if (src == dst)
+                continue;
+            net.terminal(src).enqueuePacket(net.now(), dst, true);
+            ++sent;
+        }
+        for (int c = 0; c < 60 && !net.quiescent(); ++c)
+            net.step();
+    }
+    for (int c = 0; c < 3000 && !net.quiescent(); ++c)
+        net.step();
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_EQ(net.stats().measuredEjected, sent);
+}
+
+TEST(FatTreeAdaptive, UntaperedDeliversFullUniformThroughput)
+{
+    const FatTree topo = smallTree(); // u1 = c, u1*u2 = p*c: no taper
+    FatTreeAdaptive algo(topo);
+    UniformRandom ur(topo.numNodes());
+    ExperimentConfig e;
+    e.warmupCycles = 400;
+    e.measureCycles = 400;
+    e.drainCycles = 1200;
+    NetworkConfig cfg;
+    const double t =
+        runLoadPoint(topo, algo, ur, cfg, e, 1.0).accepted;
+    EXPECT_GT(t, 0.8);
+}
+
+TEST(FatTreeAdaptive, TaperedVersionCapsProportionally)
+{
+    // 2:1 taper at both levels (u1 = c/2, pod uplink bandwidth
+    // u1*u2 = half the pod's terminals): adversarial (all
+    // cross-pod) traffic caps near 50%.
+    FatTree topo(128, 8, 4, 4, 4);
+    FatTreeAdaptive algo(topo);
+    AdversarialNeighbor wc(topo.numNodes(), 32); // next pod
+    ExperimentConfig e;
+    e.warmupCycles = 400;
+    e.measureCycles = 400;
+    e.drainCycles = 1000;
+    NetworkConfig cfg;
+    const double t =
+        runLoadPoint(topo, algo, wc, cfg, e, 0.9).accepted;
+    EXPECT_GT(t, 0.4);
+    EXPECT_LT(t, 0.62);
+}
+
+TEST(FatTreeDeath, RejectsSinglePod)
+{
+    EXPECT_EXIT(FatTree(32, 8, 4, 4, 4),
+                ::testing::KilledBySignal(SIGABRT), "pods");
+}
+
+} // namespace
+} // namespace fbfly

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the flattened butterfly topology (paper Section 2):
+ * construction, Equation (1) connectivity, port bijections, scaling
+ * formulas (Figure 2, Section 5.1.2), and path-diversity counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/radix.h"
+#include "topology/flattened_butterfly.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(FlattenedButterfly, PaperConfiguration32Ary2Flat)
+{
+    // The paper's simulated network: k'=63, n'=1, N=1024.
+    FlattenedButterfly topo(32, 2);
+    EXPECT_EQ(topo.numNodes(), 1024);
+    EXPECT_EQ(topo.numRouters(), 32);
+    EXPECT_EQ(topo.numDims(), 1);
+    EXPECT_EQ(topo.radix(), 63);
+}
+
+TEST(FlattenedButterfly, Figure1dConnectivity)
+{
+    // 2-ary 4-flat (Figure 1(d)): "R4' is connected to R5' in
+    // dimension 1, R6' in dimension 2, and R0' in dimension 3."
+    FlattenedButterfly topo(2, 4);
+    EXPECT_EQ(topo.numRouters(), 8);
+    EXPECT_EQ(topo.numDims(), 3);
+    EXPECT_EQ(topo.neighbor(4, 1, 1), 5);
+    EXPECT_EQ(topo.neighbor(4, 2, 1), 6);
+    EXPECT_EQ(topo.neighbor(4, 3, 0), 0);
+}
+
+TEST(FlattenedButterfly, Equation1)
+{
+    // j = i + [m - digit_d(i)] * k^(d-1) for every (i, d, m).
+    FlattenedButterfly topo(4, 3);
+    for (RouterId i = 0; i < topo.numRouters(); ++i) {
+        for (int d = 1; d <= topo.numDims(); ++d) {
+            for (int m = 0; m < topo.k(); ++m) {
+                if (m == topo.routerDigit(i, d))
+                    continue;
+                const std::int64_t scale =
+                    d == 1 ? 1 : ipow(topo.k(), d - 1);
+                const RouterId expected =
+                    i + (m - topo.routerDigit(i, d)) * scale;
+                EXPECT_EQ(topo.neighbor(i, d, m), expected);
+            }
+        }
+    }
+}
+
+TEST(FlattenedButterfly, RadixFormula)
+{
+    // k' = n(k-1) + 1 (paper Section 2.1).
+    for (int k = 2; k <= 16; k *= 2) {
+        for (int n = 2; n <= 4; ++n) {
+            FlattenedButterfly topo(k, n);
+            EXPECT_EQ(topo.radix(), n * (k - 1) + 1);
+            EXPECT_EQ(topo.numPorts(0), topo.radix());
+        }
+    }
+}
+
+TEST(FlattenedButterfly, ArcCountMatchesFormula)
+{
+    // Each router has (k-1) channels per dimension.
+    FlattenedButterfly topo(4, 3);
+    const auto arcs = topo.arcs();
+    EXPECT_EQ(static_cast<int>(arcs.size()),
+              topo.numRouters() * topo.numDims() * (topo.k() - 1));
+}
+
+TEST(FlattenedButterfly, PaperLinkCount1K)
+{
+    // "the flattened butterfly requires 31 x 32 = 992 links"
+    FlattenedButterfly topo(32, 2);
+    EXPECT_EQ(topo.arcs().size(), 992u);
+}
+
+TEST(FlattenedButterfly, ArcsAreSymmetric)
+{
+    // Every directed arc has a reverse arc on the same port pair
+    // (bidirectional channels).
+    FlattenedButterfly topo(3, 3);
+    std::set<std::tuple<int, int, int, int>> seen;
+    for (const auto &a : topo.arcs())
+        seen.insert({a.src, a.srcPort, a.dst, a.dstPort});
+    for (const auto &a : topo.arcs()) {
+        EXPECT_TRUE(seen.count({a.dst, a.dstPort, a.src, a.srcPort}))
+            << a.src << ":" << a.srcPort << " -> " << a.dst << ":"
+            << a.dstPort;
+    }
+}
+
+TEST(FlattenedButterfly, PortsAreBijective)
+{
+    // On each router, every inter-router port carries exactly one
+    // outgoing and one incoming arc; terminal ports carry none.
+    FlattenedButterfly topo(4, 3);
+    std::map<std::pair<int, int>, int> out_use;
+    std::map<std::pair<int, int>, int> in_use;
+    for (const auto &a : topo.arcs()) {
+        ++out_use[{a.src, a.srcPort}];
+        ++in_use[{a.dst, a.dstPort}];
+        EXPECT_GE(a.srcPort, topo.k()) << "terminal port misused";
+        EXPECT_GE(a.dstPort, topo.k()) << "terminal port misused";
+        EXPECT_LT(a.srcPort, topo.radix());
+    }
+    for (const auto &[key, count] : out_use)
+        EXPECT_EQ(count, 1);
+    for (const auto &[key, count] : in_use)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(FlattenedButterfly, PortTowardRoundTrips)
+{
+    FlattenedButterfly topo(4, 3);
+    for (RouterId r = 0; r < topo.numRouters(); ++r) {
+        std::set<PortId> used;
+        for (int d = 1; d <= topo.numDims(); ++d) {
+            for (int m = 0; m < topo.k(); ++m) {
+                if (m == topo.routerDigit(r, d))
+                    continue;
+                const PortId p = topo.portToward(r, d, m);
+                EXPECT_TRUE(used.insert(p).second)
+                    << "port reuse on router " << r;
+                EXPECT_GE(p, topo.k());
+                EXPECT_LT(p, topo.radix());
+            }
+        }
+    }
+}
+
+TEST(FlattenedButterfly, TerminalMapping)
+{
+    FlattenedButterfly topo(4, 2);
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        EXPECT_EQ(topo.routerOf(n), n / 4);
+        EXPECT_EQ(topo.terminalPort(n), n % 4);
+        EXPECT_EQ(topo.injectionRouter(n), topo.ejectionRouter(n));
+        EXPECT_EQ(topo.injectionPort(n), topo.ejectionPort(n));
+    }
+}
+
+TEST(FlattenedButterfly, MinimalHopsAndHighestDiffDim)
+{
+    FlattenedButterfly topo(2, 4); // routers are 3-bit addresses
+    EXPECT_EQ(topo.minimalHops(0b000, 0b000), 0);
+    EXPECT_EQ(topo.minimalHops(0b000, 0b101), 2);
+    EXPECT_EQ(topo.minimalHops(0b000, 0b111), 3);
+    EXPECT_EQ(topo.highestDiffDim(0b000, 0b000), 0);
+    EXPECT_EQ(topo.highestDiffDim(0b000, 0b001), 1);
+    EXPECT_EQ(topo.highestDiffDim(0b000, 0b101), 3);
+}
+
+TEST(FlattenedButterfly, MaxNodesMatchesFigure2)
+{
+    // "with k' = 61, a network with just three dimensions scales to
+    // 64K nodes"
+    EXPECT_EQ(FlattenedButterfly::maxNodes(61, 3), 65536);
+    // 32-ary 2-flat: k'=63 reaches 1024 at n'=1.
+    EXPECT_EQ(FlattenedButterfly::maxNodes(63, 1), 1024);
+    // Low-radix routers scale poorly (k' < 16).
+    EXPECT_LT(FlattenedButterfly::maxNodes(15, 2), 256);
+    // Infeasible radix yields no network.
+    EXPECT_EQ(FlattenedButterfly::maxNodes(2, 3), 0);
+}
+
+TEST(FlattenedButterfly, MinDimsForRadixSection512)
+{
+    // "with radix-64 routers, a flattened butterfly with n'=1 only
+    // requires k'=63 to scale to 1K nodes and with n'=3 only
+    // requires k'=61 to scale to 64K nodes"
+    EXPECT_EQ(FlattenedButterfly::minDimsForRadix(64, 1024), 1);
+    EXPECT_EQ(FlattenedButterfly::minDimsForRadix(64, 65536), 3);
+    EXPECT_EQ(FlattenedButterfly::effectiveRadix(64, 1), 63);
+    EXPECT_EQ(FlattenedButterfly::effectiveRadix(64, 3), 61);
+    // 4K fits at n'=2 (21^3 = 9261).
+    EXPECT_EQ(FlattenedButterfly::minDimsForRadix(64, 4096), 2);
+    EXPECT_EQ(FlattenedButterfly::minDimsForRadix(64, 9261), 2);
+    EXPECT_EQ(FlattenedButterfly::minDimsForRadix(64, 9262), 3);
+    // Impossible request.
+    EXPECT_EQ(FlattenedButterfly::minDimsForRadix(4, 1000000), -1);
+}
+
+/** Path diversity (Section 2.2): i differing digits -> i! minimal
+ *  routes.  Verified by explicit enumeration of productive-hop
+ *  orderings on a 3-dimensional network. */
+TEST(FlattenedButterfly, PathDiversityFactorial)
+{
+    FlattenedButterfly topo(2, 4);
+    // Count minimal routes by DFS over productive hops.
+    auto count_routes = [&](RouterId from, RouterId to) {
+        std::function<int(RouterId)> dfs = [&](RouterId cur) -> int {
+            if (cur == to)
+                return 1;
+            int total = 0;
+            for (int d = 1; d <= topo.numDims(); ++d) {
+                const int want = topo.routerDigit(to, d);
+                if (topo.routerDigit(cur, d) != want)
+                    total += dfs(topo.neighbor(cur, d, want));
+            }
+            return total;
+        };
+        return dfs(from);
+    };
+    EXPECT_EQ(count_routes(0b000, 0b001), 1); // 1 digit -> 1!
+    EXPECT_EQ(count_routes(0b000, 0b011), 2); // 2 digits -> 2!
+    EXPECT_EQ(count_routes(0b000, 0b111), 6); // 3 digits -> 3!
+}
+
+/** Parameterized structural sweep over several (k, n). */
+class FbflyStructure
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(FbflyStructure, SizesAndDegreeConsistent)
+{
+    const auto [k, n] = GetParam();
+    FlattenedButterfly topo(k, n);
+    EXPECT_EQ(topo.numNodes(), ipow(k, n));
+    EXPECT_EQ(topo.numRouters(), ipow(k, n - 1));
+    const auto arcs = topo.arcs();
+    // Out-degree is (n-1)(k-1) everywhere.
+    std::vector<int> degree(topo.numRouters(), 0);
+    for (const auto &a : arcs)
+        ++degree[a.src];
+    for (const int d : degree)
+        EXPECT_EQ(d, (n - 1) * (k - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FbflyStructure,
+    ::testing::Values(std::pair{2, 2}, std::pair{2, 4},
+                      std::pair{4, 2}, std::pair{4, 3},
+                      std::pair{8, 2}, std::pair{3, 3}));
+
+} // namespace
+} // namespace fbfly

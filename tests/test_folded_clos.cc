@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the two-level folded Clos / fat tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "topology/folded_clos.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(FoldedClos, PaperConfiguration)
+{
+    // Figure 6's folded Clos: 1024 nodes, 32 terminals and 16
+    // uplinks per leaf (2:1 taper for constant bisection).
+    FoldedClos topo(1024, 32, 16);
+    EXPECT_EQ(topo.numNodes(), 1024);
+    EXPECT_EQ(topo.numLeaves(), 32);
+    EXPECT_EQ(topo.numRouters(), 48);
+    EXPECT_EQ(topo.numPorts(0), 48);   // leaf: 32 + 16
+    EXPECT_EQ(topo.numPorts(32), 32);  // middle: one port per leaf
+}
+
+TEST(FoldedClos, LeafMiddleClassification)
+{
+    FoldedClos topo(64, 8, 4);
+    for (RouterId r = 0; r < topo.numLeaves(); ++r)
+        EXPECT_TRUE(topo.isLeaf(r));
+    for (RouterId r = topo.numLeaves(); r < topo.numRouters(); ++r)
+        EXPECT_FALSE(topo.isLeaf(r));
+}
+
+TEST(FoldedClos, EveryLeafConnectsToEveryMiddleOnce)
+{
+    FoldedClos topo(64, 8, 4);
+    std::map<std::pair<int, int>, int> pair_count;
+    int up = 0;
+    int down = 0;
+    for (const auto &a : topo.arcs()) {
+        if (topo.isLeaf(a.src)) {
+            EXPECT_FALSE(topo.isLeaf(a.dst));
+            ++pair_count[{a.src, a.dst}];
+            ++up;
+        } else {
+            EXPECT_TRUE(topo.isLeaf(a.dst));
+            ++down;
+        }
+    }
+    EXPECT_EQ(up, topo.numLeaves() * topo.u());
+    EXPECT_EQ(down, topo.numLeaves() * topo.u());
+    for (const auto &[key, count] : pair_count)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(FoldedClos, PortLayout)
+{
+    FoldedClos topo(64, 8, 4);
+    for (const auto &a : topo.arcs()) {
+        if (topo.isLeaf(a.src)) {
+            // Uplink ports start after the terminals; the middle
+            // receives on the port indexed by the leaf.
+            EXPECT_GE(a.srcPort, topo.c());
+            EXPECT_LT(a.srcPort, topo.c() + topo.u());
+            EXPECT_EQ(a.dstPort, a.src);
+        }
+    }
+}
+
+TEST(FoldedClos, TerminalMapping)
+{
+    FoldedClos topo(64, 8, 4);
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        EXPECT_EQ(topo.injectionRouter(n), n / 8);
+        EXPECT_EQ(topo.injectionPort(n), n % 8);
+        EXPECT_EQ(topo.ejectionRouter(n), topo.injectionRouter(n));
+        EXPECT_LT(topo.injectionPort(n), topo.c());
+    }
+}
+
+TEST(FoldedClos, UntaperedIsNonBlockingShape)
+{
+    // u == c: as many uplinks as terminals (the capacity-1
+    // configuration the Section 4 cost model charges the Clos for).
+    FoldedClos topo(64, 8, 8);
+    EXPECT_EQ(topo.numRouters(), 8 + 8);
+    EXPECT_EQ(topo.arcs().size(), 2u * 8 * 8);
+}
+
+TEST(FoldedClosDeath, RejectsBadGeometry)
+{
+    EXPECT_EXIT(FoldedClos(100, 32, 16),
+                ::testing::KilledBySignal(SIGABRT), "multiple");
+}
+
+} // namespace
+} // namespace fbfly

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the generalized hypercube (paper Section 2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "topology/generalized_hypercube.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(GeneralizedHypercube, PaperConfiguration)
+{
+    // The paper's (8,8,16) GHC serves 1K nodes with one router per
+    // node — the concentration contrast of Figure 3.
+    GeneralizedHypercube topo({8, 8, 16});
+    EXPECT_EQ(topo.numNodes(), 1024);
+    EXPECT_EQ(topo.numRouters(), 1024);
+    // Ports: 1 terminal + 7 + 7 + 15 inter-router.
+    EXPECT_EQ(topo.numPorts(0), 1 + 7 + 7 + 15);
+}
+
+TEST(GeneralizedHypercube, MixedRadixDigits)
+{
+    GeneralizedHypercube topo({3, 4});
+    // Router ids are d1*3 + d0 with radices (3, 4).
+    EXPECT_EQ(topo.routerDigit(0, 0), 0);
+    EXPECT_EQ(topo.routerDigit(5, 0), 2); // 5 = 1*3 + 2
+    EXPECT_EQ(topo.routerDigit(5, 1), 1);
+    EXPECT_EQ(topo.routerDigit(11, 0), 2); // 11 = 3*3 + 2
+    EXPECT_EQ(topo.routerDigit(11, 1), 3);
+}
+
+TEST(GeneralizedHypercube, NeighborChangesOneDigit)
+{
+    GeneralizedHypercube topo({3, 4, 2});
+    for (RouterId r = 0; r < topo.numRouters(); ++r) {
+        for (int d = 0; d < topo.numDims(); ++d) {
+            for (int m = 0; m < topo.radixOf(d); ++m) {
+                if (m == topo.routerDigit(r, d))
+                    continue;
+                const RouterId j = topo.neighbor(r, d, m);
+                EXPECT_EQ(topo.routerDigit(j, d), m);
+                for (int o = 0; o < topo.numDims(); ++o) {
+                    if (o != d) {
+                        EXPECT_EQ(topo.routerDigit(j, o),
+                                  topo.routerDigit(r, o));
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(GeneralizedHypercube, ArcsSymmetricAndComplete)
+{
+    GeneralizedHypercube topo({3, 3});
+    const auto arcs = topo.arcs();
+    // Per router: (3-1) + (3-1) = 4 outgoing arcs.
+    EXPECT_EQ(arcs.size(), 9u * 4);
+    std::set<std::tuple<int, int, int, int>> seen;
+    for (const auto &a : arcs)
+        seen.insert({a.src, a.srcPort, a.dst, a.dstPort});
+    for (const auto &a : arcs)
+        EXPECT_TRUE(
+            seen.count({a.dst, a.dstPort, a.src, a.srcPort}));
+}
+
+TEST(GeneralizedHypercube, MinimalHopsCountsDifferingDigits)
+{
+    GeneralizedHypercube topo({4, 4});
+    EXPECT_EQ(topo.minimalHops(0, 0), 0);
+    EXPECT_EQ(topo.minimalHops(0, 3), 1);
+    EXPECT_EQ(topo.minimalHops(0, 4), 1);
+    EXPECT_EQ(topo.minimalHops(0, 5), 2);
+    EXPECT_EQ(topo.minimalHops(1, 14), 2);
+}
+
+TEST(GeneralizedHypercube, TerminalIsPortZero)
+{
+    GeneralizedHypercube topo({2, 2});
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        EXPECT_EQ(topo.injectionRouter(n), n);
+        EXPECT_EQ(topo.injectionPort(n), 0);
+    }
+}
+
+} // namespace
+} // namespace fbfly

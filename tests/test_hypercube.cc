@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the binary hypercube topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "topology/hypercube.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(Hypercube, PaperConfiguration)
+{
+    // Figure 6's 10-dimensional hypercube: 1024 routers, one
+    // terminal each.
+    Hypercube topo(10);
+    EXPECT_EQ(topo.numNodes(), 1024);
+    EXPECT_EQ(topo.numRouters(), 1024);
+    EXPECT_EQ(topo.numPorts(0), 11);
+}
+
+TEST(Hypercube, NeighborFlipsOneBit)
+{
+    Hypercube topo(4);
+    for (RouterId r = 0; r < topo.numRouters(); ++r) {
+        for (int d = 0; d < topo.dims(); ++d) {
+            const RouterId n = topo.neighbor(r, d);
+            EXPECT_EQ(r ^ n, 1 << d);
+            EXPECT_EQ(topo.neighbor(n, d), r) << "involution";
+        }
+    }
+}
+
+TEST(Hypercube, ArcCountAndSymmetry)
+{
+    Hypercube topo(5);
+    const auto arcs = topo.arcs();
+    EXPECT_EQ(arcs.size(), 32u * 5);
+    std::set<std::tuple<int, int, int, int>> seen;
+    for (const auto &a : arcs)
+        seen.insert({a.src, a.srcPort, a.dst, a.dstPort});
+    for (const auto &a : arcs) {
+        EXPECT_TRUE(
+            seen.count({a.dst, a.dstPort, a.src, a.srcPort}));
+        EXPECT_EQ(a.srcPort, a.dstPort) << "dimension ports match";
+    }
+}
+
+TEST(Hypercube, TerminalPortIsLast)
+{
+    Hypercube topo(3);
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        EXPECT_EQ(topo.injectionRouter(n), n);
+        EXPECT_EQ(topo.injectionPort(n), 3);
+        EXPECT_EQ(topo.ejectionRouter(n), n);
+        EXPECT_EQ(topo.ejectionPort(n), 3);
+    }
+}
+
+TEST(Hypercube, BisectionIsHalfTheNodes)
+{
+    // Cutting on the top dimension: exactly N/2 arcs cross in each
+    // direction — the B = N/2 (with half-width channels) used to
+    // match bisection bandwidth in Figure 6.
+    Hypercube topo(6);
+    const std::int64_t half = topo.numNodes() / 2;
+    int crossing = 0;
+    for (const auto &a : topo.arcs()) {
+        if ((a.src < half) != (a.dst < half))
+            ++crossing;
+    }
+    EXPECT_EQ(crossing, topo.numNodes());
+}
+
+} // namespace
+} // namespace fbfly

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the Section 4.2 packaging / cable-length model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/packaging.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(Packaging, Table3Defaults)
+{
+    PackagingModel pkg;
+    EXPECT_EQ(pkg.nodesPerCabinet, 128);
+    EXPECT_DOUBLE_EQ(pkg.densityNodesPerM2, 75.0);
+    EXPECT_DOUBLE_EQ(pkg.cableOverheadM, 2.0);
+}
+
+TEST(Packaging, EdgeLengthIsSqrtNOverD)
+{
+    PackagingModel pkg;
+    EXPECT_NEAR(pkg.edgeLength(1024), std::sqrt(1024.0 / 75.0),
+                1e-12);
+    EXPECT_NEAR(pkg.edgeLength(75), 1.0, 1e-12);
+}
+
+TEST(Packaging, EdgeLengthMonotone)
+{
+    PackagingModel pkg;
+    double prev = 0.0;
+    for (std::int64_t n = 64; n <= 65536; n *= 2) {
+        const double e = pkg.edgeLength(n);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(Packaging, AverageLengthRatios)
+{
+    // Section 4.2: butterfly family ~E/3, folded Clos ~E/4.
+    PackagingModel pkg;
+    const std::int64_t n = 4096;
+    const double e = pkg.edgeLength(n);
+    EXPECT_NEAR(pkg.avgGlobalButterfly(n), e / 3.0, 1e-12);
+    EXPECT_NEAR(pkg.avgGlobalClos(n), e / 4.0, 1e-12);
+    EXPECT_NEAR(pkg.maxGlobalButterfly(n), e, 1e-12);
+    EXPECT_NEAR(pkg.maxGlobalClos(n), e / 2.0, 1e-12);
+}
+
+TEST(Packaging, HypercubeAverageIsShortestAtScale)
+{
+    // "Because of the logarithmic term, as the network size
+    // increases, the average cable length is shorter than the other
+    // topologies."
+    PackagingModel pkg;
+    // The logarithmic term wins once the floor is large enough
+    // (E ~ 15 m, i.e. N >= 16K at the Table 3 density).
+    for (std::int64_t n = 16384; n <= 65536; n *= 2) {
+        EXPECT_LT(pkg.avgGlobalHypercube(n),
+                  pkg.avgGlobalClos(n));
+        EXPECT_LT(pkg.avgGlobalClos(n),
+                  pkg.avgGlobalButterfly(n));
+    }
+}
+
+TEST(Packaging, HypercubeFormulaMatchesPaper)
+{
+    PackagingModel pkg;
+    const std::int64_t n = 65536;
+    const double e = pkg.edgeLength(n);
+    EXPECT_NEAR(pkg.avgGlobalHypercube(n),
+                (e - 1.0) / std::log2(e), 1e-12);
+}
+
+} // namespace
+} // namespace fbfly

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the Section 5.3 / Table 5 power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(PowerModel, Table5Defaults)
+{
+    PowerModel pm;
+    EXPECT_DOUBLE_EQ(pm.switchPowerW, 40.0);
+    EXPECT_DOUBLE_EQ(pm.linkGlobalW, 0.200);
+    EXPECT_DOUBLE_EQ(pm.linkGlobalLocalW, 0.160);
+    EXPECT_DOUBLE_EQ(pm.linkLocalW, 0.040);
+}
+
+TEST(PowerModel, GlobalLocalRelationship)
+{
+    // "the power consumed to drive a local link is 20% less than
+    // ... a global cable"; the dedicated local SerDes gives "over
+    // 5x power reduction".
+    PowerModel pm;
+    EXPECT_NEAR(pm.linkGlobalLocalW, 0.8 * pm.linkGlobalW, 1e-12);
+    EXPECT_GT(pm.linkGlobalW / pm.linkLocalW, 4.9);
+}
+
+TEST(PowerModel, SignalPowerDispatch)
+{
+    PowerModel pm;
+    // Global cables cost P_gg regardless of topology style.
+    EXPECT_DOUBLE_EQ(
+        pm.signalPower(LinkLocale::GlobalCable, true), 0.200);
+    EXPECT_DOUBLE_EQ(
+        pm.signalPower(LinkLocale::GlobalCable, false), 0.200);
+    // Local links: dedicated SerDes for direct topologies only.
+    EXPECT_DOUBLE_EQ(
+        pm.signalPower(LinkLocale::LocalCable, true), 0.040);
+    EXPECT_DOUBLE_EQ(
+        pm.signalPower(LinkLocale::LocalCable, false), 0.160);
+    EXPECT_DOUBLE_EQ(
+        pm.signalPower(LinkLocale::Backplane, true), 0.040);
+}
+
+TEST(PowerModel, SwitchPowerScalesWithBandwidth)
+{
+    PowerModel pm;
+    Inventory inv;
+    inv.routers.push_back({1, 384.0, "full"}); // radix-64 router
+    EXPECT_NEAR(pm.power(inv).switchPower, 40.0, 1e-9);
+    inv.routers[0].signalsPerRouter = 96.0;
+    EXPECT_NEAR(pm.power(inv).switchPower, 10.0, 1e-9);
+}
+
+TEST(PowerModel, LinkPowerCountsSignals)
+{
+    PowerModel pm;
+    Inventory inv;
+    inv.direct = true;
+    inv.links.push_back({LinkLocale::GlobalCable, 5.0, 100, 3.0,
+                         "g"});
+    EXPECT_NEAR(pm.power(inv).linkPower, 100 * 3.0 * 0.2, 1e-9);
+}
+
+TEST(PowerModel, FbflyBeatsClosOnPower)
+{
+    // Figure 15's ordering: flattened butterfly below the folded
+    // Clos everywhere, by ~half in the two-dimension band.
+    TopologyCostModel model;
+    PowerModel pm;
+    for (std::int64_t n = 1024; n <= 32768; n *= 2) {
+        const double fb =
+            pm.power(model.flattenedButterfly(n)).total();
+        const double clos = pm.power(model.foldedClos(n)).total();
+        EXPECT_LT(fb, clos) << n;
+    }
+    const double fb4k =
+        pm.power(model.flattenedButterfly(4096)).total();
+    const double clos4k = pm.power(model.foldedClos(4096)).total();
+    EXPECT_GT(1.0 - fb4k / clos4k, 0.40);
+}
+
+TEST(PowerModel, HypercubeBurnsTheMost)
+{
+    TopologyCostModel model;
+    PowerModel pm;
+    for (std::int64_t n = 1024; n <= 16384; n *= 4) {
+        const double hc = pm.power(model.hypercube(n)).total();
+        EXPECT_GT(hc, pm.power(model.flattenedButterfly(n)).total());
+        EXPECT_GT(hc,
+                  pm.power(model.conventionalButterfly(n)).total());
+    }
+}
+
+TEST(PowerModel, DirectLocalityLowersFbflyBelowButterflyAt1K)
+{
+    // "For 1K node network, the flattened butterfly provides lower
+    // power consumption than the conventional butterfly since it
+    // takes advantage of the dedicated SerDes to drive local links."
+    TopologyCostModel model;
+    PowerModel pm;
+    EXPECT_LT(pm.power(model.flattenedButterfly(1024)).total(),
+              pm.power(model.conventionalButterfly(1024)).total());
+}
+
+} // namespace
+} // namespace fbfly

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Cross-cutting property tests: conservation, quiescence, hop and
+ * latency invariants under randomized traffic, across every routing
+ * algorithm; and consistency between the analytic models and the
+ * simulated topologies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "cost/topology_cost.h"
+#include "network/network.h"
+#include "routing/clos_ad.h"
+#include "routing/dor.h"
+#include "routing/min_adaptive.h"
+#include "routing/ugal.h"
+#include "routing/valiant.h"
+#include "topology/flattened_butterfly.h"
+#include "traffic/injection.h"
+#include "traffic/traffic_pattern.h"
+
+namespace fbfly
+{
+namespace
+{
+
+std::unique_ptr<RoutingAlgorithm>
+makeAlgo(const std::string &name, const FlattenedButterfly &topo)
+{
+    if (name == "DOR")
+        return std::make_unique<DimensionOrder>(topo);
+    if (name == "MIN AD")
+        return std::make_unique<MinAdaptive>(topo);
+    if (name == "VAL")
+        return std::make_unique<Valiant>(topo);
+    if (name == "UGAL")
+        return std::make_unique<Ugal>(topo, false);
+    if (name == "UGAL-S")
+        return std::make_unique<Ugal>(topo, true);
+    return std::make_unique<ClosAd>(topo);
+}
+
+struct FuzzCase
+{
+    std::string algo;
+    std::uint64_t seed;
+};
+
+void
+PrintTo(const FuzzCase &c, std::ostream *os)
+{
+    *os << c.algo << "/seed" << c.seed;
+}
+
+class RoutingFuzz : public ::testing::TestWithParam<FuzzCase>
+{
+};
+
+/**
+ * Fuzz: random bursts of mixed traffic, then full drain.  Checks
+ * conservation (every injected flit ejects exactly once), quiescence
+ * (no stuck flits => no deadlock/livelock), the flattened-butterfly
+ * hop bound (<= 2n' inter-router hops + ejection), and that latency
+ * is at least the hop count.
+ */
+TEST_P(RoutingFuzz, ConservationAndBounds)
+{
+    const auto param = GetParam();
+    FlattenedButterfly topo(3, 4); // 81 nodes, 27 routers, n'=3
+    auto algo = makeAlgo(param.algo, topo);
+
+    NetworkConfig cfg;
+    cfg.numVcs = algo->numVcs();
+    cfg.vcDepth = 4;
+    cfg.seed = param.seed;
+    Network net(topo, *algo, nullptr, cfg);
+
+    Rng fuzz(param.seed * 7919 + 13);
+    UniformRandom ur(topo.numNodes());
+    AdversarialNeighbor wc(topo.numNodes(), topo.k());
+    GroupTornado tor(topo.numNodes(), topo.k());
+
+    std::uint64_t sent = 0;
+    for (int burst = 0; burst < 20; ++burst) {
+        const int kind = static_cast<int>(fuzz.nextBounded(3));
+        const int packets = 1 + static_cast<int>(fuzz.nextBounded(60));
+        for (int i = 0; i < packets; ++i) {
+            const auto src = static_cast<NodeId>(
+                fuzz.nextBounded(topo.numNodes()));
+            Rng &trng = net.terminal(src).rng();
+            NodeId dst;
+            switch (kind) {
+              case 0: dst = ur.dest(src, trng); break;
+              case 1: dst = wc.dest(src, trng); break;
+              default: dst = tor.dest(src, trng); break;
+            }
+            net.terminal(src).enqueuePacket(net.now(), dst, true);
+            ++sent;
+        }
+        const int run = 1 + static_cast<int>(fuzz.nextBounded(40));
+        for (int c = 0; c < run; ++c)
+            net.step();
+    }
+    for (int c = 0; c < 20000 && !net.quiescent(); ++c)
+        net.step();
+
+    ASSERT_TRUE(net.quiescent())
+        << "flits stuck after drain (deadlock or lost credit)";
+    EXPECT_EQ(net.stats().measuredEjected, sent);
+    EXPECT_EQ(net.stats().flitsInjected, net.stats().flitsEjected);
+    EXPECT_LE(net.stats().hops.max(), 2 * topo.numDims() + 1);
+    EXPECT_GE(net.stats().networkLatency.min(),
+              net.stats().hops.min());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoSeeds, RoutingFuzz,
+    ::testing::Values(FuzzCase{"DOR", 1}, FuzzCase{"DOR", 2},
+                      FuzzCase{"MIN AD", 1}, FuzzCase{"MIN AD", 2},
+                      FuzzCase{"VAL", 1}, FuzzCase{"VAL", 2},
+                      FuzzCase{"UGAL", 1}, FuzzCase{"UGAL", 2},
+                      FuzzCase{"UGAL-S", 1}, FuzzCase{"UGAL-S", 2},
+                      FuzzCase{"CLOS AD", 1},
+                      FuzzCase{"CLOS AD", 2}));
+
+TEST(ModelConsistency, CostInventoryMatchesSimulatedTopology)
+{
+    // The Section 4 link inventory and the simulated topology must
+    // agree on structure for the exact k-ary n-flat configurations.
+    TopologyCostModel model;
+    const struct
+    {
+        int k;
+        int n;
+    } cases[] = {{4, 2}, {8, 2}, {4, 3}, {2, 4}, {16, 3}};
+    for (const auto &c : cases) {
+        FlattenedButterfly topo(c.k, c.n);
+        const Inventory inv = model.kAryNFlat(c.k, c.n);
+        EXPECT_EQ(inv.numNodes, topo.numNodes());
+        EXPECT_EQ(inv.totalRouters(), topo.numRouters());
+        EXPECT_EQ(inv.totalLinks(false),
+                  static_cast<std::int64_t>(topo.arcs().size()))
+            << c.k << "-ary " << c.n << "-flat";
+    }
+}
+
+TEST(ModelConsistency, EffectiveRadixMatchesTopologyRadix)
+{
+    // Section 5.1.2's k' formula equals the constructed router
+    // radix for the matching (k, n).
+    for (int np = 1; np <= 3; ++np) {
+        const int k = 64 / (np + 1);
+        FlattenedButterfly topo(k, np + 1);
+        EXPECT_EQ(topo.radix(),
+                  FlattenedButterfly::effectiveRadix(64, np));
+    }
+}
+
+TEST(ModelConsistency, CapacityNormalization)
+{
+    // All four compared topologies are charged for capacity 1: the
+    // flattened butterfly's bisection (in 3-signal channel units)
+    // equals N/2 unidirectional crossings, the Clos carries 2N
+    // link-ends per level, and the hypercube's 2(N/2) crossings are
+    // halved to 1.5 signals.
+    TopologyCostModel model;
+    const std::int64_t n = 1024;
+    const auto fb = model.flattenedButterfly(n);
+    const auto hc = model.hypercube(n);
+    // Flattened butterfly 1K: 32 routers fully connected; crossing
+    // a half split: 16*16 pairs * 2 directions = 512 = N/2.
+    EXPECT_EQ(fb.totalLinks(false), 992);
+    double hc_crossing_signals = 0.0;
+    for (const auto &g : hc.links) {
+        if (g.label == "dim9") // top dimension crosses the bisection
+            hc_crossing_signals +=
+                static_cast<double>(g.count) * g.signalsPerLink;
+    }
+    EXPECT_DOUBLE_EQ(hc_crossing_signals, 1024 * 1.5);
+}
+
+TEST(Determinism, WholeExperimentsAreReproducible)
+{
+    // End-to-end determinism across the full stack (topology,
+    // routing, traffic, harness): byte-identical statistics.
+    FlattenedButterfly topo(8, 2);
+    ClosAd algo(topo);
+    AdversarialNeighbor wc(topo.numNodes(), topo.k());
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+
+    auto fingerprint = [&]() {
+        Network net(topo, algo, &wc, cfg);
+        BernoulliInjection inj(0.44, 1, 321);
+        for (int c = 0; c < 1200; ++c) {
+            inj.tick(net, true);
+            net.step();
+        }
+        const auto &st = net.stats();
+        return std::tuple{st.flitsEjected, st.packetLatency.mean(),
+                          st.packetLatency.variance(),
+                          st.hops.sum(),
+                          net.interRouterFlitCounts()};
+    };
+    EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+} // namespace
+} // namespace fbfly

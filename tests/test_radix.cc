@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for radix-k address arithmetic (common/radix.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/radix.h"
+#include "common/rng.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(Radix, DigitExtraction)
+{
+    // 1234 in base 10.
+    EXPECT_EQ(digit(1234, 0, 10), 4);
+    EXPECT_EQ(digit(1234, 1, 10), 3);
+    EXPECT_EQ(digit(1234, 2, 10), 2);
+    EXPECT_EQ(digit(1234, 3, 10), 1);
+    EXPECT_EQ(digit(1234, 4, 10), 0);
+    // 0b1010 in base 2.
+    EXPECT_EQ(digit(10, 1, 2), 1);
+    EXPECT_EQ(digit(10, 0, 2), 0);
+}
+
+TEST(Radix, SetDigitReplaces)
+{
+    EXPECT_EQ(setDigit(1234, 0, 10, 9), 1239);
+    EXPECT_EQ(setDigit(1234, 2, 10, 0), 1034);
+    EXPECT_EQ(setDigit(0, 3, 4, 3), 3 * 64);
+}
+
+TEST(Radix, SetDigitIdentity)
+{
+    for (int d = 0; d < 4; ++d)
+        EXPECT_EQ(setDigit(1234, d, 10, digit(1234, d, 10)), 1234);
+}
+
+TEST(Radix, ToFromDigitsRoundTrip)
+{
+    const auto ds = toDigits(1234, 4, 10);
+    ASSERT_EQ(ds.size(), 4u);
+    EXPECT_EQ(ds[0], 4);
+    EXPECT_EQ(ds[3], 1);
+    EXPECT_EQ(fromDigits(ds, 10), 1234);
+}
+
+TEST(Radix, CountDiffDigits)
+{
+    EXPECT_EQ(countDiffDigits(0, 0, 4, 2), 0);
+    EXPECT_EQ(countDiffDigits(0b1010, 0b0000, 4, 2), 2);
+    EXPECT_EQ(countDiffDigits(0b1010, 0b0000, 4, 2, 1), 2);
+    EXPECT_EQ(countDiffDigits(0b1010, 0b0000, 4, 2, 2), 1);
+    EXPECT_EQ(countDiffDigits(1234, 1239, 4, 10), 1);
+}
+
+TEST(Radix, Ipow)
+{
+    EXPECT_EQ(ipow(2, 0), 1);
+    EXPECT_EQ(ipow(2, 10), 1024);
+    EXPECT_EQ(ipow(16, 4), 65536);
+    EXPECT_EQ(ipow(10, 6), 1000000);
+}
+
+TEST(Radix, CeilLog)
+{
+    EXPECT_EQ(ceilLog(1, 2), 0);
+    EXPECT_EQ(ceilLog(2, 2), 1);
+    EXPECT_EQ(ceilLog(1024, 2), 10);
+    EXPECT_EQ(ceilLog(1025, 2), 11);
+    EXPECT_EQ(ceilLog(64, 64), 1);
+    EXPECT_EQ(ceilLog(65, 64), 2);
+    EXPECT_EQ(ceilLog(4096, 64), 2);
+}
+
+/** Property sweep: digit algebra is self-consistent in any base. */
+class RadixProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RadixProperty, SetThenGetRoundTrips)
+{
+    const int k = GetParam();
+    Rng rng(99);
+    for (int iter = 0; iter < 500; ++iter) {
+        const auto value = static_cast<std::int64_t>(
+            rng.nextBounded(ipow(k, 5)));
+        const int d = static_cast<int>(rng.nextBounded(5));
+        const int v = static_cast<int>(rng.nextBounded(k));
+        const auto out = setDigit(value, d, k, v);
+        EXPECT_EQ(digit(out, d, k), v);
+        // Other digits are untouched.
+        for (int o = 0; o < 5; ++o) {
+            if (o != d) {
+                EXPECT_EQ(digit(out, o, k), digit(value, o, k));
+            }
+        }
+    }
+}
+
+TEST_P(RadixProperty, DigitsComposition)
+{
+    const int k = GetParam();
+    Rng rng(7);
+    for (int iter = 0; iter < 200; ++iter) {
+        const auto value = static_cast<std::int64_t>(
+            rng.nextBounded(ipow(k, 6)));
+        EXPECT_EQ(fromDigits(toDigits(value, 6, k), k), value);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, RadixProperty,
+                         ::testing::Values(2, 3, 4, 8, 16, 32));
+
+} // namespace
+} // namespace fbfly

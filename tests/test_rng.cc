@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the deterministic PRNG (common/rng.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(12345);
+    Rng b(12345);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ZeroSeedStillProducesEntropy)
+{
+    Rng rng(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(rng.next());
+    EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, NextBoundedStaysInRange)
+{
+    Rng rng(7);
+    for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull,
+                                      1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, NextBoundedOneIsAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 2000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(17);
+    const int trials = 20000;
+    for (const double p : {0.1, 0.5, 0.9}) {
+        int hits = 0;
+        for (int i = 0; i < trials; ++i)
+            hits += rng.nextBernoulli(p) ? 1 : 0;
+        const double rate = static_cast<double>(hits) / trials;
+        EXPECT_NEAR(rate, p, 0.02) << "p=" << p;
+    }
+}
+
+TEST(Rng, BernoulliDegenerateProbabilities)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBernoulli(0.0));
+        EXPECT_TRUE(rng.nextBernoulli(1.0));
+    }
+}
+
+TEST(Rng, SplitStreamsAreStableAndIndependent)
+{
+    Rng parent(23);
+    Rng a1 = parent.split(1);
+    Rng a2 = parent.split(1);
+    Rng b = parent.split(2);
+    // Same tag -> same stream; different tag -> different stream.
+    EXPECT_EQ(a1.next(), a2.next());
+    Rng a3 = parent.split(1);
+    EXPECT_NE(a3.next(), b.next());
+}
+
+/** Uniformity sanity: chi-squared over 16 buckets stays far from
+ *  pathological. */
+class RngUniformity : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngUniformity, BoundedDrawsAreRoughlyUniform)
+{
+    const std::uint64_t bound = 16;
+    Rng rng(GetParam());
+    const int trials = 16000;
+    std::vector<int> counts(bound, 0);
+    for (int i = 0; i < trials; ++i)
+        ++counts[rng.nextBounded(bound)];
+    const double expected = static_cast<double>(trials) / bound;
+    double chi2 = 0.0;
+    for (const int c : counts) {
+        const double d = c - expected;
+        chi2 += d * d / expected;
+    }
+    // 15 degrees of freedom; 99.9th percentile is ~37.7.
+    EXPECT_LT(chi2, 45.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformity,
+                         ::testing::Values(1, 42, 1000003,
+                                           0xdeadbeefULL));
+
+} // namespace
+} // namespace fbfly

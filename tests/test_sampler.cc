@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the time-series sampler and the hotspot traffic pattern.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/sampler.h"
+#include "network/network.h"
+#include "routing/min_adaptive.h"
+#include "topology/flattened_butterfly.h"
+#include "traffic/injection.h"
+#include "traffic/traffic_pattern.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(Sampler, WindowsCoverTheRun)
+{
+    FlattenedButterfly topo(4, 2);
+    MinAdaptive algo(topo);
+    UniformRandom ur(topo.numNodes());
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    Network net(topo, algo, &ur, cfg);
+    BernoulliInjection inj(0.3, 1, 5);
+
+    TimeSeriesSampler sampler(net, 50);
+    for (int c = 0; c < 500; ++c) {
+        inj.tick(net, true);
+        net.step();
+        sampler.tick();
+    }
+    ASSERT_EQ(sampler.samples().size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(sampler.samples()[i].start, i * 50);
+}
+
+TEST(Sampler, AcceptedMatchesSteadyState)
+{
+    FlattenedButterfly topo(4, 2);
+    MinAdaptive algo(topo);
+    UniformRandom ur(topo.numNodes());
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    Network net(topo, algo, &ur, cfg);
+    BernoulliInjection inj(0.4, 1, 5);
+
+    // Warm up, then sample.
+    for (int c = 0; c < 300; ++c) {
+        inj.tick(net, true);
+        net.step();
+    }
+    TimeSeriesSampler sampler(net, 100);
+    for (int c = 0; c < 1000; ++c) {
+        inj.tick(net, true);
+        net.step();
+        sampler.tick();
+    }
+    double sum = 0.0;
+    for (const auto &s : sampler.samples()) {
+        sum += s.accepted;
+        EXPECT_GT(s.avgLatency, 2.0);
+        EXPECT_LT(s.avgLatency, 30.0);
+        EXPECT_GE(s.inFlight, 0);
+    }
+    EXPECT_NEAR(sum / sampler.samples().size(), 0.4, 0.05);
+}
+
+TEST(Sampler, QuietWindowHasNoSamplesOfLatency)
+{
+    FlattenedButterfly topo(4, 2);
+    MinAdaptive algo(topo);
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    Network net(topo, algo, nullptr, cfg);
+    TimeSeriesSampler sampler(net, 10);
+    for (int c = 0; c < 20; ++c) {
+        net.step();
+        sampler.tick();
+    }
+    ASSERT_EQ(sampler.samples().size(), 2u);
+    EXPECT_EQ(sampler.samples()[0].ejected, 0u);
+    EXPECT_EQ(sampler.samples()[0].avgLatency, 0.0);
+    EXPECT_EQ(sampler.samples()[0].accepted, 0.0);
+}
+
+TEST(Hotspot, MixesHotAndBackgroundTraffic)
+{
+    Hotspot pattern(64, {7, 9}, 0.5);
+    Rng rng(3);
+    int hot = 0;
+    const int trials = 4000;
+    for (int i = 0; i < trials; ++i) {
+        const NodeId d = pattern.dest(0, rng);
+        EXPECT_NE(d, 0);
+        EXPECT_GE(d, 0);
+        EXPECT_LT(d, 64);
+        if (d == 7 || d == 9)
+            ++hot;
+    }
+    // ~50% targeted + ~2/63 background hits.
+    const double rate = static_cast<double>(hot) / trials;
+    EXPECT_GT(rate, 0.45);
+    EXPECT_LT(rate, 0.60);
+}
+
+TEST(Hotspot, ZeroFractionIsUniform)
+{
+    Hotspot pattern(64, {7}, 0.0);
+    Rng rng(4);
+    int hits = 0;
+    for (int i = 0; i < 6300; ++i) {
+        if (pattern.dest(0, rng) == 7)
+            ++hits;
+    }
+    EXPECT_NEAR(hits, 100, 45); // ~1/63 of draws
+}
+
+TEST(Hotspot, EjectionLinkBoundsThroughput)
+{
+    // Many-to-one traffic is limited by the hot node's single
+    // ejection channel: with H hot-targeting nodes the per-node
+    // accepted rate cannot exceed ~1/H plus background.
+    FlattenedButterfly topo(8, 2);
+    MinAdaptive algo(topo);
+    Hotspot pattern(topo.numNodes(), {0}, 1.0);
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    Network net(topo, algo, &pattern, cfg);
+    BernoulliInjection inj(0.5, 1, 9);
+    for (int c = 0; c < 1500; ++c) {
+        inj.tick(net, false);
+        net.step();
+    }
+    const double accepted =
+        static_cast<double>(net.stats().flitsEjected) /
+        (1500.0 * topo.numNodes());
+    EXPECT_LT(accepted, 0.05); // 1 flit/cycle over 63 senders
+}
+
+} // namespace
+} // namespace fbfly

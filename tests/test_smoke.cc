@@ -1,0 +1,43 @@
+/**
+ * @file
+ * End-to-end smoke test: a small flattened butterfly delivers uniform
+ * random traffic with sane latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "routing/min_adaptive.h"
+#include "topology/flattened_butterfly.h"
+#include "traffic/traffic_pattern.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(Smoke, SmallFbflyDeliversUniformTraffic)
+{
+    FlattenedButterfly topo(4, 2); // 16 nodes, 4 routers
+    MinAdaptive algo(topo);
+    UniformRandom pattern(topo.numNodes());
+
+    NetworkConfig netcfg;
+    netcfg.vcDepth = 32;
+
+    ExperimentConfig expcfg;
+    expcfg.warmupCycles = 200;
+    expcfg.measureCycles = 500;
+    expcfg.drainCycles = 5000;
+
+    const LoadPointResult r =
+        runLoadPoint(topo, algo, pattern, netcfg, expcfg, 0.3);
+    EXPECT_FALSE(r.saturated);
+    EXPECT_GT(r.measuredPackets, 0u);
+    EXPECT_NEAR(r.accepted, 0.3, 0.05);
+    EXPECT_GT(r.avgLatency, 3.0);
+    EXPECT_LT(r.avgLatency, 60.0);
+}
+
+} // namespace
+} // namespace fbfly

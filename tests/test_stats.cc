@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the statistics accumulators (sim/stats.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/stats.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    Rng rng(3);
+    std::vector<double> xs;
+    RunningStats s;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.nextDouble() * 100.0;
+        xs.push_back(x);
+        s.add(x);
+    }
+    double sum = 0.0;
+    for (const double x : xs)
+        sum += x;
+    const double mean = sum / xs.size();
+    double ss = 0.0;
+    for (const double x : xs)
+        ss += (x - mean) * (x - mean);
+    const double var = ss / (xs.size() - 1);
+
+    EXPECT_NEAR(s.mean(), mean, 1e-9);
+    EXPECT_NEAR(s.variance(), var, 1e-6);
+    EXPECT_NEAR(s.sum(), sum, 1e-6);
+}
+
+TEST(RunningStats, MergeEqualsSequential)
+{
+    Rng rng(4);
+    RunningStats all;
+    RunningStats a;
+    RunningStats b;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.nextDouble() * 10.0 - 5.0;
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    RunningStats merged = a;
+    merged.merge(b);
+    EXPECT_EQ(merged.count(), all.count());
+    EXPECT_NEAR(merged.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(merged.min(), all.min());
+    EXPECT_EQ(merged.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a;
+    a.add(1.0);
+    a.add(2.0);
+    RunningStats empty;
+    RunningStats merged = a;
+    merged.merge(empty);
+    EXPECT_EQ(merged.count(), 2u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(10.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, CountsAndPercentiles)
+{
+    Histogram h(100);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        h.add(i);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.percentile(0.01), 0u);
+    EXPECT_EQ(h.percentile(0.50), 49u);
+    EXPECT_EQ(h.percentile(1.00), 99u);
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram h(10);
+    h.add(5);
+    h.add(1000); // lands in bucket 9
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.percentile(1.0), 9u);
+}
+
+TEST(Histogram, PercentileOfPointMass)
+{
+    Histogram h(64);
+    for (int i = 0; i < 10; ++i)
+        h.add(7);
+    EXPECT_EQ(h.percentile(0.01), 7u);
+    EXPECT_EQ(h.percentile(0.99), 7u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(16);
+    h.add(3);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucket(3), 0u);
+}
+
+} // namespace
+} // namespace fbfly

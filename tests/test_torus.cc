@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the torus (k-ary n-cube) topology and its dateline
+ * dimension-order routing — the low-radix baseline of the paper's
+ * introduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/experiment.h"
+#include "network/network.h"
+#include "routing/torus_dor.h"
+#include "routing/torus_valiant.h"
+#include "topology/torus.h"
+#include "traffic/injection.h"
+#include "traffic/traffic_pattern.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(Torus, Structure)
+{
+    Torus topo(4, 2);
+    EXPECT_EQ(topo.numNodes(), 16);
+    EXPECT_EQ(topo.numRouters(), 16);
+    EXPECT_EQ(topo.numPorts(0), 5); // 2 per dim + terminal
+    EXPECT_EQ(topo.arcs().size(), 16u * 4);
+}
+
+TEST(Torus, NeighborsWrapAround)
+{
+    Torus topo(4, 2);
+    // Router 3 has digits (0,3): +1 in dim 0 wraps to digit 0.
+    EXPECT_EQ(topo.neighbor(3, 0, true), 0);
+    EXPECT_EQ(topo.neighbor(0, 0, false), 3);
+    EXPECT_EQ(topo.neighbor(0, 1, false), 12);
+    EXPECT_EQ(topo.neighbor(12, 1, true), 0);
+}
+
+TEST(Torus, MinimalHopsTakesShorterWay)
+{
+    Torus topo(8, 1);
+    EXPECT_EQ(topo.minimalHops(0, 1), 1);
+    EXPECT_EQ(topo.minimalHops(0, 4), 4);
+    EXPECT_EQ(topo.minimalHops(0, 7), 1); // around the back
+    Torus topo2(4, 3);
+    EXPECT_EQ(topo2.minimalHops(0, 63), 3); // (3,3,3): 1 hop each
+}
+
+TEST(Torus, ArcsPairPlusWithMinus)
+{
+    Torus topo(4, 2);
+    std::set<std::tuple<int, int, int, int>> seen;
+    for (const auto &a : topo.arcs())
+        seen.insert({a.src, a.srcPort, a.dst, a.dstPort});
+    for (const auto &a : topo.arcs()) {
+        // The reverse channel uses the opposite direction ports.
+        EXPECT_TRUE(
+            seen.count({a.dst, a.srcPort ^ 1, a.src, a.dstPort ^ 1}))
+            << a.src << "->" << a.dst;
+    }
+}
+
+TEST(TorusDor, AllPairsDeliverMinimally)
+{
+    Torus topo(4, 2);
+    TorusDor algo(topo);
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    for (NodeId src = 0; src < 16; ++src) {
+        for (NodeId dst = 0; dst < 16; ++dst) {
+            if (src == dst)
+                continue;
+            Network net(topo, algo, nullptr, cfg);
+            net.terminal(src).enqueuePacket(0, dst, true);
+            for (int c = 0; c < 200 && !net.quiescent(); ++c)
+                net.step();
+            ASSERT_TRUE(net.quiescent())
+                << src << " -> " << dst << " undelivered";
+            EXPECT_EQ(net.stats().hops.mean(),
+                      topo.minimalHops(src, dst) + 1)
+                << src << " -> " << dst;
+        }
+    }
+}
+
+TEST(TorusDor, NoDeadlockUnderSaturation)
+{
+    // Wrap-around rings + full buffers: the dateline VCs must keep
+    // the network live.
+    Torus topo(4, 3);
+    TorusDor algo(topo);
+    UniformRandom pattern(topo.numNodes());
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    cfg.vcDepth = 2; // tight buffers stress the cycle
+    Network net(topo, algo, &pattern, cfg);
+    BernoulliInjection inj(1.0, 1, 9);
+    std::uint64_t last = 0;
+    for (int w = 0; w < 10; ++w) {
+        for (int c = 0; c < 300; ++c) {
+            inj.tick(net, false);
+            net.step();
+        }
+        ASSERT_GT(net.stats().flitsEjected, last)
+            << "stall in window " << w;
+        last = net.stats().flitsEjected;
+    }
+}
+
+TEST(TorusDor, TornadoUnderperformsOnTorus)
+{
+    // The classic torus weakness that motivated non-minimal routing
+    // (GOAL, Valiant): tornado traffic drives DOR to ~k/(2(k-1)) of
+    // the ring bandwidth in one direction.  It should saturate well
+    // below uniform random.
+    Torus topo(8, 1);
+    TorusDor algo(topo);
+    GroupTornado tornado(topo.numNodes(), 1);
+    UniformRandom ur(topo.numNodes());
+    ExperimentConfig e;
+    e.warmupCycles = 400;
+    e.measureCycles = 400;
+    e.drainCycles = 1000;
+    NetworkConfig cfg;
+    // Offer a load the ring can carry under UR (its cap is ~0.7;
+    // tornado's is 2/k = 0.25 because DOR sends the whole pattern
+    // the same way around).
+    const double t_tornado =
+        runLoadPoint(topo, algo, tornado, cfg, e, 0.6).accepted;
+    const double t_ur =
+        runLoadPoint(topo, algo, ur, cfg, e, 0.6).accepted;
+    EXPECT_LT(t_tornado, 0.35);
+    EXPECT_GT(t_ur, 0.55);
+}
+
+TEST(TorusValiant, AllPairsDeliverWithinTwoPhases)
+{
+    Torus topo(4, 2);
+    TorusValiant algo(topo);
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    Network net(topo, algo, nullptr, cfg);
+    std::uint64_t sent = 0;
+    for (NodeId src = 0; src < 16; ++src) {
+        for (NodeId dst = 0; dst < 16; ++dst) {
+            if (src == dst)
+                continue;
+            net.terminal(src).enqueuePacket(net.now(), dst, true);
+            ++sent;
+        }
+        for (int c = 0; c < 80 && !net.quiescent(); ++c)
+            net.step();
+    }
+    for (int c = 0; c < 2000 && !net.quiescent(); ++c)
+        net.step();
+    ASSERT_TRUE(net.quiescent());
+    EXPECT_EQ(net.stats().measuredEjected, sent);
+    // Two minimal phases + ejection: at most 2 * (2 dims * k/2) + 1.
+    EXPECT_LE(net.stats().hops.max(), 2 * 2 * 2 + 1);
+}
+
+TEST(TorusValiant, NoDeadlockUnderSaturation)
+{
+    Torus topo(4, 2);
+    TorusValiant algo(topo);
+    UniformRandom pattern(topo.numNodes());
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    cfg.vcDepth = 2;
+    Network net(topo, algo, &pattern, cfg);
+    BernoulliInjection inj(1.0, 1, 21);
+    std::uint64_t last = 0;
+    for (int w = 0; w < 8; ++w) {
+        for (int c = 0; c < 300; ++c) {
+            inj.tick(net, false);
+            net.step();
+        }
+        ASSERT_GT(net.stats().flitsEjected, last);
+        last = net.stats().flitsEjected;
+    }
+}
+
+TEST(TorusValiant, FixesTornadoAtValiantCost)
+{
+    // The Section 6 lineage: on the ring, tornado caps DOR at
+    // ~2/k = 0.25, while Valiant (cap ~0.4 on the 8-ring after the
+    // distance-4 tie bias) carries loads DOR cannot.  Offered 0.35
+    // sits between the two caps.
+    Torus topo(8, 1);
+    GroupTornado tornado(topo.numNodes(), 1);
+    ExperimentConfig e;
+    e.warmupCycles = 400;
+    e.measureCycles = 400;
+    e.drainCycles = 1000;
+
+    TorusDor dor(topo);
+    NetworkConfig d_cfg;
+    d_cfg.vcDepth = 32 / dor.numVcs();
+    const double t_dor =
+        runLoadPoint(topo, dor, tornado, d_cfg, e, 0.35).accepted;
+
+    TorusValiant val(topo);
+    NetworkConfig v_cfg;
+    v_cfg.vcDepth = 32 / val.numVcs();
+    const double t_val =
+        runLoadPoint(topo, val, tornado, v_cfg, e, 0.35).accepted;
+
+    EXPECT_LT(t_dor, 0.30);
+    EXPECT_GT(t_val, 0.33);
+}
+
+TEST(Torus, ComparedToFbflyLatency)
+{
+    // The introduction's point: at equal node count the low-radix
+    // torus has far higher hop count (and latency) than the
+    // high-radix flattened butterfly.
+    Torus torus(8, 2); // 64 nodes, diameter 8
+    TorusDor t_algo(torus);
+    UniformRandom ur(64);
+    ExperimentConfig e;
+    e.warmupCycles = 300;
+    e.measureCycles = 300;
+    e.drainCycles = 800;
+    NetworkConfig cfg;
+    const auto torus_r =
+        runLoadPoint(torus, t_algo, ur, cfg, e, 0.2);
+    // Average inter-router hops on an 8x8 torus is 4; the 8-ary
+    // 2-flat needs at most 1.
+    EXPECT_GT(torus_r.avgHops, 4.0);
+}
+
+} // namespace
+} // namespace fbfly

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for traffic patterns and injection processes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "network/network.h"
+#include "routing/min_adaptive.h"
+#include "topology/flattened_butterfly.h"
+#include "traffic/injection.h"
+#include "traffic/traffic_pattern.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(UniformRandom, ExcludesSelfAndStaysInRange)
+{
+    UniformRandom pattern(64);
+    Rng rng(1);
+    for (NodeId src = 0; src < 64; ++src) {
+        for (int i = 0; i < 50; ++i) {
+            const NodeId d = pattern.dest(src, rng);
+            EXPECT_NE(d, src);
+            EXPECT_GE(d, 0);
+            EXPECT_LT(d, 64);
+        }
+    }
+}
+
+TEST(UniformRandom, CoversAllDestinations)
+{
+    UniformRandom pattern(16);
+    Rng rng(2);
+    std::set<NodeId> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(pattern.dest(0, rng));
+    EXPECT_EQ(seen.size(), 15u); // everything but the source
+}
+
+TEST(AdversarialNeighbor, TargetsNextGroup)
+{
+    // The paper's worst case: nodes of router R_i -> random node of
+    // R_{i+1}.
+    AdversarialNeighbor pattern(1024, 32);
+    Rng rng(3);
+    for (const NodeId src : {0, 31, 32, 500, 1023}) {
+        for (int i = 0; i < 20; ++i) {
+            const NodeId d = pattern.dest(src, rng);
+            const int src_group = src / 32;
+            const int dst_group = d / 32;
+            EXPECT_EQ(dst_group, (src_group + 1) % 32);
+        }
+    }
+}
+
+TEST(AdversarialNeighbor, WrapsAround)
+{
+    AdversarialNeighbor pattern(64, 16);
+    Rng rng(4);
+    const NodeId d = pattern.dest(60, rng); // last group -> group 0
+    EXPECT_LT(d, 16);
+}
+
+TEST(AdversarialNeighbor, CoversWholeTargetGroup)
+{
+    AdversarialNeighbor pattern(64, 8);
+    Rng rng(5);
+    std::set<NodeId> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(pattern.dest(0, rng));
+    EXPECT_EQ(seen.size(), 8u);
+    for (const NodeId d : seen) {
+        EXPECT_GE(d, 8);
+        EXPECT_LT(d, 16);
+    }
+}
+
+TEST(BitComplement, IsInvolution)
+{
+    BitComplement pattern(256);
+    Rng rng(6);
+    for (NodeId n = 0; n < 256; ++n) {
+        const NodeId d = pattern.dest(n, rng);
+        EXPECT_EQ(d, 255 - n);
+        EXPECT_EQ(pattern.dest(d, rng), n);
+    }
+}
+
+TEST(Transpose, SwapsAddressHalves)
+{
+    Transpose pattern(256); // 8 bits
+    Rng rng(7);
+    EXPECT_EQ(pattern.dest(0x01, rng), 0x10);
+    EXPECT_EQ(pattern.dest(0xA3, rng), 0x3A);
+    for (NodeId n = 0; n < 256; ++n)
+        EXPECT_EQ(pattern.dest(pattern.dest(n, rng), rng), n);
+}
+
+TEST(GroupTornado, TargetsOppositeGroup)
+{
+    GroupTornado pattern(64, 8); // 8 groups
+    Rng rng(8);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(pattern.dest(0, rng) / 8, 4);
+        EXPECT_EQ(pattern.dest(40, rng) / 8, 1);
+    }
+}
+
+TEST(RandomPermutation, IsABijection)
+{
+    RandomPermutation pattern(128, 99);
+    Rng rng(9);
+    std::set<NodeId> seen;
+    for (NodeId n = 0; n < 128; ++n)
+        seen.insert(pattern.dest(n, rng));
+    EXPECT_EQ(seen.size(), 128u);
+}
+
+TEST(RandomPermutation, StableForSeed)
+{
+    RandomPermutation a(64, 5);
+    RandomPermutation b(64, 5);
+    RandomPermutation c(64, 6);
+    Rng rng(10);
+    int diff = 0;
+    for (NodeId n = 0; n < 64; ++n) {
+        EXPECT_EQ(a.dest(n, rng), b.dest(n, rng));
+        diff += a.dest(n, rng) != c.dest(n, rng) ? 1 : 0;
+    }
+    EXPECT_GT(diff, 32);
+}
+
+TEST(BernoulliInjection, MatchesOfferedLoad)
+{
+    FlattenedButterfly topo(4, 2);
+    MinAdaptive algo(topo);
+    UniformRandom pattern(topo.numNodes());
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    Network net(topo, algo, &pattern, cfg);
+
+    BernoulliInjection inj(0.25, 1, 42);
+    std::int64_t offered = 0;
+    const int cycles = 4000;
+    for (int c = 0; c < cycles; ++c) {
+        const std::int64_t before = net.stats().pendingPackets;
+        inj.tick(net, false);
+        offered += net.stats().pendingPackets - before;
+        net.step();
+    }
+    const double rate = static_cast<double>(offered) /
+                        (static_cast<double>(cycles) *
+                         topo.numNodes());
+    EXPECT_NEAR(rate, 0.25, 0.01);
+}
+
+TEST(BernoulliInjection, AccountsForPacketSize)
+{
+    // offered load is in flits/node/cycle, so 4-flit packets are
+    // generated at a quarter of the packet rate.
+    EXPECT_NEAR(BernoulliInjection(0.8, 4, 1).offeredLoad(), 0.8,
+                1e-12);
+}
+
+TEST(LoadBatch, EnqueuesExactCounts)
+{
+    FlattenedButterfly topo(4, 2);
+    MinAdaptive algo(topo);
+    UniformRandom pattern(topo.numNodes());
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    Network net(topo, algo, &pattern, cfg);
+
+    loadBatch(net, 7, true);
+    EXPECT_EQ(net.stats().pendingPackets,
+              7 * topo.numNodes());
+    EXPECT_EQ(net.stats().measuredCreated,
+              static_cast<std::uint64_t>(7 * topo.numNodes()));
+}
+
+} // namespace
+} // namespace fbfly
