@@ -1,0 +1,224 @@
+#include "fault/fault_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace fbfly
+{
+
+FaultModel::FaultModel(const Topology &topo)
+    : topo_(topo), arcs_(topo.arcs())
+{
+    arcFail_.assign(arcs_.size(), kNever);
+    routerFail_.assign(static_cast<std::size_t>(topo.numRouters()),
+                       kNever);
+
+    // Pair each arc with its reverse (same endpoints, swapped) so
+    // link-level (bidirectional) failures can be expressed.
+    reverseArc_.assign(arcs_.size(), kNoPair);
+    for (std::size_t i = 0; i < arcs_.size(); ++i) {
+        if (reverseArc_[i] != kNoPair)
+            continue;
+        for (std::size_t j = i + 1; j < arcs_.size(); ++j) {
+            if (arcs_[j].src == arcs_[i].dst &&
+                arcs_[j].dst == arcs_[i].src &&
+                reverseArc_[j] == kNoPair) {
+                reverseArc_[i] = j;
+                reverseArc_[j] = i;
+                break;
+            }
+        }
+    }
+
+    hostsTerminal_.assign(routerFail_.size(), 0);
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        hostsTerminal_[topo.injectionRouter(n)] = 1;
+        hostsTerminal_[topo.ejectionRouter(n)] = 1;
+    }
+}
+
+void
+FaultModel::failArc(std::size_t arc_index, Cycle at)
+{
+    FBFLY_ASSERT(arc_index < arcs_.size(),
+                 "failArc index ", arc_index, " out of range (",
+                 arcs_.size(), " arcs)");
+    arcFail_[arc_index] = std::min(arcFail_[arc_index], at);
+}
+
+int
+FaultModel::failLinkBetween(RouterId a, RouterId b, Cycle at)
+{
+    int failed = 0;
+    for (std::size_t i = 0; i < arcs_.size(); ++i) {
+        if ((arcs_[i].src == a && arcs_[i].dst == b) ||
+            (arcs_[i].src == b && arcs_[i].dst == a)) {
+            failArc(i, at);
+            ++failed;
+        }
+    }
+    return failed;
+}
+
+void
+FaultModel::failRouter(RouterId r, Cycle at)
+{
+    FBFLY_ASSERT(r >= 0 &&
+                 static_cast<std::size_t>(r) < routerFail_.size(),
+                 "failRouter id ", r, " out of range");
+    routerFail_[r] = std::min(routerFail_[r], at);
+}
+
+int
+FaultModel::failRandomLinks(int count, std::uint64_t seed, Cycle at,
+                            bool preserve_connectivity)
+{
+    // Candidate pool: one representative arc per bidirectional link
+    // (the lower-indexed arc of each pair; unpaired arcs stand for
+    // themselves), not already failed.
+    std::vector<std::size_t> pool;
+    for (std::size_t i = 0; i < arcs_.size(); ++i) {
+        if (reverseArc_[i] != kNoPair && reverseArc_[i] < i)
+            continue; // the pair is represented by the lower index
+        if (arcFail_[i] != kNever)
+            continue;
+        pool.push_back(i);
+    }
+
+    // Fisher-Yates shuffle with the library Rng: deterministic for a
+    // given (topology, seed).
+    Rng rng(seed);
+    for (std::size_t i = pool.size(); i > 1; --i)
+        std::swap(pool[i - 1], pool[rng.nextBounded(i)]);
+
+    int failed = 0;
+    for (const std::size_t i : pool) {
+        if (failed >= count)
+            break;
+        const std::size_t rev = reverseArc_[i];
+        if (preserve_connectivity &&
+            !connectedWithout(i, rev == kNoPair ? kNoExtra : rev)) {
+            continue; // this link is currently a cut edge; skip it
+        }
+        failArc(i, at);
+        if (rev != kNoPair)
+            failArc(rev, at);
+        ++failed;
+    }
+    return failed;
+}
+
+Cycle
+FaultModel::arcFailCycle(std::size_t arc_index) const
+{
+    FBFLY_ASSERT(arc_index < arcs_.size(), "arcFailCycle range");
+    const Topology::Arc &a = arcs_[arc_index];
+    Cycle c = arcFail_[arc_index];
+    c = std::min(c, routerFail_[static_cast<std::size_t>(a.src)]);
+    c = std::min(c, routerFail_[static_cast<std::size_t>(a.dst)]);
+    return c;
+}
+
+bool
+FaultModel::arcAlive(std::size_t arc_index, Cycle cycle) const
+{
+    return cycle < arcFailCycle(arc_index);
+}
+
+bool
+FaultModel::routerAlive(RouterId r, Cycle cycle) const
+{
+    FBFLY_ASSERT(r >= 0 &&
+                 static_cast<std::size_t>(r) < routerFail_.size(),
+                 "routerAlive id range");
+    return cycle < routerFail_[r];
+}
+
+int
+FaultModel::failedArcCount(Cycle cycle) const
+{
+    int n = 0;
+    for (std::size_t i = 0; i < arcs_.size(); ++i)
+        n += arcAlive(i, cycle) ? 0 : 1;
+    return n;
+}
+
+bool
+FaultModel::anyFaults() const
+{
+    for (const Cycle c : arcFail_)
+        if (c != kNever)
+            return true;
+    for (const Cycle c : routerFail_)
+        if (c != kNever)
+            return true;
+    return false;
+}
+
+bool
+FaultModel::connected() const
+{
+    return connectedWithout(kNoExtra, kNoExtra);
+}
+
+bool
+FaultModel::connectedWithout(std::size_t extra_a,
+                             std::size_t extra_b) const
+{
+    const int num_routers = static_cast<int>(routerFail_.size());
+
+    // All terminal-hosting routers must themselves be alive.
+    RouterId seed = kInvalid;
+    for (RouterId r = 0; r < num_routers; ++r) {
+        if (!hostsTerminal_[r])
+            continue;
+        if (routerFail_[r] != kNever)
+            return false;
+        if (seed == kInvalid)
+            seed = r;
+    }
+    if (seed == kInvalid)
+        return true; // no terminals, nothing to disconnect
+
+    const auto arc_dead = [&](std::size_t i) {
+        return i == extra_a || i == extra_b ||
+               arcFail_[i] != kNever ||
+               routerFail_[arcs_[i].src] != kNever ||
+               routerFail_[arcs_[i].dst] != kNever;
+    };
+
+    // BFS forward (can every terminal router be reached from seed?)
+    // and backward (can seed be reached from every terminal router?):
+    // together this gives the strong connectivity terminals need,
+    // because reachability via seed composes.
+    for (const bool forward : {true, false}) {
+        std::vector<char> seen(num_routers, 0);
+        std::vector<RouterId> frontier{seed};
+        seen[seed] = 1;
+        while (!frontier.empty()) {
+            const RouterId r = frontier.back();
+            frontier.pop_back();
+            for (std::size_t i = 0; i < arcs_.size(); ++i) {
+                if (arc_dead(i))
+                    continue;
+                const RouterId from =
+                    forward ? arcs_[i].src : arcs_[i].dst;
+                const RouterId to =
+                    forward ? arcs_[i].dst : arcs_[i].src;
+                if (from == r && !seen[to]) {
+                    seen[to] = 1;
+                    frontier.push_back(to);
+                }
+            }
+        }
+        for (RouterId r = 0; r < num_routers; ++r)
+            if (hostsTerminal_[r] && !seen[r])
+                return false;
+    }
+    return true;
+}
+
+} // namespace fbfly

@@ -1,0 +1,66 @@
+#include "harness/degradation.h"
+
+#include <cmath>
+
+#include "common/log.h"
+#include "fault/fault_model.h"
+#include "routing/routing.h"
+#include "topology/topology.h"
+#include "traffic/traffic_pattern.h"
+
+namespace fbfly
+{
+
+std::vector<DegradationPoint>
+runDegradationSweep(const Topology &topo,
+                    const std::vector<RoutingAlgorithm *> &algos,
+                    const TrafficPattern &pattern,
+                    const DegradationConfig &cfg)
+{
+    // Bidirectional link count: inter-router arcs come in reverse
+    // pairs in every topology this harness targets.
+    const auto arcs = topo.arcs();
+    const int total_links = static_cast<int>(arcs.size() / 2);
+
+    std::vector<DegradationPoint> out;
+    for (const double frac : cfg.fractions) {
+        const int want = static_cast<int>(
+            std::lround(frac * total_links));
+
+        // One fault set per fraction, shared by all algorithms so
+        // they are compared on identical failures.
+        FaultModel fm(topo);
+        const int failed =
+            want > 0 ? fm.failRandomLinks(want, cfg.faultSeed,
+                                          /*at=*/0,
+                                          cfg.preserveConnectivity)
+                     : 0;
+        if (failed < want) {
+            FBFLY_WARN("degradation: fraction ", frac, " requested ",
+                       want, " links but only ", failed,
+                       " could fail without disconnecting a terminal");
+        }
+
+        for (RoutingAlgorithm *algo : algos) {
+            FBFLY_ASSERT(algo != nullptr,
+                         "null algorithm in degradation sweep");
+            NetworkConfig netcfg = cfg.net;
+            netcfg.faults = fm.anyFaults() ? &fm : nullptr;
+            netcfg.watchdogCycles = cfg.watchdogCycles;
+
+            DegradationPoint pt;
+            pt.fraction = frac;
+            pt.failedLinks = failed;
+            pt.totalLinks = total_links;
+            pt.algorithm = algo->name();
+            pt.saturation = runLoadPoint(topo, *algo, pattern,
+                                         netcfg, cfg.exp, 1.0);
+            pt.lowLoad = runLoadPoint(topo, *algo, pattern, netcfg,
+                                      cfg.exp, cfg.lowLoad);
+            out.push_back(std::move(pt));
+        }
+    }
+    return out;
+}
+
+} // namespace fbfly

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Graceful-degradation sweep: throughput and latency versus the
+ * fraction of failed links.
+ *
+ * The flattened butterfly's path diversity — the same property that
+ * lets non-minimal adaptive routing balance adversarial load (paper
+ * Section 4) — also lets it route around failures.  This harness
+ * quantifies that: for each failed-link fraction it draws a
+ * deterministic, connectivity-preserving random fault set
+ * (FaultModel::failRandomLinks) and measures, per routing algorithm,
+ * the saturation throughput (offered = 1.0) and a low-load latency
+ * point.  Adaptive algorithms (MIN AD, UGAL) that mask failed ports
+ * and spread load over the surviving channels degrade gracefully;
+ * oblivious VAL keeps routing through its random intermediates'
+ * dimension-order subroutes and pays escape detours for every path
+ * that a failure crosses.
+ *
+ * Every run is backed by the forward-progress watchdog, so a sweep
+ * always terminates with an explicit per-run LoadPointStatus.
+ */
+
+#ifndef FBFLY_HARNESS_DEGRADATION_H
+#define FBFLY_HARNESS_DEGRADATION_H
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace fbfly
+{
+
+class Topology;
+class RoutingAlgorithm;
+class TrafficPattern;
+
+/**
+ * Degradation sweep parameters.
+ */
+struct DegradationConfig
+{
+    /** Failed-link fractions to evaluate (of bidirectional
+     *  inter-router links). */
+    std::vector<double> fractions = {0.0, 0.025, 0.05, 0.075, 0.10};
+    /** Offered load of the latency point, flits/node/cycle. */
+    double lowLoad = 0.2;
+    /** Seed of the random fault draw (the same fault set is shared
+     *  by every algorithm at a given fraction). */
+    std::uint64_t faultSeed = 0xFA0175;
+    /** Skip links whose loss would disconnect a terminal. */
+    bool preserveConnectivity = true;
+    /** Watchdog backing every run (escape routing forfeits the
+     *  analytic deadlock guarantee; see docs/FAULTS.md). */
+    Cycle watchdogCycles = 10000;
+    /** Experiment phasing (warm-up / measure / drain windows). */
+    ExperimentConfig exp;
+    /** Base network knobs (vcDepth etc.); numVcs, seed, faults and
+     *  watchdogCycles are overridden per run. */
+    NetworkConfig net;
+};
+
+/**
+ * One (fraction, algorithm) cell of the sweep.
+ */
+struct DegradationPoint
+{
+    /** Requested failed-link fraction. */
+    double fraction = 0.0;
+    /** Bidirectional links actually failed (connectivity pruning may
+     *  fail fewer than requested). */
+    int failedLinks = 0;
+    /** Total bidirectional links in the topology. */
+    int totalLinks = 0;
+    /** Routing algorithm name. */
+    std::string algorithm;
+    /** Offered = 1.0 run; accepted is the saturation throughput. */
+    LoadPointResult saturation;
+    /** Low-load run (cfg.lowLoad); avgLatency is the headline. */
+    LoadPointResult lowLoad;
+};
+
+/**
+ * Run the sweep: for each fraction, draw one fault set and evaluate
+ * every algorithm on it.
+ *
+ * @param topo  topology (outlives the call).
+ * @param algos algorithms to compare (non-owning; all must be
+ *              compatible with @p topo).
+ * @param pattern traffic pattern.
+ * @param cfg   sweep parameters.
+ * @return points in (fraction-major, algorithm-minor) order.
+ */
+std::vector<DegradationPoint> runDegradationSweep(
+    const Topology &topo,
+    const std::vector<RoutingAlgorithm *> &algos,
+    const TrafficPattern &pattern, const DegradationConfig &cfg);
+
+} // namespace fbfly
+
+#endif // FBFLY_HARNESS_DEGRADATION_H

@@ -9,6 +9,24 @@
 namespace fbfly
 {
 
+const char *
+toString(LoadPointStatus s)
+{
+    switch (s) {
+    case LoadPointStatus::kDelivered:
+        return "delivered";
+    case LoadPointStatus::kSaturated:
+        return "saturated";
+    case LoadPointStatus::kUnreachable:
+        return "unreachable";
+    case LoadPointStatus::kStalled:
+        return "stalled";
+    case LoadPointStatus::kInvalidConfig:
+        return "invalid-config";
+    }
+    return "?";
+}
+
 LoadPointResult
 runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
              const TrafficPattern &pattern, NetworkConfig netcfg,
@@ -16,14 +34,40 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
 {
     netcfg.numVcs = algo.numVcs();
     netcfg.seed = expcfg.seed;
+
+    LoadPointResult res;
+    res.offered = offered;
+
+    // Pre-flight: refuse to run configurations that would corrupt or
+    // hang the simulation.
+    const ValidationReport rep = Network::validate(topo, algo, netcfg);
+    if (!rep.ok()) {
+        res.status = LoadPointStatus::kInvalidConfig;
+        res.diagnostics = rep.summary();
+        return res;
+    }
+
     Network net(topo, algo, &pattern, netcfg);
     BernoulliInjection inj(offered, netcfg.packetSize,
                            expcfg.seed ^ 0x496e6a65637431ULL);
+
+    const auto stalledOut = [&]() {
+        res.status = LoadPointStatus::kStalled;
+        res.diagnostics = net.stallDump();
+        res.saturated = true; // no labeled packet will ever leave
+        const NetworkStats &st = net.stats();
+        res.measuredPackets = st.measuredEjected;
+        res.measuredDropped = st.measuredDropped;
+        res.flitsDropped = st.flitsDropped;
+        return res;
+    };
 
     // Warm up under load without labeling.
     for (int c = 0; c < expcfg.warmupCycles; ++c) {
         inj.tick(net, false);
         net.step();
+        if (net.stalled())
+            return stalledOut();
     }
 
     // Label packets created during the measurement interval, and
@@ -32,14 +76,18 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
     for (int c = 0; c < expcfg.measureCycles; ++c) {
         inj.tick(net, true);
         net.step();
+        if (net.stalled())
+            return stalledOut();
     }
     const std::uint64_t ejected1 = net.stats().flitsEjected;
 
-    // Run until every labeled packet has left the system, continuing
-    // to inject background traffic so the network state persists.
+    // Run until every labeled packet has left the system (delivered
+    // or dropped as unreachable), continuing to inject background
+    // traffic so the network state persists.
     bool saturated = false;
     for (int drained = 0;
-         net.stats().measuredEjected < net.stats().measuredCreated;
+         net.stats().measuredEjected + net.stats().measuredDropped <
+         net.stats().measuredCreated;
          ++drained) {
         if (drained >= expcfg.drainCycles) {
             saturated = true;
@@ -47,11 +95,11 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
         }
         inj.tick(net, false);
         net.step();
+        if (net.stalled())
+            return stalledOut();
     }
 
     const NetworkStats &st = net.stats();
-    LoadPointResult res;
-    res.offered = offered;
     res.accepted = static_cast<double>(ejected1 - ejected0) /
                    (static_cast<double>(net.numNodes()) *
                     expcfg.measureCycles);
@@ -64,6 +112,14 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
                                 : 0);
     res.saturated = saturated;
     res.measuredPackets = st.measuredEjected;
+    res.measuredDropped = st.measuredDropped;
+    res.flitsDropped = st.flitsDropped;
+    if (saturated)
+        res.status = LoadPointStatus::kSaturated;
+    else if (st.measuredDropped > 0)
+        res.status = LoadPointStatus::kUnreachable;
+    else
+        res.status = LoadPointStatus::kDelivered;
     return res;
 }
 

@@ -20,6 +20,7 @@
 #ifndef FBFLY_HARNESS_EXPERIMENT_H
 #define FBFLY_HARNESS_EXPERIMENT_H
 
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -48,6 +49,32 @@ struct ExperimentConfig
 };
 
 /**
+ * How a load-point run ended.  Every run terminates with an explicit
+ * status — a run can no longer hang silently.
+ */
+enum class LoadPointStatus
+{
+    /** All labeled packets were delivered. */
+    kDelivered,
+    /** The drain bound was hit with labeled packets still inside
+     *  (classic saturation). */
+    kSaturated,
+    /** Labeled packets were dropped as unreachable (fault sets that
+     *  cut off destinations, or exhausted misroute budgets). */
+    kUnreachable,
+    /** The forward-progress watchdog fired: nothing moved for
+     *  netcfg.watchdogCycles cycles with work still pending
+     *  (deadlock/livelock).  diagnostics holds the stall dump. */
+    kStalled,
+    /** Network::validate() rejected the configuration before the
+     *  run; diagnostics holds the validation report. */
+    kInvalidConfig,
+};
+
+/** Short human-readable name of a status ("delivered", ...). */
+const char *toString(LoadPointStatus s);
+
+/**
  * Result of one offered-load point.
  */
 struct LoadPointResult
@@ -66,9 +93,20 @@ struct LoadPointResult
     double avgHops = 0.0;
     /** 99th-percentile labeled latency. */
     double p99Latency = 0.0;
-    /** Labeled packets still undelivered at the drain bound. */
+    /** Labeled packets still undelivered at the drain bound
+     *  (kept for backward compatibility: status == kSaturated). */
     bool saturated = false;
     std::uint64_t measuredPackets = 0;
+
+    /** How the run ended (always set). */
+    LoadPointStatus status = LoadPointStatus::kDelivered;
+    /** Labeled packets dropped as unreachable. */
+    std::uint64_t measuredDropped = 0;
+    /** Total flits dropped over the whole run. */
+    std::uint64_t flitsDropped = 0;
+    /** Stall dump (kStalled) or validation report (kInvalidConfig);
+     *  empty otherwise. */
+    std::string diagnostics;
 };
 
 /**

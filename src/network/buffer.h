@@ -70,9 +70,15 @@ struct InputUnit
     VcId outVc = kInvalid;
 
     /** Buffered head flits still needing a route (bypass mode).
-     *  New arrivals are appended, so unrouted heads always live in
-     *  the suffix of the buffer. */
+     *  New arrivals are usually appended, so unrouted heads live in
+     *  the suffix of the buffer; a link failure can re-expose routed
+     *  flits anywhere, so the routing scan walks the whole buffer. */
     int unrouted = 0;
+
+    /** Wormhole truncation: the packet at the head of this VC lost
+     *  its output channel mid-traversal (link failure); remaining
+     *  flits are dropped until the tail has passed. */
+    bool dropping = false;
 };
 
 } // namespace fbfly

@@ -15,13 +15,21 @@ Channel::Channel(Cycle latency, Cycle period)
 bool
 Channel::canSendFlit(Cycle now) const
 {
-    return now >= nextFree_;
+    return !dead_ && now >= nextFree_;
 }
 
 void
 Channel::sendFlit(const Flit &f, Cycle now)
 {
-    FBFLY_ASSERT(canSendFlit(now), "channel bandwidth violated");
+    FBFLY_ASSERT(!dead_, "sendFlit on a dead channel");
+    FBFLY_ASSERT(now >= lastFlitSend_,
+                 "non-monotonic sendFlit: now=", now, " after ",
+                 lastFlitSend_);
+    FBFLY_ASSERT(now >= nextFree_,
+                 "channel bandwidth violated: send at ", now,
+                 " but busy until ", nextFree_,
+                 " (check canSendFlit first)");
+    lastFlitSend_ = now;
     nextFree_ = now + period_;
     ++flitsCarried_;
     flits_.emplace_back(now + latency_, f);
@@ -30,6 +38,10 @@ Channel::sendFlit(const Flit &f, Cycle now)
 std::optional<Flit>
 Channel::receiveFlit(Cycle now)
 {
+    FBFLY_ASSERT(now >= lastFlitRecv_,
+                 "non-monotonic receiveFlit: now=", now, " after ",
+                 lastFlitRecv_);
+    lastFlitRecv_ = now;
     if (flits_.empty() || flits_.front().first > now)
         return std::nullopt;
     Flit f = flits_.front().second;
@@ -40,17 +52,56 @@ Channel::receiveFlit(Cycle now)
 void
 Channel::sendCredit(VcId vc, Cycle now)
 {
+    if (dead_) {
+        // The return lane of a failed link carries nothing; the
+        // upstream transmitter is dead too, so the credit can never
+        // be used.  Count the drop for accounting.
+        ++creditsDropped_;
+        return;
+    }
+    FBFLY_ASSERT(now >= lastCreditSend_,
+                 "non-monotonic sendCredit: now=", now, " after ",
+                 lastCreditSend_);
+    lastCreditSend_ = now;
     credits_.emplace_back(now + latency_, vc);
 }
 
 std::optional<VcId>
 Channel::receiveCredit(Cycle now)
 {
+    FBFLY_ASSERT(now >= lastCreditRecv_,
+                 "non-monotonic receiveCredit: now=", now, " after ",
+                 lastCreditRecv_);
+    lastCreditRecv_ = now;
     if (credits_.empty() || credits_.front().first > now)
         return std::nullopt;
     VcId vc = credits_.front().second;
     credits_.pop_front();
     return vc;
+}
+
+int
+Channel::flitsInFlightOnVc(VcId vc) const
+{
+    int n = 0;
+    for (const auto &[cycle, f] : flits_)
+        n += f.vc == vc ? 1 : 0;
+    return n;
+}
+
+int
+Channel::creditsInFlightOnVc(VcId vc) const
+{
+    int n = 0;
+    for (const auto &[cycle, c] : credits_)
+        n += c == vc ? 1 : 0;
+    return n;
+}
+
+void
+Channel::kill()
+{
+    dead_ = true;
 }
 
 } // namespace fbfly

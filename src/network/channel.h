@@ -39,10 +39,18 @@ class Channel
     Cycle latency() const { return latency_; }
     Cycle period() const { return period_; }
 
-    /** True if bandwidth allows a flit to enter at cycle @p now. */
+    /** True if the channel is alive and bandwidth allows a flit to
+     *  enter at cycle @p now. */
     bool canSendFlit(Cycle now) const;
 
-    /** Place a flit on the wire at cycle @p now. */
+    /**
+     * Place a flit on the wire at cycle @p now.
+     *
+     * Misuse fails fast: sending on a dead channel, sending when
+     * `!canSendFlit(now)` (bandwidth violation), or sending at a
+     * cycle earlier than a previous send (which would corrupt FIFO
+     * arrival order) all panic.
+     */
     void sendFlit(const Flit &f, Cycle now);
 
     /**
@@ -60,14 +68,43 @@ class Channel
     /** Flits currently in flight (for invariant checks). */
     int flitsInFlight() const { return static_cast<int>(flits_.size()); }
 
+    /** In-flight flits currently travelling on VC @p vc (credit
+     *  conservation checks). */
+    int flitsInFlightOnVc(VcId vc) const;
+
+    /** In-flight upstream credits for VC @p vc. */
+    int creditsInFlightOnVc(VcId vc) const;
+
     /** Total flits ever sent (for utilization accounting). */
     std::uint64_t flitsCarried() const { return flitsCarried_; }
+
+    /**
+     * Fail the channel (fail-stop transmitter): it refuses new flits
+     * (`canSendFlit` is false forever) and drops future credits on
+     * its return lane.  Flits and credits already in flight are still
+     * delivered.  Irreversible.
+     */
+    void kill();
+
+    /** True once kill() has been called. */
+    bool dead() const { return dead_; }
+
+    /** Credits dropped because the channel was dead. */
+    std::uint64_t creditsDropped() const { return creditsDropped_; }
 
   private:
     Cycle latency_;
     Cycle period_;
     Cycle nextFree_ = 0;
+    bool dead_ = false;
     std::uint64_t flitsCarried_ = 0;
+    std::uint64_t creditsDropped_ = 0;
+    /** Monotonicity watermarks: the channel is a FIFO wire, so every
+     *  endpoint must present non-decreasing cycles. */
+    Cycle lastFlitSend_ = 0;
+    Cycle lastFlitRecv_ = 0;
+    Cycle lastCreditSend_ = 0;
+    Cycle lastCreditRecv_ = 0;
     std::deque<std::pair<Cycle, Flit>> flits_;
     std::deque<std::pair<Cycle, VcId>> credits_;
 };

@@ -71,6 +71,10 @@ struct Flit
     std::int8_t ancestorDim = 0;
     /** Intermediate router for VAL/UGAL (kInvalid when unused). */
     std::int32_t intermediate = kInvalid;
+    /** Non-minimal escape hops taken around failed channels; bounded
+     *  by the routing algorithm's misroute budget, after which the
+     *  packet is dropped as unreachable. */
+    std::int8_t misroutes = 0;
     /** @} */
 
     /** Virtual channel currently occupied (set when buffered). */

@@ -1,12 +1,122 @@
 #include "network/network.h"
 
+#include <algorithm>
+#include <set>
+#include <sstream>
+
 #include "common/log.h"
+#include "fault/fault_model.h"
 #include "routing/routing.h"
 #include "topology/topology.h"
 #include "traffic/traffic_pattern.h"
 
 namespace fbfly
 {
+
+std::string
+ValidationReport::summary() const
+{
+    std::string out;
+    for (const auto &issue : issues) {
+        if (!out.empty())
+            out += '\n';
+        out += issue;
+    }
+    return out;
+}
+
+ValidationReport
+Network::validate(const Topology &topo, const RoutingAlgorithm &algo,
+                  const NetworkConfig &cfg)
+{
+    ValidationReport rep;
+    const auto add = [&rep](auto &&...args) {
+        rep.issues.push_back(detail::format(args...));
+    };
+
+    // --- Simulator knobs -------------------------------------------
+    if (cfg.numVcs != algo.numVcs()) {
+        add("routing algorithm '", algo.name(), "' needs ",
+            algo.numVcs(), " VCs but the network has ", cfg.numVcs);
+    }
+    if (cfg.numVcs < 1)
+        add("numVcs must be >= 1 (got ", cfg.numVcs, ")");
+    if (cfg.vcDepth < 1)
+        add("vcDepth must be >= 1 (got ", cfg.vcDepth, ")");
+    if (cfg.packetSize < 1)
+        add("packetSize must be >= 1 (got ", cfg.packetSize, ")");
+    if (cfg.channelLatency < 1)
+        add("channelLatency must be >= 1");
+    if (cfg.channelPeriod < 1)
+        add("channelPeriod must be >= 1");
+    if (cfg.terminalLatency < 1)
+        add("terminalLatency must be >= 1");
+
+    // --- Topology wiring -------------------------------------------
+    const auto arcs = topo.arcs();
+    if (!cfg.arcLatencies.empty() &&
+        cfg.arcLatencies.size() != arcs.size()) {
+        add("arcLatencies has ", cfg.arcLatencies.size(),
+            " entries but the topology has ", arcs.size(), " arcs");
+    }
+    const int num_routers = topo.numRouters();
+    std::set<std::pair<RouterId, PortId>> outUsed, inUsed;
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+        const auto &a = arcs[i];
+        if (a.src < 0 || a.src >= num_routers || a.dst < 0 ||
+            a.dst >= num_routers) {
+            add("arc ", i, " references router out of range");
+            continue;
+        }
+        if (a.srcPort < 0 || a.srcPort >= topo.numPorts(a.src))
+            add("arc ", i, " source port ", a.srcPort,
+                " out of range on router ", a.src);
+        else if (!outUsed.insert({a.src, a.srcPort}).second)
+            add("router ", a.src, " output port ", a.srcPort,
+                " wired twice");
+        if (a.dstPort < 0 || a.dstPort >= topo.numPorts(a.dst))
+            add("arc ", i, " dest port ", a.dstPort,
+                " out of range on router ", a.dst);
+        else if (!inUsed.insert({a.dst, a.dstPort}).second)
+            add("router ", a.dst, " input port ", a.dstPort,
+                " wired twice");
+    }
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        const RouterId ir = topo.injectionRouter(n);
+        const RouterId er = topo.ejectionRouter(n);
+        if (ir < 0 || ir >= num_routers || er < 0 ||
+            er >= num_routers) {
+            add("node ", n, " attaches to router out of range");
+            continue;
+        }
+        const PortId ip = topo.injectionPort(n);
+        const PortId ep = topo.ejectionPort(n);
+        if (ip < 0 || ip >= topo.numPorts(ir))
+            add("node ", n, " injection port out of range");
+        else if (!inUsed.insert({ir, ip}).second)
+            add("node ", n, " injection port ", ip, " on router ",
+                ir, " collides with other wiring");
+        if (ep < 0 || ep >= topo.numPorts(er))
+            add("node ", n, " ejection port out of range");
+        else if (!outUsed.insert({er, ep}).second)
+            add("node ", n, " ejection port ", ep, " on router ", er,
+                " collides with other wiring");
+    }
+
+    // --- Fault set -------------------------------------------------
+    if (cfg.faults != nullptr) {
+        const FaultModel &fm = *cfg.faults;
+        if (&fm.topology() != &topo ||
+            fm.numArcs() != arcs.size()) {
+            add("fault model was built over a different topology");
+        } else if (!fm.connected()) {
+            add("fault set disconnects a terminal: some ",
+                "terminal-hosting router is failed or unreachable ",
+                "once all faults are active");
+        }
+    }
+    return rep;
+}
 
 Network::Network(const Topology &topo, RoutingAlgorithm &algo,
                  const TrafficPattern *pattern,
@@ -35,12 +145,12 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
     }
 
     // Inter-router channels.
-    const auto arcs = topo.arcs();
+    arcs_ = topo.arcs();
     FBFLY_ASSERT(cfg.arcLatencies.empty() ||
-                 cfg.arcLatencies.size() == arcs.size(),
+                 cfg.arcLatencies.size() == arcs_.size(),
                  "arcLatencies must match the topology's arc list");
-    for (std::size_t i = 0; i < arcs.size(); ++i) {
-        const auto &arc = arcs[i];
+    for (std::size_t i = 0; i < arcs_.size(); ++i) {
+        const auto &arc = arcs_[i];
         const Cycle latency = cfg.arcLatencies.empty()
             ? cfg.channelLatency : cfg.arcLatencies[i];
         channels_.emplace_back(latency, cfg.channelPeriod);
@@ -48,11 +158,13 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
         routers_[arc.src].connectOutput(arc.srcPort, ch, cfg.vcDepth);
         routers_[arc.dst].connectInput(arc.dstPort, ch);
     }
-    numArcs_ = arcs.size();
+    numArcs_ = arcs_.size();
 
     // Terminals and their channels.
     const std::int64_t num_nodes = topo.numNodes();
     terminals_.reserve(num_nodes);
+    injChannels_.reserve(num_nodes);
+    ejChannels_.reserve(num_nodes);
     for (NodeId n = 0; n < num_nodes; ++n) {
         terminals_.emplace_back(n, cfg.numVcs, cfg.vcDepth,
                                 terminalRngs.split(n), this);
@@ -63,6 +175,7 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
         term.connectToRouter(inj);
         routers_[topo.injectionRouter(n)]
             .connectInput(topo.injectionPort(n), inj);
+        injChannels_.push_back(inj);
 
         channels_.emplace_back(cfg.terminalLatency, Cycle{1});
         Channel *ej = &channels_.back();
@@ -70,30 +183,269 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
             .connectOutput(topo.ejectionPort(n), ej,
                            Router::kInfiniteCredits);
         term.connectFromRouter(ej);
+        ejChannels_.push_back(ej);
     }
+
+    // Schedule fault activations.
+    if (cfg.faults != nullptr) {
+        const FaultModel &fm = *cfg.faults;
+        FBFLY_ASSERT(&fm.topology() == &topo_ &&
+                     fm.numArcs() == numArcs_,
+                     "fault model topology mismatch (",
+                     fm.numArcs(), " arcs vs ", numArcs_, ")");
+        for (std::size_t i = 0; i < numArcs_; ++i) {
+            const Cycle at = fm.arcFailCycle(i);
+            if (at != FaultModel::kNever) {
+                faultSchedule_.push_back(
+                    {at, static_cast<std::int64_t>(i), kInvalid});
+            }
+        }
+        for (RouterId r = 0; r < num_routers; ++r) {
+            const Cycle at = fm.routerFailCycle(r);
+            if (at != FaultModel::kNever)
+                faultSchedule_.push_back({at, kInvalid, r});
+        }
+        std::sort(faultSchedule_.begin(), faultSchedule_.end(),
+                  [](const FaultEvent &a, const FaultEvent &b) {
+                      return a.at < b.at;
+                  });
+        applyFaults(0);
+    }
+}
+
+void
+Network::applyFaults(Cycle now)
+{
+    while (nextFault_ < faultSchedule_.size() &&
+           faultSchedule_[nextFault_].at <= now) {
+        const FaultEvent &ev = faultSchedule_[nextFault_++];
+        if (ev.arc != kInvalid) {
+            const auto &arc = arcs_[static_cast<std::size_t>(ev.arc)];
+            channels_[static_cast<std::size_t>(ev.arc)].kill();
+            routers_[arc.src].killOutput(arc.srcPort);
+        } else {
+            // Router failure: incident arcs are scheduled separately
+            // (FaultModel::arcFailCycle folds router failures in);
+            // here we sever the router's terminals.
+            for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+                if (topo_.injectionRouter(n) == ev.router)
+                    injChannels_[n]->kill();
+                if (topo_.ejectionRouter(n) == ev.router) {
+                    ejChannels_[n]->kill();
+                    routers_[ev.router].killOutput(
+                        topo_.ejectionPort(n));
+                }
+            }
+        }
+    }
+}
+
+void
+Network::syncDropStats()
+{
+    std::uint64_t flits = 0, packets = 0, measured = 0;
+    for (const auto &r : routers_) {
+        flits += r.droppedFlits();
+        packets += r.droppedPackets();
+        measured += r.droppedMeasured();
+    }
+    stats_.flitsDropped = flits;
+    stats_.packetsUnreachable = packets;
+    stats_.measuredDropped = measured;
 }
 
 void
 Network::step()
 {
+    if (nextFault_ < faultSchedule_.size())
+        applyFaults(now_);
+
     const Cycle t = now_;
+    const std::uint64_t ejected0 = stats_.flitsEjected;
+    const std::uint64_t injected0 = stats_.flitsInjected;
+    const std::uint64_t dropped0 = stats_.flitsDropped;
+
     for (auto &r : routers_)
         r.receive(t);
     for (auto &term : terminals_)
         term.receive(t);
+    int moved = 0;
     for (auto &r : routers_)
-        r.routeAndTraverse(t, algo_);
+        moved += r.routeAndTraverse(t, algo_);
     for (auto &term : terminals_)
         term.inject(t);
+
+    if (!faultSchedule_.empty())
+        syncDropStats();
+
+    if (moved > 0 || stats_.flitsEjected != ejected0 ||
+        stats_.flitsInjected != injected0 ||
+        stats_.flitsDropped != dropped0) {
+        lastProgress_ = t;
+    }
+
     ++now_;
+
+    if (cfg_.invariantCheckInterval > 0 &&
+        now_ % cfg_.invariantCheckInterval == 0) {
+        const std::string violation = checkInvariants();
+        FBFLY_ASSERT(violation.empty(),
+                     "conservation invariant violated at cycle ",
+                     now_, ":\n", violation);
+    }
 }
 
 bool
 Network::quiescent() const
 {
-    return stats_.flitsInjected == stats_.flitsEjected &&
+    return stats_.flitsInjected ==
+               stats_.flitsEjected + stats_.flitsDropped &&
            stats_.pendingPackets == 0 &&
            stats_.midPacketTerminals == 0;
+}
+
+bool
+Network::stalled() const
+{
+    if (cfg_.watchdogCycles == 0 || quiescent())
+        return false;
+    return now_ > lastProgress_ &&
+           now_ - lastProgress_ > cfg_.watchdogCycles;
+}
+
+std::string
+Network::stallDump(int max_flits) const
+{
+    std::ostringstream os;
+    os << "=== stall dump at cycle " << now_ << " ===\n";
+    os << "flits: injected=" << stats_.flitsInjected
+       << " ejected=" << stats_.flitsEjected
+       << " dropped=" << stats_.flitsDropped
+       << " pendingPackets=" << stats_.pendingPackets
+       << " lastProgress=" << lastProgress_ << "\n";
+
+    int shown = 0;
+    for (const auto &r : routers_) {
+        if (r.bufferedFlits() == 0)
+            continue;
+        os << "router " << r.id() << " (" << r.bufferedFlits()
+           << " buffered";
+        if (r.anyOutputDead()) {
+            os << "; dead outputs:";
+            for (PortId p = 0; p < r.numPorts(); ++p)
+                if (!r.outputAlive(p))
+                    os << ' ' << p;
+        }
+        os << ")\n";
+        for (PortId p = 0; p < r.numPorts() && shown < max_flits;
+             ++p) {
+            for (VcId v = 0; v < r.numVcs() && shown < max_flits;
+                 ++v) {
+                const InputUnit &in = r.inputUnit(p, v);
+                if (in.buf.empty())
+                    continue;
+                const Flit &f = in.buf.front();
+                os << "  in(port=" << p << ",vc=" << v
+                   << ") depth=" << in.buf.size() << " head{pkt="
+                   << f.packet << " src=" << f.src << " dst="
+                   << f.dst << " hops=" << f.hops;
+                const bool routed =
+                    f.routed || (in.routed && in.outPort != kInvalid);
+                const PortId op = f.routed ? f.outPort : in.outPort;
+                const VcId ov = f.routed ? f.outVc : in.outVc;
+                if (routed && op != kInvalid) {
+                    os << " -> out(port=" << op << ",vc=" << ov
+                       << ") credits=" << r.credits(op, ov)
+                       << (r.outputAlive(op) ? "" : " DEAD");
+                } else {
+                    os << " unrouted";
+                }
+                os << "}\n";
+                ++shown;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < numArcs_; ++i) {
+        if (channels_[i].flitsInFlight() == 0)
+            continue;
+        os << "arc " << i << " (" << arcs_[i].src << "->"
+           << arcs_[i].dst << ") in-flight="
+           << channels_[i].flitsInFlight()
+           << (channels_[i].dead() ? " DEAD" : "") << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Network::checkInvariants() const
+{
+    std::ostringstream os;
+
+    // Flit conservation across the whole system.
+    std::uint64_t buffered = 0;
+    for (const auto &r : routers_)
+        buffered += static_cast<std::uint64_t>(r.bufferedFlits());
+    std::uint64_t in_flight = 0;
+    for (const auto &ch : channels_)
+        in_flight += static_cast<std::uint64_t>(ch.flitsInFlight());
+    const std::uint64_t accounted = buffered + in_flight +
+                                    stats_.flitsEjected +
+                                    stats_.flitsDropped;
+    if (stats_.flitsInjected != accounted) {
+        os << "flit conservation: injected=" << stats_.flitsInjected
+           << " != buffered=" << buffered << " + in-flight="
+           << in_flight << " + ejected=" << stats_.flitsEjected
+           << " + dropped=" << stats_.flitsDropped << "\n";
+    }
+
+    // Credit conservation per alive inter-router (arc, VC) lane.
+    for (std::size_t i = 0; i < numArcs_; ++i) {
+        const Channel &ch = channels_[i];
+        if (ch.dead())
+            continue; // dead lanes intentionally leak credits
+        const auto &arc = arcs_[i];
+        const Router &up = routers_[arc.src];
+        const Router &down = routers_[arc.dst];
+        for (VcId v = 0; v < cfg_.numVcs; ++v) {
+            const int credits = up.credits(arc.srcPort, v);
+            const int occ =
+                down.inputUnit(arc.dstPort, v).buf.size();
+            const int flits = ch.flitsInFlightOnVc(v);
+            const int back = ch.creditsInFlightOnVc(v);
+            if (credits + occ + flits + back != cfg_.vcDepth) {
+                os << "credit conservation on arc " << i << " ("
+                   << arc.src << "->" << arc.dst << ") vc " << v
+                   << ": credits=" << credits << " + occupancy="
+                   << occ << " + flits-in-flight=" << flits
+                   << " + credits-in-flight=" << back
+                   << " != depth=" << cfg_.vcDepth << "\n";
+            }
+        }
+    }
+
+    // Ditto for terminal injection lanes.
+    for (NodeId n = 0; n < static_cast<NodeId>(terminals_.size());
+         ++n) {
+        const Channel &ch = *injChannels_[n];
+        if (ch.dead())
+            continue;
+        const Router &down = routers_[topo_.injectionRouter(n)];
+        const PortId port = topo_.injectionPort(n);
+        for (VcId v = 0; v < cfg_.numVcs; ++v) {
+            const int credits = terminals_[n].credits(v);
+            const int occ = down.inputUnit(port, v).buf.size();
+            const int flits = ch.flitsInFlightOnVc(v);
+            const int back = ch.creditsInFlightOnVc(v);
+            if (credits + occ + flits + back != cfg_.vcDepth) {
+                os << "credit conservation on injection lane of node "
+                   << n << " vc " << v << ": credits=" << credits
+                   << " + occupancy=" << occ << " + flits-in-flight="
+                   << flits << " + credits-in-flight=" << back
+                   << " != depth=" << cfg_.vcDepth << "\n";
+            }
+        }
+    }
+    return os.str();
 }
 
 std::vector<std::uint64_t>

@@ -13,6 +13,7 @@
 #define FBFLY_NETWORK_NETWORK_H
 
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -21,6 +22,7 @@
 #include "network/router.h"
 #include "network/terminal.h"
 #include "sim/stats.h"
+#include "topology/topology.h"
 
 namespace fbfly
 {
@@ -28,6 +30,7 @@ namespace fbfly
 class Topology;
 class RoutingAlgorithm;
 class TrafficPattern;
+class FaultModel;
 
 /**
  * Simulator configuration knobs.
@@ -55,6 +58,23 @@ struct NetworkConfig
     Cycle terminalLatency = 1;
     /** Master seed; all component streams derive from it. */
     std::uint64_t seed = 1;
+
+    /** Fault set to apply (nullptr: fault-free).  Must be built over
+     *  the same topology and outlive the network.  Arcs and routers
+     *  fail at their activation cycles; dead channels refuse flits
+     *  and routers expose dead output ports to routing algorithms. */
+    const FaultModel *faults = nullptr;
+
+    /** Forward-progress watchdog: if no flit moves for this many
+     *  cycles while work is pending, stalled() turns true (and step()
+     *  keeps running so the caller can collect stallDump()).
+     *  0 disables the watchdog. */
+    Cycle watchdogCycles = 0;
+
+    /** Run checkInvariants() automatically every this-many cycles and
+     *  panic on violation.  0 disables (default: invariants are cheap
+     *  to state but O(network) to check). */
+    Cycle invariantCheckInterval = 0;
 };
 
 /**
@@ -78,10 +98,32 @@ struct NetworkStats
     std::uint64_t measuredCreated = 0;
     std::uint64_t measuredEjected = 0;
 
+    /** Flits dropped by routers (unreachable destinations or
+     *  wormhole truncation at a failed link). */
+    std::uint64_t flitsDropped = 0;
+    /** Packets dropped as unreachable (counted at the tail flit). */
+    std::uint64_t packetsUnreachable = 0;
+    /** Dropped packets belonging to the measurement sample. */
+    std::uint64_t measuredDropped = 0;
+
     /** Packets sitting in source queues. */
     std::int64_t pendingPackets = 0;
     /** Terminals currently mid-packet (wormhole injection). */
     int midPacketTerminals = 0;
+};
+
+/**
+ * Result of a pre-flight configuration validation.
+ */
+struct ValidationReport
+{
+    /** Human-readable problems; empty when the config is sound. */
+    std::vector<std::string> issues;
+
+    bool ok() const { return issues.empty(); }
+
+    /** All issues joined with newlines ("" when ok). */
+    std::string summary() const;
 };
 
 /**
@@ -90,6 +132,26 @@ struct NetworkStats
 class Network
 {
   public:
+    /**
+     * Pre-flight check of a (topology, routing, config) triple —
+     * rejects inconsistent configurations before they can corrupt or
+     * hang a simulation:
+     *  - VC count below the routing algorithm's requirement;
+     *  - non-positive buffer depths / packet sizes / latencies;
+     *  - arcLatencies that do not match the topology's arc list;
+     *  - arcs referencing out-of-range routers or ports, or wiring
+     *    the same (router, port) twice;
+     *  - terminal injection/ejection ports out of range or colliding
+     *    with inter-router ports;
+     *  - fault sets built over a different topology, or that
+     *    disconnect (or isolate) a terminal-hosting router.
+     *
+     * Pure function of its inputs; does not build the network.
+     */
+    static ValidationReport validate(const Topology &topo,
+                                     const RoutingAlgorithm &algo,
+                                     const NetworkConfig &cfg);
+
     /**
      * Build a network.
      *
@@ -126,8 +188,47 @@ class Network
     NetworkStats &stats() { return stats_; }
     const NetworkStats &stats() const { return stats_; }
 
-    /** True when no packet or flit exists anywhere in the system. */
+    /** True when no packet or flit exists anywhere in the system
+     *  (dropped flits count as having left). */
     bool quiescent() const;
+
+    /** @name Self-checking (watchdog + conservation invariants) @{ */
+
+    /**
+     * Forward-progress watchdog: true when cfg.watchdogCycles > 0,
+     * work is pending (flits in the network or packets queued), and
+     * nothing has moved for more than cfg.watchdogCycles cycles —
+     * i.e. the network is deadlocked or livelocked.
+     */
+    bool stalled() const;
+
+    /** Cycle of the last observed flit movement. */
+    Cycle lastProgressCycle() const { return lastProgress_; }
+
+    /**
+     * Diagnostic dump of stuck state: per-router buffered flits with
+     * their (routed) output ports, VC credit levels, channel
+     * liveness, and in-flight counts.  Non-empty whenever any flit
+     * is buffered or in flight.
+     */
+    std::string stallDump(int max_flits = 32) const;
+
+    /**
+     * Per-cycle conservation invariants, checkable between steps:
+     *  - flit conservation: flits injected == flits buffered in
+     *    routers + in flight on channels + ejected + dropped;
+     *  - credit conservation per alive inter-router (arc, VC) lane:
+     *    upstream credits + downstream buffer occupancy + flits in
+     *    flight + credits in flight == vcDepth;
+     *  - ditto for terminal injection lanes;
+     *  - buffered-flit counters match buffer contents.
+     *
+     * @return empty string when all invariants hold, else a
+     *         description of the first violations.
+     */
+    std::string checkInvariants() const;
+
+    /** @} */
 
     /** Flits carried so far by each inter-router channel, indexed
      *  like Topology::arcs().  Snapshot before/after a window to
@@ -142,6 +243,12 @@ class Network
     /** @} */
 
   private:
+    /** Activate every fault whose cycle is <= @p now. */
+    void applyFaults(Cycle now);
+
+    /** Fold router drop counters into stats_. */
+    void syncDropStats();
+
     const Topology &topo_;
     RoutingAlgorithm &algo_;
     const TrafficPattern *pattern_;
@@ -154,7 +261,25 @@ class Network
     std::deque<Channel> channels_;
     std::vector<Router> routers_;
     std::vector<Terminal> terminals_;
+    std::vector<Topology::Arc> arcs_;
     std::size_t numArcs_ = 0;
+    /** Terminal-side channels by node (fault application). */
+    std::vector<Channel *> injChannels_;
+    std::vector<Channel *> ejChannels_;
+
+    /** Pending fault activations, sorted by cycle. */
+    struct FaultEvent
+    {
+        Cycle at;
+        /** Arc index, or kInvalid for a router failure. */
+        std::int64_t arc;
+        RouterId router;
+    };
+    std::vector<FaultEvent> faultSchedule_;
+    std::size_t nextFault_ = 0;
+
+    /** Forward-progress watermark. */
+    Cycle lastProgress_ = 0;
 
     NetworkStats stats_;
 };

@@ -24,6 +24,7 @@ Router::Router(RouterId id, int num_ports, int num_vcs, int vc_depth,
     inOccupiedList_.assign(inputs_.size(), 0);
     candidates_.resize(numPorts_);
     blockedTag_.assign(inputs_.size(), 0);
+    aliveOut_.assign(numPorts_, 1);
 }
 
 void
@@ -96,25 +97,68 @@ Router::receive(Cycle now)
     }
 }
 
-void
+int
 Router::routeAndTraverse(Cycle now, RoutingAlgorithm &algo)
 {
     // "Sufficient switch speedup": alternate routing and allocation
     // until the switch makes no further progress this cycle.  Output
     // channels self-limit to one flit per period via canSendFlit, so
     // link bandwidth is respected while input buffers drain freely.
+    int moved = 0;
     for (;;) {
-        routePass(algo);
-        if (allocatePass(now) == 0)
+        moved += routePass(now, algo);
+        const int granted = allocatePass(now);
+        if (granted == 0)
             break;
+        moved += granted;
     }
+    return moved;
 }
 
 void
-Router::routePass(RoutingAlgorithm &algo)
+Router::accountDrop(const Flit &f, int unit, Cycle now)
 {
+    --bufferedFlits_;
+    ++droppedFlits_;
+    if (f.tail) {
+        ++droppedPackets_;
+        if (f.measured)
+            ++droppedMeasured_;
+    }
+    // The freed buffer slot's credit goes back upstream as usual.
+    const PortId in_port = unit / numVcs_;
+    const VcId in_vc = unit % numVcs_;
+    if (inputChannels_[in_port] != nullptr)
+        inputChannels_[in_port]->sendCredit(in_vc, now);
+}
+
+int
+Router::routePass(Cycle now, RoutingAlgorithm &algo)
+{
+    int dropped = 0;
+
+    // Drain wormhole packets truncated by a link failure or an
+    // unreachable drop: their remaining flits are dropped (and
+    // credited) as they surface.
+    if (!bypass_ && droppingUnits_ > 0) {
+        for (std::size_t i = 0; i < occupied_.size(); ++i) {
+            InputUnit &in = inputs_[occupied_[i]];
+            while (in.dropping && !in.buf.empty()) {
+                const Flit f = in.buf.pop();
+                FBFLY_ASSERT(!f.head,
+                             "head flit in a truncated packet");
+                accountDrop(f, occupied_[i], now);
+                ++dropped;
+                if (f.tail) {
+                    in.dropping = false;
+                    --droppingUnits_;
+                }
+            }
+        }
+    }
+
     if (bypass_ && unroutedFlits_ == 0)
-        return;
+        return dropped;
 
     // Collect input units with routing work, compacting units that
     // have drained out of the occupied list.
@@ -131,13 +175,14 @@ Router::routePass(RoutingAlgorithm &algo)
         if (bypass_) {
             if (in.unrouted > 0)
                 needRoute_.push_back(unit);
-        } else if (!in.routed && in.buf.front().head) {
+        } else if (!in.dropping && !in.routed &&
+                   in.buf.front().head) {
             needRoute_.push_back(unit);
         }
         ++i;
     }
     if (needRoute_.empty())
-        return;
+        return dropped;
 
     // Deterministic decision order with a rotating start so that no
     // input is permanently favoured by the sequential allocator.
@@ -153,6 +198,8 @@ Router::routePass(RoutingAlgorithm &algo)
 
     auto decide = [&](Flit &head) -> RouteDecision {
         const RouteDecision d = algo.route(*this, head);
+        if (d.drop)
+            return d;
         FBFLY_ASSERT(d.outPort >= 0 && d.outPort < numPorts_,
                      "route decision port range on router ", id_);
         FBFLY_ASSERT(d.outVc >= 0 && d.outVc < numVcs_,
@@ -172,23 +219,44 @@ Router::routePass(RoutingAlgorithm &algo)
     for (const int unit : needRoute_) {
         InputUnit &in = inputs_[unit];
         if (bypass_) {
-            // Unrouted heads are the newest arrivals, i.e. a suffix
-            // of the buffer: scan from the back.
+            // Unrouted heads are usually the newest arrivals (a
+            // suffix of the buffer), but a link failure can re-expose
+            // routed flits anywhere: scan from the back until all
+            // unrouted flits are handled.
             for (int j = in.buf.size() - 1;
                  j >= 0 && in.unrouted > 0; --j) {
                 Flit &f = in.buf.at(j);
                 if (!f.head || f.routed)
                     continue;
                 const RouteDecision d = decide(f);
+                --unroutedFlits_;
+                --in.unrouted;
+                if (d.drop) {
+                    // Unreachable: remove the flit, credit the slot.
+                    const Flit gone = in.buf.eraseAt(j);
+                    accountDrop(gone, unit, now);
+                    ++dropped;
+                    continue;
+                }
                 f.routed = true;
                 f.outPort = d.outPort;
                 f.outVc = d.outVc;
-                --unroutedFlits_;
-                --in.unrouted;
             }
         } else {
             Flit &head = in.buf.front();
             const RouteDecision d = decide(head);
+            if (d.drop) {
+                const Flit gone = in.buf.pop();
+                accountDrop(gone, unit, now);
+                ++dropped;
+                // Body flits of a dropped multi-flit packet are
+                // discarded as they arrive.
+                if (!gone.tail) {
+                    in.dropping = true;
+                    ++droppingUnits_;
+                }
+                continue;
+            }
             in.routed = true;
             in.outPort = d.outPort;
             in.outVc = d.outVc;
@@ -199,6 +267,7 @@ Router::routePass(RoutingAlgorithm &algo)
     // snapshot; apply their queue updates en masse (Section 3.1).
     for (const auto &[port, flits] : deferredCommits_)
         outputs_[port].committed += flits;
+    return dropped;
 }
 
 int
@@ -335,6 +404,59 @@ Router::allocatePass(Cycle now)
             inputChannels_[in_port]->sendCredit(in_vc, now);
     }
     return static_cast<int>(winners_.size());
+}
+
+void
+Router::killOutput(PortId port)
+{
+    FBFLY_ASSERT(port >= 0 && port < numPorts_,
+                 "killOutput port range on router ", id_);
+    if (!aliveOut_[port])
+        return; // already dead
+    aliveOut_[port] = 0;
+    ++deadOutputs_;
+
+    OutputUnit &ou = outputs_[port];
+
+    // Re-expose flits already routed to the dead port so the next
+    // routing pass can steer them around the failure (fault-aware
+    // algorithms) or leave them visibly stuck (oblivious algorithms,
+    // caught by the forward-progress watchdog).
+    for (std::size_t u = 0; u < inputs_.size(); ++u) {
+        InputUnit &in = inputs_[u];
+        if (bypass_) {
+            for (int j = 0; j < in.buf.size(); ++j) {
+                Flit &f = in.buf.at(j);
+                if (!f.routed || f.outPort != port)
+                    continue;
+                f.routed = false;
+                f.outPort = kInvalid;
+                f.outVc = kInvalid;
+                ++unroutedFlits_;
+                ++in.unrouted;
+                markOccupied(static_cast<int>(u));
+            }
+        } else if (in.routed && in.outPort == port) {
+            in.routed = false;
+            in.outPort = kInvalid;
+            in.outVc = kInvalid;
+            if (!in.buf.empty() && !in.buf.front().head) {
+                // Mid-traversal wormhole packet: its head already
+                // left on the (now dead) channel.  Truncate — the
+                // remaining flits are unroutable without the head.
+                in.dropping = true;
+                ++droppingUnits_;
+                markOccupied(static_cast<int>(u));
+            }
+        }
+    }
+
+    // Committed counts and VC ownership on a dead output are
+    // meaningless: no algorithm consults a dead port's queue, and no
+    // flit will ever depart through it again.
+    ou.committed = 0;
+    for (auto &owner : ou.vcOwner)
+        owner = -1;
 }
 
 int

@@ -96,8 +96,41 @@ class Router
      * cycle — eliminating the head-of-line blocking a speedup-1
      * input-queued switch would add (the classic 58.6% limit), which
      * the paper explicitly idealizes away.
+     *
+     * @return flits that made progress this cycle (switch traversals
+     *         plus drops) — the forward-progress watchdog's signal.
      */
-    void routeAndTraverse(Cycle now, RoutingAlgorithm &algo);
+    int routeAndTraverse(Cycle now, RoutingAlgorithm &algo);
+
+    /** @} */
+
+    /** @name Fault handling @{ */
+
+    /**
+     * Mark output @p port failed (its channel refuses flits from now
+     * on).  Flits already routed to the port are re-exposed to the
+     * routing algorithm so fault-aware algorithms can steer them
+     * around the failure; a wormhole packet caught mid-traversal is
+     * truncated (its remaining flits are dropped and counted).
+     * Called by Network when a FaultModel event activates.
+     */
+    void killOutput(PortId port);
+
+    /** True while output @p port is alive (routing candidate mask). */
+    bool outputAlive(PortId port) const
+    {
+        return aliveOut_[static_cast<std::size_t>(port)] != 0;
+    }
+
+    /** True when at least one output port has been killed. */
+    bool anyOutputDead() const { return deadOutputs_ > 0; }
+
+    /** Flits dropped by this router (unreachable/truncated). */
+    std::uint64_t droppedFlits() const { return droppedFlits_; }
+    /** Packets dropped (counted at their tail flit). */
+    std::uint64_t droppedPackets() const { return droppedPackets_; }
+    /** Dropped packets that belonged to the measurement sample. */
+    std::uint64_t droppedMeasured() const { return droppedMeasured_; }
 
     /** @} */
 
@@ -145,11 +178,15 @@ class Router
 
     void markOccupied(int unit);
 
-    /** One routing pass over unrouted heads. */
-    void routePass(RoutingAlgorithm &algo);
+    /** One routing pass over unrouted heads; returns flits dropped
+     *  (unreachable packets / wormhole truncation). */
+    int routePass(Cycle now, RoutingAlgorithm &algo);
 
     /** One allocation pass; returns the number of flits granted. */
     int allocatePass(Cycle now);
+
+    /** Account one dropped flit and return its buffer credit. */
+    void accountDrop(const Flit &f, int unit, Cycle now);
 
     RouterId id_;
     int numPorts_;
@@ -192,6 +229,17 @@ class Router
 
     /** Rotating start offset for routing-order fairness. */
     int routeRotate_ = 0;
+
+    /** Per-output liveness mask (killOutput clears entries). */
+    std::vector<char> aliveOut_;
+    int deadOutputs_ = 0;
+    /** Input units currently discarding a truncated packet. */
+    int droppingUnits_ = 0;
+
+    /** Drop accounting (aggregated into NetworkStats by Network). */
+    std::uint64_t droppedFlits_ = 0;
+    std::uint64_t droppedPackets_ = 0;
+    std::uint64_t droppedMeasured_ = 0;
 };
 
 } // namespace fbfly

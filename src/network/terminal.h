@@ -75,6 +75,13 @@ class Terminal
     /** True while a packet is partially injected. */
     bool midPacket() const { return remainingFlits_ > 0; }
 
+    /** Credits held toward the router-side input VC @p vc (credit
+     *  conservation checks). */
+    int credits(VcId vc) const
+    {
+        return credits_[static_cast<std::size_t>(vc)];
+    }
+
     Rng &rng() { return rng_; }
 
   private:

@@ -1,5 +1,7 @@
 #include "routing/fbfly_base.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "network/flit.h"
 #include "network/router.h"
@@ -55,6 +57,8 @@ FbflyRouting::bestProductive(Router &router, RouterId dst_router,
         if (topo_.routerDigit(cur, d) == dst_dig)
             continue;
         const PortId p = topo_.portToward(cur, d, dst_dig);
+        if (!router.outputAlive(p))
+            continue; // failed channel: masked from the candidates
         const int q = router.estimatedQueue(p);
         if (best == kInvalid || q < best_queue) {
             best = p;
@@ -67,7 +71,6 @@ FbflyRouting::bestProductive(Router &router, RouterId dst_router,
                 best = p;
         }
     }
-    FBFLY_ASSERT(best != kInvalid, "no productive channel");
     return best;
 }
 
@@ -82,7 +85,122 @@ FbflyRouting::minimalHop(Router &router, Flit &flit,
     const int diff = topo_.minimalHops(cur, dst);
     int q = 0;
     const PortId p = bestProductive(router, dst, q);
+    if (p == kInvalid)
+        return escapeHop(router, flit, vc_offset);
     return {p, vc_offset + diff - 1};
+}
+
+RouteDecision
+FbflyRouting::escapeHop(Router &router, Flit &flit,
+                        int vc_offset) const
+{
+    const RouterId cur = router.id();
+    const RouterId dst = dstRouter(flit);
+    const int np = topo_.numDims();
+
+    if (flit.misroutes >= misrouteBudget())
+        return RouteDecision::dropped();
+
+    // Pass 1: detour within a dimension the packet still has to
+    // correct (keeps the minimal hop count).  Pass 2: step sideways
+    // in an already-correct dimension (costs one extra hop).
+    PortId pick = kInvalid;
+    int count = 0;
+    for (const bool differing : {true, false}) {
+        for (int d = 1; d <= np; ++d) {
+            const int own = topo_.routerDigit(cur, d);
+            const int want = topo_.routerDigit(dst, d);
+            if ((own != want) != differing)
+                continue;
+            for (int v = 0; v < topo_.k(); ++v) {
+                if (v == own || (differing && v == want))
+                    continue; // self / the (dead) productive port
+                const PortId p = topo_.portToward(cur, d, v);
+                if (!router.outputAlive(p))
+                    continue;
+                ++count;
+                if (router.rng().nextBounded(count) == 0)
+                    pick = p;
+            }
+        }
+        if (pick != kInvalid)
+            break;
+    }
+    if (pick == kInvalid)
+        return RouteDecision::dropped(); // no alive channel at all
+
+    ++flit.misroutes;
+    const int diff = topo_.minimalHops(cur, dst);
+    // Hops-remaining VC indexing, clamped into this phase's VC set;
+    // a detour keeps diff constant, a sideways step raises it.
+    return {pick, vc_offset + std::min(diff, np) - 1};
+}
+
+RouteDecision
+FbflyRouting::dorHopAlive(Router &router, Flit &flit, RouterId tgt,
+                          int vc_offset, VcId fixed_vc) const
+{
+    const RouterId cur = router.id();
+    const int np = topo_.numDims();
+    FBFLY_ASSERT(cur != tgt, "dorHopAlive with cur == tgt");
+
+    const auto vcFor = [&](RouterId nbr) -> VcId {
+        if (fixed_vc >= 0)
+            return fixed_vc;
+        const int after = topo_.minimalHops(nbr, tgt);
+        return vc_offset + std::min(after, np - 1);
+    };
+
+    // The plain dimension-order hop, when its channel is alive.
+    const int d0 = lowestDiffDim(cur, tgt);
+    const int want0 = topo_.routerDigit(tgt, d0);
+    const PortId direct = topo_.portToward(cur, d0, want0);
+    if (router.outputAlive(direct))
+        return {direct, vcFor(topo_.neighbor(cur, d0, want0))};
+
+    // Productive hop in another differing dimension (still minimal,
+    // merely out of dimension order).
+    for (int d = d0 + 1; d <= np; ++d) {
+        const int want = topo_.routerDigit(tgt, d);
+        if (topo_.routerDigit(cur, d) == want)
+            continue;
+        const PortId p = topo_.portToward(cur, d, want);
+        if (router.outputAlive(p))
+            return {p, vcFor(topo_.neighbor(cur, d, want))};
+    }
+
+    // Non-minimal escape (budgeted) around the failure.
+    if (flit.misroutes >= misrouteBudget())
+        return RouteDecision::dropped();
+    PortId pick = kInvalid;
+    RouterId pickNbr = kInvalid;
+    int count = 0;
+    for (const bool differing : {true, false}) {
+        for (int d = 1; d <= np; ++d) {
+            const int own = topo_.routerDigit(cur, d);
+            const int want = topo_.routerDigit(tgt, d);
+            if ((own != want) != differing)
+                continue;
+            for (int v = 0; v < topo_.k(); ++v) {
+                if (v == own || (differing && v == want))
+                    continue;
+                const PortId p = topo_.portToward(cur, d, v);
+                if (!router.outputAlive(p))
+                    continue;
+                ++count;
+                if (router.rng().nextBounded(count) == 0) {
+                    pick = p;
+                    pickNbr = topo_.neighbor(cur, d, v);
+                }
+            }
+        }
+        if (pick != kInvalid)
+            break;
+    }
+    if (pick == kInvalid)
+        return RouteDecision::dropped();
+    ++flit.misroutes;
+    return {pick, vcFor(pickNbr)};
 }
 
 } // namespace fbfly

@@ -1,5 +1,7 @@
 #include "routing/ghc_adaptive.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "network/flit.h"
 #include "network/router.h"
@@ -28,6 +30,8 @@ GhcAdaptive::route(Router &router, Flit &flit)
             continue;
         ++remaining;
         const PortId p = topo_.portToward(r, d, want);
+        if (!router.outputAlive(p))
+            continue; // failed channel: masked from the candidates
         const int q = router.estimatedQueue(p);
         if (best == kInvalid || q < best_q) {
             best = p;
@@ -39,11 +43,52 @@ GhcAdaptive::route(Router &router, Flit &flit)
                 best = p;
         }
     }
-    if (best == kInvalid)
+    if (remaining == 0)
         return {0, 0}; // terminal port
-    // Hops-remaining VC indexing keeps the adaptive order
-    // deadlock-free.
-    return {best, remaining - 1};
+    if (best != kInvalid) {
+        // Hops-remaining VC indexing keeps the adaptive order
+        // deadlock-free.
+        return {best, remaining - 1};
+    }
+
+    // Every productive channel has failed: budgeted non-minimal
+    // escape, as in FbflyRouting::escapeHop.  Pass 1 detours within
+    // a differing dimension (hop count preserved); pass 2 steps
+    // sideways in a correct dimension (one extra hop).  VCs stay
+    // clamped to the hops-remaining set; monotonicity no longer
+    // holds, so faulty runs rely on the watchdog (docs/FAULTS.md).
+    if (flit.misroutes >= 4 * topo_.numDims() + 8)
+        return RouteDecision::dropped();
+    PortId pick = kInvalid;
+    bool pickDiffering = false;
+    int count = 0;
+    for (const bool differing : {true, false}) {
+        for (int d = 0; d < topo_.numDims(); ++d) {
+            const int own = topo_.routerDigit(r, d);
+            const int want = topo_.routerDigit(dst, d);
+            if ((own != want) != differing)
+                continue;
+            for (int v = 0; v < topo_.radixOf(d); ++v) {
+                if (v == own || (differing && v == want))
+                    continue;
+                const PortId p = topo_.portToward(r, d, v);
+                if (!router.outputAlive(p))
+                    continue;
+                ++count;
+                if (router.rng().nextBounded(count) == 0) {
+                    pick = p;
+                    pickDiffering = differing;
+                }
+            }
+        }
+        if (pick != kInvalid)
+            break;
+    }
+    if (pick == kInvalid)
+        return RouteDecision::dropped(); // no alive channel at all
+    ++flit.misroutes;
+    const int after = pickDiffering ? remaining : remaining + 1;
+    return {pick, std::min(after, topo_.numDims()) - 1};
 }
 
 } // namespace fbfly

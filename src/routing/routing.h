@@ -35,6 +35,19 @@ struct RouteDecision
 {
     PortId outPort = kInvalid;
     VcId outVc = kInvalid;
+    /**
+     * Drop the packet instead of forwarding it: the algorithm has
+     * determined the destination is unreachable (all productive and
+     * escape channels failed, or the misroute budget is exhausted).
+     * The router removes the flit, returns the buffer credit, and
+     * counts the loss (NetworkStats::flitsDropped /
+     * packetsUnreachable) so experiments terminate with an explicit
+     * "unreachable" status instead of hanging.
+     */
+    bool drop = false;
+
+    /** A decision that drops the packet as unreachable. */
+    static RouteDecision dropped() { return {kInvalid, kInvalid, true}; }
 };
 
 /**

@@ -24,17 +24,28 @@ Ugal::route(Router &router, Flit &flit)
         if (cur == dst) {
             flit.routeMode = kModeMinimal;
         } else {
+            // A path whose first channel has failed is estimated at a
+            // prohibitive queue so the alternative wins unless it is
+            // equally dead (then minimalHop's escape machinery takes
+            // over anyway).
+            constexpr int kDeadQueue = 1 << 20;
+
             const int h_min = topo_.minimalHops(cur, dst);
             int q_min = 0;
-            (void)bestProductive(router, dst, q_min);
+            if (bestProductive(router, dst, q_min) == kInvalid)
+                q_min = kDeadQueue; // every productive channel failed
 
             const auto b = static_cast<RouterId>(
                 router.rng().nextBounded(topo_.numRouters()));
             const int h_val =
                 topo_.minimalHops(cur, b) + topo_.minimalHops(b, dst);
             int q_val = q_min;
-            if (b != cur)
-                q_val = router.estimatedQueue(dorPort(cur, b));
+            if (b != cur) {
+                const PortId pb = dorPort(cur, b);
+                q_val = router.outputAlive(pb)
+                            ? router.estimatedQueue(pb)
+                            : kDeadQueue;
+            }
 
             // Estimated delay = (queue + the hop itself) x hops;
             // counting the hop keeps empty-queue comparisons honest
@@ -56,19 +67,17 @@ Ugal::route(Router &router, Flit &flit)
     }
 
     // Non-minimal: Valiant through the recorded intermediate, with
-    // dimension-order subroutes and hops-remaining VC indexing.
+    // fault-aware dimension-order subroutes and hops-remaining VC
+    // indexing (fixed_vc < 0).
     if (flit.phase == 0) {
-        if (cur != flit.intermediate) {
-            const int remaining =
-                topo_.minimalHops(cur, flit.intermediate);
-            return {dorPort(cur, flit.intermediate), remaining - 1};
-        }
+        if (cur != flit.intermediate)
+            return dorHopAlive(router, flit, flit.intermediate, 0,
+                               /*fixed_vc=*/-1);
         flit.phase = 1;
     }
     if (cur == dst)
         return eject(flit);
-    const int remaining = topo_.minimalHops(cur, dst);
-    return {dorPort(cur, dst), np + remaining - 1};
+    return dorHopAlive(router, flit, dst, np, /*fixed_vc=*/-1);
 }
 
 } // namespace fbfly

@@ -22,14 +22,15 @@ Valiant::route(Router &router, Flit &flit)
                 router.rng().nextBounded(topo_.numRouters()));
         }
         if (cur != flit.intermediate)
-            return {dorPort(cur, flit.intermediate), 0};
+            return dorHopAlive(router, flit, flit.intermediate, 0,
+                               /*fixed_vc=*/0);
         flit.phase = 1;
     }
 
     const RouterId dst = dstRouter(flit);
     if (cur == dst)
         return eject(flit);
-    return {dorPort(cur, dst), 1};
+    return dorHopAlive(router, flit, dst, 0, /*fixed_vc=*/1);
 }
 
 } // namespace fbfly

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * FaultModel tests: liveness queries, time-triggered activation,
+ * router failures, deterministic random draws, and connectivity
+ * analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_model.h"
+#include "topology/flattened_butterfly.h"
+#include "topology/generalized_hypercube.h"
+
+namespace fbfly
+{
+namespace
+{
+
+/** Arc index of the directed channel a -> b (kNoArc if absent). */
+constexpr std::size_t kNoArc = static_cast<std::size_t>(-1);
+
+std::size_t
+arcIndexOf(const FaultModel &fm, RouterId a, RouterId b)
+{
+    const auto &arcs = fm.arcs();
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+        if (arcs[i].src == a && arcs[i].dst == b)
+            return i;
+    }
+    return kNoArc;
+}
+
+TEST(FaultModel, FreshModelHasNoFaults)
+{
+    FlattenedButterfly topo(4, 2); // 4 routers, K4, 12 arcs
+    FaultModel fm(topo);
+    EXPECT_FALSE(fm.anyFaults());
+    EXPECT_TRUE(fm.connected());
+    EXPECT_EQ(fm.numArcs(), topo.arcs().size());
+    for (std::size_t i = 0; i < fm.numArcs(); ++i) {
+        EXPECT_TRUE(fm.arcAlive(i, 0));
+        EXPECT_EQ(fm.arcFailCycle(i), FaultModel::kNever);
+    }
+    EXPECT_EQ(fm.failedArcCount(1000000), 0);
+}
+
+TEST(FaultModel, FailLinkBetweenKillsBothDirections)
+{
+    FlattenedButterfly topo(4, 2);
+    FaultModel fm(topo);
+    EXPECT_EQ(fm.failLinkBetween(0, 1), 2);
+    EXPECT_TRUE(fm.anyFaults());
+    EXPECT_EQ(fm.failedArcCount(0), 2);
+
+    const std::size_t fwd = arcIndexOf(fm, 0, 1);
+    const std::size_t rev = arcIndexOf(fm, 1, 0);
+    ASSERT_NE(fwd, kNoArc);
+    ASSERT_NE(rev, kNoArc);
+    EXPECT_FALSE(fm.arcAlive(fwd, 0));
+    EXPECT_FALSE(fm.arcAlive(rev, 0));
+    // Unrelated arcs stay up; K4 minus one edge stays connected.
+    EXPECT_TRUE(fm.arcAlive(arcIndexOf(fm, 0, 2), 0));
+    EXPECT_TRUE(fm.connected());
+
+    // Non-adjacent pair: nothing to fail.
+    GeneralizedHypercube ghc({4, 4});
+    FaultModel gfm(ghc);
+    EXPECT_EQ(gfm.failLinkBetween(0, 5), 0); // differ in both dims
+}
+
+TEST(FaultModel, TimeTriggeredActivation)
+{
+    FlattenedButterfly topo(4, 2);
+    FaultModel fm(topo);
+    fm.failArc(3, 100);
+    EXPECT_TRUE(fm.arcAlive(3, 0));
+    EXPECT_TRUE(fm.arcAlive(3, 99));
+    EXPECT_FALSE(fm.arcAlive(3, 100));
+    EXPECT_EQ(fm.arcFailCycle(3), 100);
+    EXPECT_EQ(fm.failedArcCount(99), 0);
+    EXPECT_EQ(fm.failedArcCount(100), 1);
+
+    // The earlier of repeated failures wins.
+    fm.failArc(3, 200);
+    EXPECT_EQ(fm.arcFailCycle(3), 100);
+    fm.failArc(3, 50);
+    EXPECT_EQ(fm.arcFailCycle(3), 50);
+}
+
+TEST(FaultModel, RouterFailureKillsIncidentArcs)
+{
+    FlattenedButterfly topo(4, 2);
+    FaultModel fm(topo);
+    fm.failRouter(2, 10);
+    EXPECT_TRUE(fm.routerAlive(2, 9));
+    EXPECT_FALSE(fm.routerAlive(2, 10));
+    for (std::size_t i = 0; i < fm.numArcs(); ++i) {
+        const auto &a = fm.arcs()[i];
+        if (a.src == 2 || a.dst == 2) {
+            EXPECT_EQ(fm.arcFailCycle(i), 10) << i;
+        } else {
+            EXPECT_EQ(fm.arcFailCycle(i), FaultModel::kNever) << i;
+        }
+    }
+    // A dead terminal-hosting router disconnects its terminals.
+    EXPECT_FALSE(fm.connected());
+}
+
+TEST(FaultModel, IsolatingFaultSetReportedDeterministically)
+{
+    // Cutting every link of router 0 isolates its terminals; the
+    // model reports it identically on every construction.
+    for (int rep = 0; rep < 2; ++rep) {
+        FlattenedButterfly topo(4, 2);
+        FaultModel fm(topo);
+        for (RouterId r = 1; r < 4; ++r)
+            EXPECT_EQ(fm.failLinkBetween(0, r), 2);
+        EXPECT_FALSE(fm.connected());
+        EXPECT_EQ(fm.failedArcCount(0), 6);
+    }
+}
+
+TEST(FaultModel, RandomDrawIsDeterministic)
+{
+    FlattenedButterfly topo(8, 2); // 8 routers, K8, 56 arcs
+    FaultModel a(topo);
+    FaultModel b(topo);
+    EXPECT_EQ(a.failRandomLinks(5, 42), 5);
+    EXPECT_EQ(b.failRandomLinks(5, 42), 5);
+    for (std::size_t i = 0; i < a.numArcs(); ++i)
+        EXPECT_EQ(a.arcFailCycle(i), b.arcFailCycle(i)) << i;
+    EXPECT_EQ(a.failedArcCount(0), 10); // 5 links, both directions
+
+    // A different seed gives a different set (with 28 choose 5
+    // possibilities a collision would be a miracle).
+    FaultModel c(topo);
+    EXPECT_EQ(c.failRandomLinks(5, 43), 5);
+    bool same = true;
+    for (std::size_t i = 0; i < a.numArcs(); ++i)
+        same = same && a.arcFailCycle(i) == c.arcFailCycle(i);
+    EXPECT_FALSE(same);
+}
+
+TEST(FaultModel, RandomDrawPreservesConnectivity)
+{
+    FlattenedButterfly topo(4, 2); // K4: 6 links, spanning needs 3
+    FaultModel fm(topo);
+    // Ask for everything; connectivity pruning must refuse enough
+    // links to keep all terminal routers mutually reachable.
+    const int failed = fm.failRandomLinks(6, 7, 0, true);
+    EXPECT_LT(failed, 6);
+    EXPECT_TRUE(fm.connected());
+
+    // Without pruning the full request is honored.
+    FaultModel raw(topo);
+    EXPECT_EQ(raw.failRandomLinks(6, 7, 0, false), 6);
+    EXPECT_FALSE(raw.connected());
+}
+
+} // namespace
+} // namespace fbfly
