@@ -8,16 +8,31 @@
  * study would (the paper does not specify its windows); this adds
  * noise but does not change the shapes the paper's conclusions rest
  * on.  EXPERIMENTS.md records paper-vs-measured for every bench.
+ *
+ * The simulated benches share a tiny command line (docs/SWEEPS.md):
+ *
+ *   --threads N   run independent sweep points on N worker threads
+ *                 (0: all hardware threads; results are bit-identical
+ *                 for every N — see SweepEngine's determinism
+ *                 contract);
+ *   --json PATH   additionally emit the results as a
+ *                 "fbfly-sweep-v1" JSON document;
+ *   --seed S      master seed (per-point seeds derive from it).
  */
 
 #ifndef FBFLY_BENCH_BENCH_UTIL_H
 #define FBFLY_BENCH_BENCH_UTIL_H
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.h"
+#include "harness/result_writer.h"
+#include "harness/sweep.h"
 
 namespace fbfly::bench
 {
@@ -53,6 +68,98 @@ halfCapacitySweep()
     return {0.1, 0.2, 0.3, 0.4, 0.45, 0.5, 0.55};
 }
 
+/** Shared command-line options of the simulated benches. */
+struct BenchOptions
+{
+    /** Sweep worker threads (--threads; 0: all hardware threads). */
+    int threads = 1;
+    /** JSON output path (--json; empty: no JSON). */
+    std::string jsonPath;
+    /** Master seed (--seed). */
+    std::uint64_t seed = 2007; // ISCA'07
+};
+
+/**
+ * Parse --threads / --json / --seed (each also accepts the
+ * --flag=value spelling).  Prints usage and exits on bad input.
+ */
+inline BenchOptions
+parseBenchOptions(int argc, char **argv)
+{
+    const auto usage = [&](int status) {
+        std::fprintf(
+            stderr,
+            "usage: %s [--threads N] [--json PATH] [--seed S]\n"
+            "  --threads N  worker threads for independent sweep "
+            "points\n"
+            "               (0: all hardware threads; default 1; "
+            "results are\n"
+            "               identical for every N)\n"
+            "  --json PATH  also write results as fbfly-sweep-v1 "
+            "JSON\n"
+            "  --seed S     master seed (default 2007)\n",
+            argv[0]);
+        std::exit(status);
+    };
+    const auto value = [&](int &i, const char *arg,
+                           const char *name) -> const char * {
+        const std::size_t n = std::strlen(name);
+        if (std::strncmp(arg, name, n) == 0 && arg[n] == '=')
+            return arg + n + 1;
+        if (std::strcmp(arg, name) == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: missing value for %s\n",
+                             argv[0], name);
+                usage(2);
+            }
+            return argv[++i];
+        }
+        return nullptr;
+    };
+
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            usage(0);
+        } else if (const char *v = value(i, arg, "--threads")) {
+            char *end = nullptr;
+            opt.threads = static_cast<int>(std::strtol(v, &end, 10));
+            if (end == v || *end != '\0' || opt.threads < 0) {
+                std::fprintf(stderr, "%s: bad --threads '%s'\n",
+                             argv[0], v);
+                usage(2);
+            }
+        } else if (const char *v = value(i, arg, "--json")) {
+            opt.jsonPath = v;
+        } else if (const char *v = value(i, arg, "--seed")) {
+            char *end = nullptr;
+            opt.seed = std::strtoull(v, &end, 0);
+            if (end == v || *end != '\0') {
+                std::fprintf(stderr, "%s: bad --seed '%s'\n",
+                             argv[0], v);
+                usage(2);
+            }
+        } else {
+            std::fprintf(stderr, "%s: unknown argument '%s'\n",
+                         argv[0], arg);
+            usage(2);
+        }
+    }
+    return opt;
+}
+
+/** SweepConfig for parsed options. */
+inline SweepConfig
+sweepConfig(const BenchOptions &opt)
+{
+    SweepConfig cfg;
+    cfg.threads = opt.threads;
+    cfg.masterSeed = opt.seed;
+    return cfg;
+}
+
 /** Print the header for a latency/throughput series. */
 inline void
 printSeriesHeader(const std::string &series)
@@ -66,13 +173,64 @@ printSeriesHeader(const std::string &series)
 inline void
 printPoint(const LoadPointResult &r)
 {
-    if (r.saturated || r.measuredPackets == 0) {
+    if (!r.latencyValid()) {
         std::printf("%10.3f %10.4f %12s %10s %6s\n", r.offered,
-                    r.accepted, "-", "-", "yes");
+                    r.accepted, "-", "-",
+                    r.valid() ? "yes" : toString(r.status));
     } else {
         std::printf("%10.3f %10.4f %12.2f %10.2f %6s\n", r.offered,
                     r.accepted, r.avgLatency, r.avgHops, "no");
     }
+}
+
+/**
+ * Print a completed engine's load-point records, series by series
+ * (records must have been queued series-contiguously, which
+ * addLoadSweep guarantees).
+ */
+inline void
+printLoadRecords(const std::vector<SweepPointRecord> &records)
+{
+    const std::string *series = nullptr;
+    for (const auto &rec : records) {
+        if (rec.kind != SweepPointKind::kLoadPoint)
+            continue;
+        if (series == nullptr || rec.series != *series) {
+            printSeriesHeader(rec.series);
+            series = &rec.series;
+        }
+        printPoint(rec.load);
+    }
+}
+
+/**
+ * Wrap-up shared by the simulated benches: report the parallel
+ * timing and write the JSON document when requested.
+ */
+inline void
+finishBench(const SweepEngine &engine, const BenchOptions &opt,
+            const std::string &bench_name,
+            const std::string &description = std::string(),
+            std::vector<std::pair<std::string, std::string>> extra =
+                {})
+{
+    std::printf("\n# %zu points, %d thread(s): %.2fs wall "
+                "(serial-equivalent %.2fs, speedup %.2fx)\n",
+                engine.records().size(), engine.threads(),
+                engine.totalWallSeconds(),
+                engine.pointWallSecondsSum(),
+                engine.totalWallSeconds() > 0.0
+                    ? engine.pointWallSecondsSum() /
+                          engine.totalWallSeconds()
+                    : 0.0);
+    if (opt.jsonPath.empty())
+        return;
+    SweepRunMeta meta;
+    meta.bench = bench_name;
+    meta.description = description;
+    meta.extra = std::move(extra);
+    if (writeSweepResults(opt.jsonPath, meta, engine))
+        std::printf("# wrote %s\n", opt.jsonPath.c_str());
 }
 
 } // namespace fbfly::bench

@@ -18,9 +18,11 @@
  * cross.
  *
  * All runs are watchdog-backed and end with an explicit status —
- * the sweep cannot hang (docs/FAULTS.md).
+ * the sweep cannot hang (docs/FAULTS.md).  The cells execute on the
+ * parallel sweep engine (--threads N, --json PATH; docs/SWEEPS.md).
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -35,8 +37,10 @@ using namespace fbfly;
 using namespace fbfly::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     FlattenedButterfly topo(8, 2);
     UniformRandom pattern(topo.numNodes());
 
@@ -48,6 +52,8 @@ main()
 
     DegradationConfig cfg;
     cfg.exp = defaultPhasing();
+    cfg.exp.seed = opt.seed;
+    cfg.threads = opt.threads;
     cfg.net.vcDepth = 8; // scaled with the small network
 
     std::printf("# graceful degradation, %s, uniform random\n",
@@ -55,19 +61,38 @@ main()
     std::printf("%10s %7s %12s %10s %12s %8s %12s %12s\n", "fraction",
                 "links", "algorithm", "sat_tput", "sat_status",
                 "latency", "low_status", "dropped");
-    for (const auto &pt :
-         runDegradationSweep(topo, algos, pattern, cfg)) {
+    std::vector<SweepPointRecord> records;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto points =
+        runDegradationSweep(topo, algos, pattern, cfg, &records);
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    for (const auto &pt : points) {
         std::printf("%10.3f %4d/%-2d %12s %10.4f %12s ", pt.fraction,
                     pt.failedLinks, pt.totalLinks,
                     pt.algorithm.c_str(), pt.saturation.accepted,
                     toString(pt.saturation.status));
-        if (pt.lowLoad.measuredPackets > 0)
+        if (pt.lowLoad.latencyValid())
             std::printf("%8.2f", pt.lowLoad.avgLatency);
         else
             std::printf("%8s", "-");
         std::printf(" %12s %12llu\n", toString(pt.lowLoad.status),
                     static_cast<unsigned long long>(
                         pt.lowLoad.measuredDropped));
+    }
+
+    if (!opt.jsonPath.empty()) {
+        SweepRunMeta meta;
+        meta.bench = "degradation_sweep";
+        meta.description =
+            "graceful degradation under random link failures "
+            "(8-ary 2-flat, uniform random)";
+        if (writeSweepResults(opt.jsonPath, meta, records, opt.seed,
+                              ThreadPool::resolveThreads(opt.threads),
+                              wall))
+            std::printf("# wrote %s\n", opt.jsonPath.c_str());
     }
     return 0;
 }

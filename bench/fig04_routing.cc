@@ -12,9 +12,11 @@
  *
  * Buffering is held at numVcs * vcDepth = 32 flits per port
  * (Section 3.2).
+ *
+ * Every load point is an independent simulation; they execute on the
+ * parallel sweep engine (--threads N, bit-identical results for any
+ * N) and can be exported as JSON (--json PATH).  See docs/SWEEPS.md.
  */
-
-#include <memory>
 
 #include "bench_util.h"
 #include "routing/clos_ad.h"
@@ -31,25 +33,25 @@ namespace
 {
 
 void
-sweepAlgo(const FlattenedButterfly &topo, RoutingAlgorithm &algo,
-          const TrafficPattern &pattern, const char *figure,
-          const std::vector<double> &loads)
+queueAlgo(SweepEngine &engine, const FlattenedButterfly &topo,
+          RoutingAlgorithm &algo, const TrafficPattern &pattern,
+          const char *figure, const std::vector<double> &loads)
 {
     NetworkConfig netcfg;
     netcfg.vcDepth = 32 / algo.numVcs();
-    printSeriesHeader(std::string(figure) + " " + algo.name() +
-                      " / " + pattern.name());
-    for (const auto &r : runLoadSweep(topo, algo, pattern, netcfg,
-                                      defaultPhasing(), loads)) {
-        printPoint(r);
-    }
+    engine.addLoadSweep(std::string(figure) + " " + algo.name() +
+                            " / " + pattern.name(),
+                        topo, algo, pattern, netcfg,
+                        defaultPhasing(), loads);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     FlattenedButterfly topo(32, 2);
     UniformRandom ur(topo.numNodes());
     AdversarialNeighbor wc(topo.numNodes(), topo.k());
@@ -63,20 +65,27 @@ main()
     std::printf("Figure 4: routing algorithms on the 32-ary 2-flat "
                 "(N=1024, k'=%d)\n", topo.radix());
 
+    SweepEngine engine(sweepConfig(opt));
+
     // (a) uniform random.
-    sweepAlgo(topo, min_ad, ur, "fig4a", loadSweep(1.0));
-    sweepAlgo(topo, val, ur, "fig4a", halfCapacitySweep());
-    sweepAlgo(topo, ugal, ur, "fig4a", loadSweep(1.0));
-    sweepAlgo(topo, ugal_s, ur, "fig4a", loadSweep(1.0));
-    sweepAlgo(topo, clos_ad, ur, "fig4a", loadSweep(1.0));
+    queueAlgo(engine, topo, min_ad, ur, "fig4a", loadSweep(1.0));
+    queueAlgo(engine, topo, val, ur, "fig4a", halfCapacitySweep());
+    queueAlgo(engine, topo, ugal, ur, "fig4a", loadSweep(1.0));
+    queueAlgo(engine, topo, ugal_s, ur, "fig4a", loadSweep(1.0));
+    queueAlgo(engine, topo, clos_ad, ur, "fig4a", loadSweep(1.0));
 
     // (b) worst case.  MIN AD saturates at ~3%, so a couple of
     // points suffice to show the plateau.
-    sweepAlgo(topo, min_ad, wc, "fig4b", {0.02, 0.05, 0.2, 0.5});
-    sweepAlgo(topo, val, wc, "fig4b", halfCapacitySweep());
-    sweepAlgo(topo, ugal, wc, "fig4b", halfCapacitySweep());
-    sweepAlgo(topo, ugal_s, wc, "fig4b", halfCapacitySweep());
-    sweepAlgo(topo, clos_ad, wc, "fig4b", halfCapacitySweep());
+    queueAlgo(engine, topo, min_ad, wc, "fig4b",
+              {0.02, 0.05, 0.2, 0.5});
+    queueAlgo(engine, topo, val, wc, "fig4b", halfCapacitySweep());
+    queueAlgo(engine, topo, ugal, wc, "fig4b", halfCapacitySweep());
+    queueAlgo(engine, topo, ugal_s, wc, "fig4b", halfCapacitySweep());
+    queueAlgo(engine, topo, clos_ad, wc, "fig4b",
+              halfCapacitySweep());
 
+    printLoadRecords(engine.run());
+    finishBench(engine, opt, "fig04_routing",
+                "Figure 4: routing algorithms on the 32-ary 2-flat");
     return 0;
 }

@@ -10,6 +10,10 @@
  * intermediates; CLOS AD removes both sources of imbalance.  As the
  * batch grows, normalized latency approaches the inverse of each
  * algorithm's throughput (~2.0 at 50%).
+ *
+ * Every (batch size, algorithm) cell is an independent runBatch
+ * simulation; they execute on the parallel sweep engine (--threads
+ * N, --json PATH; docs/SWEEPS.md).
  */
 
 #include <cstdio>
@@ -22,10 +26,13 @@
 #include "traffic/traffic_pattern.h"
 
 using namespace fbfly;
+using namespace fbfly::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     FlattenedButterfly topo(32, 2);
     AdversarialNeighbor wc(topo.numNodes(), topo.k());
 
@@ -34,6 +41,26 @@ main()
     Ugal ugal_s(topo, true);
     ClosAd clos_ad(topo);
     RoutingAlgorithm *algos[] = {&val, &ugal, &ugal_s, &clos_ad};
+    constexpr std::size_t kAlgos = std::size(algos);
+
+    const std::vector<int> batches = {1,  2,   5,   10,  20,
+                                      50, 100, 200, 500, 1000};
+
+    // Queue batch-major, algorithm-minor — the same order the table
+    // prints — so record index i maps to (row i / kAlgos,
+    // column i % kAlgos).
+    SweepEngine engine(sweepConfig(opt));
+    for (const int batch : batches) {
+        for (auto *a : algos) {
+            NetworkConfig netcfg;
+            netcfg.vcDepth = 32 / a->numVcs();
+            char series[48];
+            std::snprintf(series, sizeof series, "fig5 %s",
+                          a->name().c_str());
+            engine.addBatch(series, topo, *a, wc, netcfg, batch);
+        }
+    }
+    const auto &records = engine.run();
 
     std::printf("Figure 5: batch completion time / batch size "
                 "(worst-case traffic, N=1024)\n\n");
@@ -42,17 +69,17 @@ main()
         std::printf(" %10s", a->name().c_str());
     std::printf("\n");
 
-    for (const int batch : {1, 2, 5, 10, 20, 50, 100, 200, 500,
-                            1000}) {
-        std::printf("%8d", batch);
-        for (auto *a : algos) {
-            NetworkConfig netcfg;
-            netcfg.vcDepth = 32 / a->numVcs();
-            const BatchResult r =
-                runBatch(topo, *a, wc, netcfg, 2007, batch);
-            std::printf(" %10.2f", r.normalizedLatency);
+    for (std::size_t row = 0; row < batches.size(); ++row) {
+        std::printf("%8d", batches[row]);
+        for (std::size_t col = 0; col < kAlgos; ++col) {
+            const auto &rec = records[row * kAlgos + col];
+            std::printf(" %10.2f", rec.batch.normalizedLatency);
         }
         std::printf("\n");
     }
+
+    finishBench(engine, opt, "fig05_dynamic_response",
+                "Figure 5: batch completion time, worst-case "
+                "traffic");
     return 0;
 }

@@ -13,6 +13,9 @@
  *    channels (period 2) for equal bisection.
  *
  * Total buffering is 32 flits/port everywhere (VCs x depth).
+ *
+ * Load points execute on the parallel sweep engine (--threads N,
+ * --json PATH; docs/SWEEPS.md).
  */
 
 #include "bench_util.h"
@@ -33,26 +36,28 @@ namespace
 {
 
 void
-sweep(const Topology &topo, RoutingAlgorithm &algo,
-      const TrafficPattern &pattern, const char *figure,
-      const std::vector<double> &loads, Cycle period = 1)
+queueSweep(SweepEngine &engine, const Topology &topo,
+           RoutingAlgorithm &algo, const TrafficPattern &pattern,
+           const char *figure, const std::vector<double> &loads,
+           Cycle period = 1)
 {
     NetworkConfig netcfg;
     netcfg.vcDepth = 32 / algo.numVcs();
     netcfg.channelPeriod = period;
-    printSeriesHeader(std::string(figure) + " " + topo.name() + " / " +
-                      algo.name() + " / " + pattern.name());
-    for (const auto &r : runLoadSweep(topo, algo, pattern, netcfg,
-                                      defaultPhasing(), loads)) {
-        printPoint(r);
-    }
+    engine.addLoadSweep(std::string(figure) + " " + topo.name() +
+                            " / " + algo.name() + " / " +
+                            pattern.name(),
+                        topo, algo, pattern, netcfg,
+                        defaultPhasing(), loads);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
     constexpr std::int64_t kNodes = 1024;
 
     FlattenedButterfly fb(32, 2);
@@ -80,17 +85,27 @@ main()
                 hc.name().c_str(), hc_algo.name().c_str(),
                 hc_algo.numVcs());
 
+    SweepEngine engine(sweepConfig(opt));
+
     // (a) uniform random.
-    sweep(fb, fb_algo, ur, "fig6a", loadSweep(1.0));
-    sweep(bf, bf_algo, ur, "fig6a", loadSweep(1.0));
-    sweep(fc, fc_algo, ur, "fig6a", halfCapacitySweep());
-    sweep(hc, hc_algo, ur, "fig6a", loadSweep(1.0), 2);
+    queueSweep(engine, fb, fb_algo, ur, "fig6a", loadSweep(1.0));
+    queueSweep(engine, bf, bf_algo, ur, "fig6a", loadSweep(1.0));
+    queueSweep(engine, fc, fc_algo, ur, "fig6a",
+               halfCapacitySweep());
+    queueSweep(engine, hc, hc_algo, ur, "fig6a", loadSweep(1.0), 2);
 
     // (b) worst case.
-    sweep(fb, fb_algo, wc, "fig6b", halfCapacitySweep());
-    sweep(bf, bf_algo, wc, "fig6b", {0.02, 0.05, 0.2, 0.5});
-    sweep(fc, fc_algo, wc, "fig6b", halfCapacitySweep());
-    sweep(hc, hc_algo, wc, "fig6b", halfCapacitySweep(), 2);
+    queueSweep(engine, fb, fb_algo, wc, "fig6b",
+               halfCapacitySweep());
+    queueSweep(engine, bf, bf_algo, wc, "fig6b",
+               {0.02, 0.05, 0.2, 0.5});
+    queueSweep(engine, fc, fc_algo, wc, "fig6b",
+               halfCapacitySweep());
+    queueSweep(engine, hc, hc_algo, wc, "fig6b", halfCapacitySweep(),
+               2);
 
+    printLoadRecords(engine.run());
+    finishBench(engine, opt, "fig06_topologies",
+                "Figure 6 / Table 1: topology comparison at N=1024");
     return 0;
 }

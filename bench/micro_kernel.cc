@@ -1,47 +1,45 @@
 /**
  * @file
- * google-benchmark micro-benchmarks of the simulator kernel: cycle
- * throughput of the network step loop at various loads, routing
- * decision cost, RNG, and the analytic models.  These guard against
- * performance regressions in the hot paths the figure benches rely
- * on.
+ * Kernel micro-benchmark: a small fig04-style load sweep on the
+ * 8-ary 2-flat, run through the parallel sweep engine, plus a serial
+ * timing of the simulator's step-loop hot path.
+ *
+ * This is the regression guard for the hot paths the figure benches
+ * rely on, and the CI smoke test of the sweep engine itself: it runs
+ * in seconds, exercises the thread pool (--threads N), and emits the
+ * full fbfly-sweep-v1 JSON document (--json PATH) that CI uploads as
+ * an artifact.  The JSON's wall_seconds_points_sum /
+ * wall_seconds_total ratio ("parallel_speedup") records the
+ * sweep-level parallel speedup of the run; the step-rate kernels
+ * land in the metadata object.  See docs/SWEEPS.md.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
 
-#include "common/rng.h"
-#include "cost/topology_cost.h"
-#include "network/network.h"
-#include "routing/clos_ad.h"
+#include "bench_util.h"
 #include "routing/min_adaptive.h"
+#include "routing/valiant.h"
 #include "topology/flattened_butterfly.h"
 #include "traffic/injection.h"
 #include "traffic/traffic_pattern.h"
 
+using namespace fbfly;
+using namespace fbfly::bench;
+
 namespace
 {
 
-using namespace fbfly;
-
-void
-BM_RngNext(benchmark::State &state)
+/** Cycles/second of the network step loop at @p load (serial). */
+double
+stepRate(double load)
 {
-    Rng rng(42);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(rng.next());
-}
-BENCHMARK(BM_RngNext);
-
-void
-BM_NetworkStep(benchmark::State &state)
-{
-    const double load = static_cast<double>(state.range(0)) / 100.0;
-    FlattenedButterfly topo(32, 2);
+    FlattenedButterfly topo(8, 2);
     MinAdaptive algo(topo);
     UniformRandom pattern(topo.numNodes());
     NetworkConfig cfg;
     cfg.numVcs = algo.numVcs();
-    cfg.vcDepth = 32;
+    cfg.vcDepth = 8;
     Network net(topo, algo, &pattern, cfg);
     BernoulliInjection inj(load, 1, 7);
 
@@ -50,52 +48,73 @@ BM_NetworkStep(benchmark::State &state)
         inj.tick(net, false);
         net.step();
     }
-    for (auto _ : state) {
+    constexpr int kCycles = 20000;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int c = 0; c < kCycles; ++c) {
         inj.tick(net, false);
         net.step();
     }
-    state.SetItemsProcessed(state.iterations() *
-                            topo.numNodes());
+    const double secs =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return secs > 0.0 ? kCycles / secs : 0.0;
 }
-BENCHMARK(BM_NetworkStep)->Arg(10)->Arg(50)->Arg(90);
-
-void
-BM_ClosAdStep(benchmark::State &state)
-{
-    FlattenedButterfly topo(32, 2);
-    ClosAd algo(topo);
-    AdversarialNeighbor pattern(topo.numNodes(), topo.k());
-    NetworkConfig cfg;
-    cfg.numVcs = algo.numVcs();
-    cfg.vcDepth = 16;
-    Network net(topo, algo, &pattern, cfg);
-    BernoulliInjection inj(0.45, 1, 7);
-    for (int c = 0; c < 500; ++c) {
-        inj.tick(net, false);
-        net.step();
-    }
-    for (auto _ : state) {
-        inj.tick(net, false);
-        net.step();
-    }
-}
-BENCHMARK(BM_ClosAdStep);
-
-void
-BM_CostModelSweep(benchmark::State &state)
-{
-    TopologyCostModel model;
-    for (auto _ : state) {
-        double total = 0.0;
-        for (std::int64_t n = 64; n <= 65536; n *= 2) {
-            total +=
-                model.price(model.flattenedButterfly(n)).total();
-        }
-        benchmark::DoNotOptimize(total);
-    }
-}
-BENCHMARK(BM_CostModelSweep);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+
+    FlattenedButterfly topo(8, 2);
+    UniformRandom ur(topo.numNodes());
+    MinAdaptive min_ad(topo);
+    Valiant val(topo);
+
+    ExperimentConfig phasing;
+    phasing.warmupCycles = 500;
+    phasing.measureCycles = 1000;
+    phasing.drainCycles = 3000;
+    phasing.seed = opt.seed;
+
+    std::printf("micro kernel: sweep-engine smoke sweep on the "
+                "8-ary 2-flat (N=%lld)\n",
+                static_cast<long long>(topo.numNodes()));
+
+    SweepEngine engine(sweepConfig(opt));
+    {
+        NetworkConfig netcfg;
+        netcfg.vcDepth = 8;
+        engine.addLoadSweep("micro MIN AD / uniform", topo, min_ad,
+                            ur, netcfg, phasing,
+                            loadSweep(0.9, 0.1));
+        engine.addLoadSweep("micro VAL / uniform", topo, val, ur,
+                            netcfg, phasing,
+                            {0.1, 0.2, 0.3, 0.4, 0.45});
+    }
+    printLoadRecords(engine.run());
+
+    // Serial hot-path kernels (regression guard for the step loop).
+    std::printf("\n# step-loop kernels (serial)\n");
+    std::vector<std::pair<std::string, std::string>> extra;
+    for (const double load : {0.1, 0.5, 0.9}) {
+        const double rate = stepRate(load);
+        std::printf("step rate @ load %.1f: %.0f cycles/s\n", load,
+                    rate);
+        char key[48];
+        char value[32];
+        std::snprintf(key, sizeof key,
+                      "step_rate_cycles_per_sec_load_%02d",
+                      static_cast<int>(load * 100));
+        std::snprintf(value, sizeof value, "%.0f", rate);
+        extra.emplace_back(key, value);
+    }
+
+    finishBench(engine, opt, "micro_kernel",
+                "kernel micro-benchmark: sweep-engine smoke sweep + "
+                "serial step-loop rates",
+                std::move(extra));
+    return 0;
+}

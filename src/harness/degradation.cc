@@ -1,6 +1,8 @@
 #include "harness/degradation.h"
 
 #include <cmath>
+#include <cstdio>
+#include <memory>
 
 #include "common/log.h"
 #include "fault/fault_model.h"
@@ -15,32 +17,57 @@ std::vector<DegradationPoint>
 runDegradationSweep(const Topology &topo,
                     const std::vector<RoutingAlgorithm *> &algos,
                     const TrafficPattern &pattern,
-                    const DegradationConfig &cfg)
+                    const DegradationConfig &cfg,
+                    std::vector<SweepPointRecord> *records_out)
 {
     // Bidirectional link count: inter-router arcs come in reverse
     // pairs in every topology this harness targets.
     const auto arcs = topo.arcs();
     const int total_links = static_cast<int>(arcs.size() / 2);
 
-    std::vector<DegradationPoint> out;
+    // Phase 1 (serial, cheap): draw one fault set per fraction,
+    // shared by all algorithms so they are compared on identical
+    // failures.  The models must outlive every queued run.
+    std::vector<std::unique_ptr<FaultModel>> faultSets;
+    std::vector<int> failedCounts;
+    faultSets.reserve(cfg.fractions.size());
     for (const double frac : cfg.fractions) {
-        const int want = static_cast<int>(
-            std::lround(frac * total_links));
-
-        // One fault set per fraction, shared by all algorithms so
-        // they are compared on identical failures.
-        FaultModel fm(topo);
+        const int want =
+            static_cast<int>(std::lround(frac * total_links));
+        auto fm = std::make_unique<FaultModel>(topo);
         const int failed =
-            want > 0 ? fm.failRandomLinks(want, cfg.faultSeed,
-                                          /*at=*/0,
-                                          cfg.preserveConnectivity)
+            want > 0 ? fm->failRandomLinks(want, cfg.faultSeed,
+                                           /*at=*/0,
+                                           cfg.preserveConnectivity)
                      : 0;
         if (failed < want) {
             FBFLY_WARN("degradation: fraction ", frac, " requested ",
                        want, " links but only ", failed,
                        " could fail without disconnecting a terminal");
         }
+        failedCounts.push_back(failed);
+        faultSets.push_back(std::move(fm));
+    }
 
+    // Phase 2: every (fraction, algorithm) cell is two independent
+    // load points — queue them all on the sweep engine.  Queue order
+    // (= seed-derivation order) is fraction-major, algorithm-minor,
+    // saturation before low-load, so results are reproducible and
+    // thread-count independent.
+    SweepConfig sweepcfg;
+    sweepcfg.threads = cfg.threads;
+    sweepcfg.masterSeed = cfg.exp.seed;
+    SweepEngine engine(sweepcfg);
+
+    std::vector<DegradationPoint> out;
+    struct CellIdx
+    {
+        std::size_t saturation;
+        std::size_t lowLoad;
+    };
+    std::vector<CellIdx> cells;
+    for (std::size_t f = 0; f < cfg.fractions.size(); ++f) {
+        const FaultModel &fm = *faultSets[f];
         for (RoutingAlgorithm *algo : algos) {
             FBFLY_ASSERT(algo != nullptr,
                          "null algorithm in degradation sweep");
@@ -49,17 +76,34 @@ runDegradationSweep(const Topology &topo,
             netcfg.watchdogCycles = cfg.watchdogCycles;
 
             DegradationPoint pt;
-            pt.fraction = frac;
-            pt.failedLinks = failed;
+            pt.fraction = cfg.fractions[f];
+            pt.failedLinks = failedCounts[f];
             pt.totalLinks = total_links;
             pt.algorithm = algo->name();
-            pt.saturation = runLoadPoint(topo, *algo, pattern,
-                                         netcfg, cfg.exp, 1.0);
-            pt.lowLoad = runLoadPoint(topo, *algo, pattern, netcfg,
-                                      cfg.exp, cfg.lowLoad);
             out.push_back(std::move(pt));
+
+            char series[64];
+            std::snprintf(series, sizeof series,
+                          "degradation f=%.3f %s", cfg.fractions[f],
+                          algo->name().c_str());
+            CellIdx idx;
+            idx.saturation = engine.addLoadPoint(
+                std::string(series) + " saturation", topo, *algo,
+                pattern, netcfg, cfg.exp, 1.0);
+            idx.lowLoad = engine.addLoadPoint(
+                std::string(series) + " low-load", topo, *algo,
+                pattern, netcfg, cfg.exp, cfg.lowLoad);
+            cells.push_back(idx);
         }
     }
+
+    const auto &records = engine.run();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i].saturation = records[cells[i].saturation].load;
+        out[i].lowLoad = records[cells[i].lowLoad].load;
+    }
+    if (records_out != nullptr)
+        *records_out = records;
     return out;
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 
 namespace fbfly
 {
@@ -53,7 +54,14 @@ struct DegradationConfig
     /** Watchdog backing every run (escape routing forfeits the
      *  analytic deadlock guarantee; see docs/FAULTS.md). */
     Cycle watchdogCycles = 10000;
-    /** Experiment phasing (warm-up / measure / drain windows). */
+    /** Sweep worker threads (<= 0: all hardware threads).  Every
+     *  (fraction, algorithm, load) cell is an independent simulation;
+     *  results are bit-identical for any thread count
+     *  (docs/SWEEPS.md). */
+    int threads = 1;
+    /** Experiment phasing (warm-up / measure / drain windows).
+     *  exp.seed is the sweep's master seed: each cell runs with a
+     *  splitmix64-derived per-point seed. */
     ExperimentConfig exp;
     /** Base network knobs (vcDepth etc.); numVcs, seed, faults and
      *  watchdogCycles are overridden per run. */
@@ -82,19 +90,24 @@ struct DegradationPoint
 
 /**
  * Run the sweep: for each fraction, draw one fault set and evaluate
- * every algorithm on it.
+ * every algorithm on it.  All cells execute on a SweepEngine with
+ * cfg.threads workers; point seeds derive from cfg.exp.seed by cell
+ * index, so the output is identical for any thread count.
  *
  * @param topo  topology (outlives the call).
  * @param algos algorithms to compare (non-owning; all must be
  *              compatible with @p topo).
  * @param pattern traffic pattern.
  * @param cfg   sweep parameters.
+ * @param records_out when non-null, receives the engine's raw
+ *              per-point records (for JSON output via ResultWriter).
  * @return points in (fraction-major, algorithm-minor) order.
  */
 std::vector<DegradationPoint> runDegradationSweep(
     const Topology &topo,
     const std::vector<RoutingAlgorithm *> &algos,
-    const TrafficPattern &pattern, const DegradationConfig &cfg);
+    const TrafficPattern &pattern, const DegradationConfig &cfg,
+    std::vector<SweepPointRecord> *records_out = nullptr);
 
 } // namespace fbfly
 

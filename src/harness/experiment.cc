@@ -51,14 +51,39 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
     BernoulliInjection inj(offered, netcfg.packetSize,
                            expcfg.seed ^ 0x496e6a65637431ULL);
 
-    const auto stalledOut = [&]() {
-        res.status = LoadPointStatus::kStalled;
-        res.diagnostics = net.stallDump();
-        res.saturated = true; // no labeled packet will ever leave
+    // Copy the counters and whatever statistics are backed by real
+    // observations into res; fields with no observation keep their
+    // NaN default (LoadPointResult's validity convention).
+    const auto fillObserved = [&]() {
         const NetworkStats &st = net.stats();
         res.measuredPackets = st.measuredEjected;
         res.measuredDropped = st.measuredDropped;
         res.flitsDropped = st.flitsDropped;
+        if (st.measuredEjected > 0) {
+            res.avgLatency = st.packetLatency.mean();
+            res.avgNetworkLatency = st.networkLatency.mean();
+            res.avgHops = st.hops.mean();
+        }
+        if (st.latencyHist.count() > 0) {
+            res.p99Latency = static_cast<double>(
+                st.latencyHist.percentile(0.99));
+        }
+    };
+
+    // measure_complete: the measurement window closed, so accepted
+    // throughput is known even though the run then wedged.
+    const auto stalledOut = [&](bool measure_complete,
+                                std::uint64_t ej0, std::uint64_t ej1) {
+        res.status = LoadPointStatus::kStalled;
+        res.diagnostics = net.stallDump();
+        res.saturated = true; // no labeled packet will ever leave
+        fillObserved();
+        if (measure_complete) {
+            res.accepted =
+                static_cast<double>(ej1 - ej0) /
+                (static_cast<double>(net.numNodes()) *
+                 expcfg.measureCycles);
+        }
         return res;
     };
 
@@ -67,7 +92,7 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
         inj.tick(net, false);
         net.step();
         if (net.stalled())
-            return stalledOut();
+            return stalledOut(false, 0, 0);
     }
 
     // Label packets created during the measurement interval, and
@@ -77,7 +102,7 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
         inj.tick(net, true);
         net.step();
         if (net.stalled())
-            return stalledOut();
+            return stalledOut(false, 0, 0);
     }
     const std::uint64_t ejected1 = net.stats().flitsEjected;
 
@@ -96,27 +121,17 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
         inj.tick(net, false);
         net.step();
         if (net.stalled())
-            return stalledOut();
+            return stalledOut(true, ejected0, ejected1);
     }
 
-    const NetworkStats &st = net.stats();
+    fillObserved();
     res.accepted = static_cast<double>(ejected1 - ejected0) /
                    (static_cast<double>(net.numNodes()) *
                     expcfg.measureCycles);
-    res.avgLatency = st.packetLatency.mean();
-    res.avgNetworkLatency = st.networkLatency.mean();
-    res.avgHops = st.hops.mean();
-    res.p99Latency =
-        static_cast<double>(st.latencyHist.count()
-                                ? st.latencyHist.percentile(0.99)
-                                : 0);
     res.saturated = saturated;
-    res.measuredPackets = st.measuredEjected;
-    res.measuredDropped = st.measuredDropped;
-    res.flitsDropped = st.flitsDropped;
     if (saturated)
         res.status = LoadPointStatus::kSaturated;
-    else if (st.measuredDropped > 0)
+    else if (net.stats().measuredDropped > 0)
         res.status = LoadPointStatus::kUnreachable;
     else
         res.status = LoadPointStatus::kDelivered;

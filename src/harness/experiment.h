@@ -20,6 +20,8 @@
 #ifndef FBFLY_HARNESS_EXPERIMENT_H
 #define FBFLY_HARNESS_EXPERIMENT_H
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -76,23 +78,37 @@ const char *toString(LoadPointStatus s);
 
 /**
  * Result of one offered-load point.
+ *
+ * NaN convention: every derived statistic (accepted, the latency
+ * aggregates, avgHops) defaults to NaN and is only overwritten with a
+ * real number once the corresponding observation exists.  A run that
+ * is rejected pre-flight (kInvalidConfig) or wedges before the
+ * measurement window completes (kStalled) therefore reports NaN —
+ * never a fake 0.0 that a sweep consumer could silently average.
+ * Use valid() / latencyValid() before aggregating.
  */
 struct LoadPointResult
 {
+    /** Not-a-number: the value of every statistic that was never
+     *  observed. */
+    static constexpr double kUnknown =
+        std::numeric_limits<double>::quiet_NaN();
+
     /** Offered load, flits/node/cycle. */
     double offered = 0.0;
     /** Accepted throughput over the measurement window,
-     *  flits/node/cycle. */
-    double accepted = 0.0;
+     *  flits/node/cycle; NaN unless the window completed. */
+    double accepted = kUnknown;
     /** Average labeled packet latency (creation -> ejection), cycles;
-     *  meaningless when saturated. */
-    double avgLatency = 0.0;
+     *  NaN with no labeled ejections, biased when saturated. */
+    double avgLatency = kUnknown;
     /** Average labeled latency excluding source queueing. */
-    double avgNetworkLatency = 0.0;
+    double avgNetworkLatency = kUnknown;
     /** Average channel traversals of labeled packets. */
-    double avgHops = 0.0;
-    /** 99th-percentile labeled latency. */
-    double p99Latency = 0.0;
+    double avgHops = kUnknown;
+    /** 99th-percentile labeled latency (exact; the histogram grows
+     *  to cover the largest observed latency). */
+    double p99Latency = kUnknown;
     /** Labeled packets still undelivered at the drain bound
      *  (kept for backward compatibility: status == kSaturated). */
     bool saturated = false;
@@ -107,6 +123,24 @@ struct LoadPointResult
     /** Stall dump (kStalled) or validation report (kInvalidConfig);
      *  empty otherwise. */
     std::string diagnostics;
+
+    /**
+     * True when the measurement window completed, i.e. `accepted`
+     * is a real observation.  False for pre-flight rejections and
+     * for runs that stalled before the window closed.
+     */
+    bool valid() const { return !std::isnan(accepted); }
+
+    /**
+     * True when the latency aggregates (avgLatency, p99Latency, ...)
+     * are trustworthy: the run completed its window, did not
+     * saturate (a saturated run only reports the survivors' latency,
+     * a biased sample), and at least one labeled packet ejected.
+     */
+    bool latencyValid() const
+    {
+        return valid() && !saturated && measuredPackets > 0;
+    }
 };
 
 /**

@@ -1,0 +1,223 @@
+#include "harness/result_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+const char *
+gitDescribe()
+{
+#ifdef FBFLY_GIT_DESCRIBE
+    return FBFLY_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+namespace
+{
+
+/** Append a JSON string literal (with escaping) to @p os. */
+void
+jsonString(std::ostringstream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\r':
+            os << "\\r";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Append a double: shortest round-trip form, NaN/inf as null. */
+void
+jsonNumber(std::ostringstream &os, double x)
+{
+    if (!std::isfinite(x)) {
+        os << "null";
+        return;
+    }
+    // Shortest representation that round-trips: try increasing
+    // precision so 0.3 prints as "0.3", not "0.29999999999999999".
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, x);
+        if (std::strtod(buf, nullptr) == x)
+            break;
+    }
+    os << buf;
+}
+
+const char *
+kindName(SweepPointKind k)
+{
+    switch (k) {
+    case SweepPointKind::kLoadPoint:
+        return "load";
+    case SweepPointKind::kBatch:
+        return "batch";
+    }
+    return "?";
+}
+
+void
+writePoint(std::ostringstream &os, const SweepPointRecord &rec)
+{
+    os << "    {\"index\": " << rec.index << ", \"kind\": \""
+       << kindName(rec.kind) << "\", \"series\": ";
+    jsonString(os, rec.series);
+    os << ", \"topology\": ";
+    jsonString(os, rec.topology);
+    os << ", \"routing\": ";
+    jsonString(os, rec.routing);
+    os << ", \"traffic\": ";
+    jsonString(os, rec.traffic);
+    os << ", \"seed\": " << rec.seed << ", \"wall_seconds\": ";
+    jsonNumber(os, rec.wallSeconds);
+    if (rec.kind == SweepPointKind::kBatch) {
+        os << ", \"batch_size\": " << rec.batch.batchSize
+           << ", \"completion_cycles\": " << rec.batch.completionTime
+           << ", \"normalized_latency\": ";
+        jsonNumber(os, rec.batch.normalizedLatency);
+        os << "}";
+        return;
+    }
+    const LoadPointResult &r = rec.load;
+    os << ", \"offered\": ";
+    jsonNumber(os, r.offered);
+    os << ", \"accepted\": ";
+    jsonNumber(os, r.accepted);
+    os << ", \"avg_latency\": ";
+    jsonNumber(os, r.avgLatency);
+    os << ", \"avg_network_latency\": ";
+    jsonNumber(os, r.avgNetworkLatency);
+    os << ", \"avg_hops\": ";
+    jsonNumber(os, r.avgHops);
+    os << ", \"p99_latency\": ";
+    jsonNumber(os, r.p99Latency);
+    os << ", \"status\": \"" << toString(r.status) << "\""
+       << ", \"valid\": " << (r.valid() ? "true" : "false")
+       << ", \"saturated\": " << (r.saturated ? "true" : "false")
+       << ", \"measured_packets\": " << r.measuredPackets
+       << ", \"measured_dropped\": " << r.measuredDropped
+       << ", \"flits_dropped\": " << r.flitsDropped << "}";
+}
+
+} // namespace
+
+std::string
+sweepResultsToJson(const SweepRunMeta &meta,
+                   const std::vector<SweepPointRecord> &records,
+                   std::uint64_t master_seed, int threads,
+                   double total_wall_seconds)
+{
+    double serial = 0.0;
+    for (const auto &rec : records)
+        serial += rec.wallSeconds;
+    const double speedup =
+        total_wall_seconds > 0.0 ? serial / total_wall_seconds : 0.0;
+
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"" << kSweepJsonSchema << "\",\n";
+    os << "  \"bench\": ";
+    jsonString(os, meta.bench);
+    os << ",\n  \"git\": ";
+    jsonString(os, gitDescribe());
+    os << ",\n  \"seed\": " << master_seed;
+    os << ",\n  \"threads\": " << threads;
+    os << ",\n  \"wall_seconds_total\": ";
+    jsonNumber(os, total_wall_seconds);
+    os << ",\n  \"wall_seconds_points_sum\": ";
+    jsonNumber(os, serial);
+    os << ",\n  \"parallel_speedup\": ";
+    jsonNumber(os, speedup);
+    os << ",\n  \"metadata\": {";
+    bool first = true;
+    if (!meta.description.empty()) {
+        os << "\"description\": ";
+        jsonString(os, meta.description);
+        first = false;
+    }
+    for (const auto &[key, value] : meta.extra) {
+        if (!first)
+            os << ", ";
+        jsonString(os, key);
+        os << ": ";
+        jsonString(os, value);
+        first = false;
+    }
+    os << "},\n  \"points\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        writePoint(os, records[i]);
+        if (i + 1 < records.size())
+            os << ",";
+        os << "\n";
+    }
+    os << "  ]\n}";
+    return os.str();
+}
+
+bool
+writeSweepResults(const std::string &path, const SweepRunMeta &meta,
+                  const std::vector<SweepPointRecord> &records,
+                  std::uint64_t master_seed, int threads,
+                  double total_wall_seconds)
+{
+    std::ofstream out(path);
+    if (!out) {
+        FBFLY_WARN("cannot open '", path, "' for sweep JSON output");
+        return false;
+    }
+    out << sweepResultsToJson(meta, records, master_seed, threads,
+                              total_wall_seconds)
+        << "\n";
+    out.flush();
+    if (!out) {
+        FBFLY_WARN("short write of sweep JSON to '", path, "'");
+        return false;
+    }
+    return true;
+}
+
+bool
+writeSweepResults(const std::string &path, const SweepRunMeta &meta,
+                  const SweepEngine &engine)
+{
+    return writeSweepResults(path, meta, engine.records(),
+                             engine.masterSeed(), engine.threads(),
+                             engine.totalWallSeconds());
+}
+
+} // namespace fbfly

@@ -275,8 +275,13 @@ Network::step()
     for (auto &term : terminals_)
         term.inject(t);
 
-    if (!faultSchedule_.empty())
-        syncDropStats();
+    // Unconditional: routing algorithms may drop packets as
+    // unreachable even without a fault schedule (misroute-budget
+    // exhaustion, pathological algorithms under test), and the
+    // harness's drain loop terminates on stats_.measuredDropped.
+    // Gating this on the fault schedule left those drops invisible —
+    // runs that should end kUnreachable reported kSaturated instead.
+    syncDropStats();
 
     if (moved > 0 || stats_.flitsEjected != ejected0 ||
         stats_.flitsInjected != injected0 ||

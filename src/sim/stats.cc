@@ -27,6 +27,9 @@ RunningStats::add(double x)
 void
 RunningStats::merge(const RunningStats &other)
 {
+    // Empty operands first: an empty accumulator has meaningless
+    // internal extrema (min_/max_ = 0.0), so it must never take part
+    // in the combination arithmetic below.
     if (other.count_ == 0)
         return;
     if (count_ == 0) {
@@ -64,18 +67,34 @@ RunningStats::stddev() const
     return std::sqrt(variance());
 }
 
-Histogram::Histogram(std::size_t num_buckets)
-    : buckets_(std::max<std::size_t>(num_buckets, 1), 0)
+Histogram::Histogram(std::size_t num_buckets, std::size_t max_buckets)
+    : buckets_(std::clamp<std::size_t>(num_buckets, 1,
+                                       std::max<std::size_t>(
+                                           max_buckets, 1)),
+               0),
+      maxBuckets_(std::max<std::size_t>(max_buckets, 1))
 {
 }
 
 void
 Histogram::add(std::uint64_t x)
 {
-    const std::size_t b =
-        std::min<std::size_t>(x, buckets_.size() - 1);
-    ++buckets_[b];
     ++count_;
+    maxSample_ = count_ == 1 ? x : std::max(maxSample_, x);
+    if (x >= static_cast<std::uint64_t>(maxBuckets_)) {
+        ++overflow_;
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(x);
+    if (idx >= buckets_.size()) {
+        // Geometric growth: double until the sample fits, so a
+        // sequence of increasing samples costs amortized O(1) each.
+        std::size_t grown = buckets_.size() * 2;
+        while (grown <= idx)
+            grown *= 2;
+        buckets_.resize(std::min(grown, maxBuckets_), 0);
+    }
+    ++buckets_[idx];
 }
 
 void
@@ -83,6 +102,8 @@ Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
     count_ = 0;
+    overflow_ = 0;
+    maxSample_ = 0;
 }
 
 std::uint64_t
@@ -99,7 +120,9 @@ Histogram::percentile(double p) const
         if (seen >= target)
             return b;
     }
-    return buckets_.size() - 1;
+    // The query lands among the samples beyond the growth cap; the
+    // only exact statistic retained for them is the maximum.
+    return maxSample_;
 }
 
 } // namespace fbfly

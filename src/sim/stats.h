@@ -5,12 +5,18 @@
  * RunningStats accumulates count/mean/variance/min/max with Welford's
  * online algorithm; Histogram buckets integer samples (e.g. packet
  * latencies) for percentile queries.
+ *
+ * Empty-accumulator convention: an accumulator with no samples has no
+ * extrema, so min()/max() return NaN (not 0.0, which JSON output
+ * would serialize as a real observation).  Consumers that need a
+ * sentinel-free check should test count() == 0.
  */
 
 #ifndef FBFLY_SIM_STATS_H
 #define FBFLY_SIM_STATS_H
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace fbfly
@@ -25,7 +31,13 @@ class RunningStats
     /** Add one sample. */
     void add(double x);
 
-    /** Merge another accumulator into this one. */
+    /**
+     * Merge another accumulator into this one.
+     *
+     * Any operand may be empty: merging an empty accumulator is a
+     * no-op, and merging into an empty accumulator copies the other
+     * side exactly (count, moments and extrema).
+     */
     void merge(const RunningStats &other);
 
     /** Discard all samples. */
@@ -33,8 +45,18 @@ class RunningStats
 
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? mean_ : 0.0; }
-    double min() const { return count_ ? min_ : 0.0; }
-    double max() const { return count_ ? max_ : 0.0; }
+    /** Smallest sample; NaN when no samples were added. */
+    double min() const
+    {
+        return count_ ? min_
+                      : std::numeric_limits<double>::quiet_NaN();
+    }
+    /** Largest sample; NaN when no samples were added. */
+    double max() const
+    {
+        return count_ ? max_
+                      : std::numeric_limits<double>::quiet_NaN();
+    }
     double sum() const { return mean_ * static_cast<double>(count_); }
 
     /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
@@ -52,32 +74,63 @@ class RunningStats
 };
 
 /**
- * Fixed-bucket histogram of non-negative integer samples.
+ * Histogram of non-negative integer samples with unit-width buckets.
  *
- * Samples at or above the bucket count land in the final (overflow)
- * bucket; percentile queries therefore saturate at the top bucket.
+ * The bucket array grows geometrically (powers of two) to cover the
+ * largest sample seen, so percentile() is exact — a sample of 5000
+ * lands in bucket 5000, not in a saturating overflow bucket.  Growth
+ * is capped at maxBuckets(); samples at or beyond the cap are counted
+ * in an explicit overflow tally together with the largest overflowed
+ * value, and percentile queries that land in the overflow region
+ * return that maximum (an upper bound) instead of silently clamping
+ * to the top bucket.
  */
 class Histogram
 {
   public:
-    /** @param num_buckets number of unit-width buckets (>= 1). */
-    explicit Histogram(std::size_t num_buckets = 1024);
+    /** Growth cap default: 2^20 unit buckets (8 MiB of counters). */
+    static constexpr std::size_t kDefaultMaxBuckets =
+        std::size_t{1} << 20;
+
+    /**
+     * @param num_buckets initial number of unit-width buckets (>= 1);
+     *        the array grows past this on demand.
+     * @param max_buckets growth cap (>= num_buckets is not required;
+     *        the cap also bounds the initial size).
+     */
+    explicit Histogram(std::size_t num_buckets = 1024,
+                       std::size_t max_buckets = kDefaultMaxBuckets);
 
     /** Record one sample. */
     void add(std::uint64_t x);
 
-    /** Discard all samples. */
+    /** Discard all samples (bucket capacity is retained). */
     void reset();
 
     std::uint64_t count() const { return count_; }
 
-    /** Number of samples in bucket @p b. */
-    std::uint64_t bucket(std::size_t b) const { return buckets_.at(b); }
+    /** Number of samples in bucket @p b (0 for unallocated buckets). */
+    std::uint64_t bucket(std::size_t b) const
+    {
+        return b < buckets_.size() ? buckets_[b] : 0;
+    }
 
+    /** Currently allocated buckets (grows with the samples). */
     std::size_t numBuckets() const { return buckets_.size(); }
 
+    /** Growth cap, in unit buckets. */
+    std::size_t maxBuckets() const { return maxBuckets_; }
+
+    /** Samples at or beyond the growth cap. */
+    std::uint64_t overflowCount() const { return overflow_; }
+
+    /** Largest sample recorded (0 when empty). */
+    std::uint64_t maxSample() const { return maxSample_; }
+
     /**
-     * Smallest value v such that at least @p p of the samples are <= v.
+     * Smallest value v such that at least @p p of the samples are
+     * <= v.  Exact for all samples below the growth cap; queries that
+     * land among overflowed samples return maxSample().
      *
      * @param p percentile in (0, 1].
      */
@@ -85,7 +138,11 @@ class Histogram
 
   private:
     std::vector<std::uint64_t> buckets_;
+    std::size_t maxBuckets_;
     std::uint64_t count_ = 0;
+    /** Samples >= maxBuckets_. */
+    std::uint64_t overflow_ = 0;
+    std::uint64_t maxSample_ = 0;
 };
 
 } // namespace fbfly

@@ -6,16 +6,65 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "harness/experiment.h"
+#include "network/router.h"
 #include "routing/min_adaptive.h"
 #include "routing/valiant.h"
 #include "topology/flattened_butterfly.h"
+#include "topology/topology.h"
 #include "traffic/traffic_pattern.h"
 
 namespace fbfly
 {
 namespace
 {
+
+/**
+ * Pathological algorithm: declares every packet unreachable at the
+ * first router.  Drives runLoadPoint to the kUnreachable exit.
+ */
+class DropAll final : public RoutingAlgorithm
+{
+  public:
+    std::string name() const override { return "DROP ALL"; }
+    int numVcs() const override { return 1; }
+    RouteDecision route(Router &, Flit &) override
+    {
+        return RouteDecision::dropped();
+    }
+};
+
+/**
+ * Pathological algorithm: forwards every flit out a fixed
+ * inter-router port on VC 0 and never ejects.  All traffic funnels
+ * onto the cycle of the router-successor graph, the credit loop
+ * fills, and the network deadlocks — the kStalled exit.
+ */
+class RingForward final : public RoutingAlgorithm
+{
+  public:
+    explicit RingForward(const Topology &topo)
+        : next_(static_cast<std::size_t>(topo.numRouters()), kInvalid)
+    {
+        for (const auto &arc : topo.arcs()) {
+            auto &slot = next_[static_cast<std::size_t>(arc.src)];
+            if (slot == kInvalid)
+                slot = arc.srcPort;
+        }
+    }
+    std::string name() const override { return "RING FWD"; }
+    int numVcs() const override { return 1; }
+    RouteDecision route(Router &router, Flit &) override
+    {
+        return {next_[static_cast<std::size_t>(router.id())], 0,
+                false};
+    }
+
+  private:
+    std::vector<PortId> next_;
+};
 
 struct Fixture
 {
@@ -135,6 +184,151 @@ TEST(Batch, LargerBatchesAmortizeTransients)
     EXPECT_GT(small.normalizedLatency, large.normalizedLatency);
     // Large batches approach 1/throughput ~ 2.0 for VAL at 50%.
     EXPECT_NEAR(large.normalizedLatency, 2.0, 0.5);
+}
+
+// --- The five LoadPointStatus exits and the NaN validity contract --
+
+TEST(LoadPointStatus5, DeliveredReportsFullStatistics)
+{
+    Fixture f;
+    const auto r = runLoadPoint(f.topo, f.algo, f.pattern, f.netcfg,
+                                f.expcfg, 0.2);
+    EXPECT_EQ(r.status, LoadPointStatus::kDelivered);
+    EXPECT_TRUE(r.valid());
+    EXPECT_TRUE(r.latencyValid());
+    EXPECT_FALSE(std::isnan(r.accepted));
+    EXPECT_FALSE(std::isnan(r.avgLatency));
+    EXPECT_FALSE(std::isnan(r.avgNetworkLatency));
+    EXPECT_FALSE(std::isnan(r.avgHops));
+    EXPECT_FALSE(std::isnan(r.p99Latency));
+    EXPECT_GT(r.measuredPackets, 0u);
+    EXPECT_EQ(r.measuredDropped, 0u);
+    EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(LoadPointStatus5, SaturatedIsValidButLatencyIsBiased)
+{
+    FlattenedButterfly topo(8, 2);
+    MinAdaptive algo(topo);
+    AdversarialNeighbor wc(topo.numNodes(), topo.k());
+    ExperimentConfig expcfg;
+    expcfg.warmupCycles = 200;
+    expcfg.measureCycles = 200;
+    expcfg.drainCycles = 400;
+    NetworkConfig netcfg;
+    const auto r = runLoadPoint(topo, algo, wc, netcfg, expcfg, 0.9);
+    EXPECT_EQ(r.status, LoadPointStatus::kSaturated);
+    EXPECT_TRUE(r.saturated);
+    // Accepted throughput is a real observation (the window closed)…
+    EXPECT_TRUE(r.valid());
+    EXPECT_FALSE(std::isnan(r.accepted));
+    // …but the latency sample only covers the survivors.
+    EXPECT_FALSE(r.latencyValid());
+}
+
+TEST(LoadPointStatus5, UnreachableCountsDropsAndKeepsLatencyNaN)
+{
+    FlattenedButterfly topo(4, 2);
+    DropAll algo;
+    UniformRandom pattern(topo.numNodes());
+    ExperimentConfig expcfg;
+    expcfg.warmupCycles = 100;
+    expcfg.measureCycles = 100;
+    expcfg.drainCycles = 2000;
+    NetworkConfig netcfg;
+    netcfg.vcDepth = 8;
+    const auto r = runLoadPoint(topo, algo, pattern, netcfg, expcfg,
+                                0.2);
+    EXPECT_EQ(r.status, LoadPointStatus::kUnreachable);
+    EXPECT_STREQ(toString(r.status), "unreachable");
+    EXPECT_FALSE(r.saturated);
+    EXPECT_GT(r.measuredDropped, 0u);
+    EXPECT_GT(r.flitsDropped, 0u);
+    // Nothing was ever ejected: throughput is an exact 0, latency is
+    // unknown — not a fake 0.0.
+    EXPECT_TRUE(r.valid());
+    EXPECT_EQ(r.accepted, 0.0);
+    EXPECT_EQ(r.measuredPackets, 0u);
+    EXPECT_FALSE(r.latencyValid());
+    EXPECT_TRUE(std::isnan(r.avgLatency));
+    EXPECT_TRUE(std::isnan(r.avgNetworkLatency));
+    EXPECT_TRUE(std::isnan(r.avgHops));
+    EXPECT_TRUE(std::isnan(r.p99Latency));
+}
+
+TEST(LoadPointStatus5, StallBeforeWindowClosesReportsNoThroughput)
+{
+    // RingForward deadlocks the credit loop during warmup: nothing
+    // about the measurement window is known, so every statistic stays
+    // NaN and valid() is false — the old behaviour reported a silent
+    // accepted == 0.0 here.
+    FlattenedButterfly topo(4, 2);
+    RingForward algo(topo);
+    UniformRandom pattern(topo.numNodes());
+    ExperimentConfig expcfg;
+    expcfg.warmupCycles = 3000;
+    expcfg.measureCycles = 100;
+    expcfg.drainCycles = 2000;
+    NetworkConfig netcfg;
+    netcfg.vcDepth = 4;
+    netcfg.watchdogCycles = 100;
+    const auto r = runLoadPoint(topo, algo, pattern, netcfg, expcfg,
+                                1.0);
+    EXPECT_EQ(r.status, LoadPointStatus::kStalled);
+    EXPECT_STREQ(toString(r.status), "stalled");
+    EXPECT_TRUE(r.saturated);
+    EXPECT_FALSE(r.valid());
+    EXPECT_TRUE(std::isnan(r.accepted));
+    EXPECT_FALSE(r.latencyValid());
+    EXPECT_TRUE(std::isnan(r.avgLatency));
+    EXPECT_TRUE(std::isnan(r.p99Latency));
+    EXPECT_FALSE(r.diagnostics.empty()); // stall dump
+}
+
+TEST(LoadPointStatus5, StallAfterWindowClosesKeepsThroughput)
+{
+    // Short phases + a patient watchdog: the deadlock is only
+    // *detected* in the drain phase, after the measurement window
+    // closed, so the (zero) accepted throughput is a real
+    // observation and valid() holds.
+    FlattenedButterfly topo(4, 2);
+    RingForward algo(topo);
+    UniformRandom pattern(topo.numNodes());
+    ExperimentConfig expcfg;
+    expcfg.warmupCycles = 30;
+    expcfg.measureCycles = 30;
+    expcfg.drainCycles = 20000;
+    NetworkConfig netcfg;
+    netcfg.vcDepth = 4;
+    netcfg.watchdogCycles = 500;
+    const auto r = runLoadPoint(topo, algo, pattern, netcfg, expcfg,
+                                1.0);
+    EXPECT_EQ(r.status, LoadPointStatus::kStalled);
+    EXPECT_TRUE(r.saturated);
+    EXPECT_TRUE(r.valid());
+    EXPECT_EQ(r.accepted, 0.0); // nothing ever ejects
+    EXPECT_FALSE(r.latencyValid());
+    EXPECT_FALSE(r.diagnostics.empty());
+}
+
+TEST(LoadPointStatus5, InvalidConfigIsAllNaN)
+{
+    Fixture f;
+    NetworkConfig bad = f.netcfg;
+    bad.vcDepth = 0;
+    const auto r = runLoadPoint(f.topo, f.algo, f.pattern, bad,
+                                f.expcfg, 0.2);
+    EXPECT_EQ(r.status, LoadPointStatus::kInvalidConfig);
+    EXPECT_STREQ(toString(r.status), "invalid-config");
+    EXPECT_FALSE(r.valid());
+    EXPECT_FALSE(r.latencyValid());
+    EXPECT_TRUE(std::isnan(r.accepted));
+    EXPECT_TRUE(std::isnan(r.avgLatency));
+    EXPECT_TRUE(std::isnan(r.avgNetworkLatency));
+    EXPECT_TRUE(std::isnan(r.avgHops));
+    EXPECT_TRUE(std::isnan(r.p99Latency));
+    EXPECT_EQ(r.measuredPackets, 0u);
+    EXPECT_FALSE(r.diagnostics.empty()); // validation report
 }
 
 } // namespace

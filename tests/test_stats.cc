@@ -16,13 +16,16 @@ namespace fbfly
 namespace
 {
 
-TEST(RunningStats, EmptyIsZero)
+TEST(RunningStats, EmptyHasNaNExtrema)
 {
     RunningStats s;
     EXPECT_EQ(s.count(), 0u);
     EXPECT_EQ(s.mean(), 0.0);
-    EXPECT_EQ(s.min(), 0.0);
-    EXPECT_EQ(s.max(), 0.0);
+    // An empty accumulator has no extrema: 0.0 would look like a real
+    // observation downstream (e.g. in JSON output), so min()/max()
+    // return NaN until the first sample arrives.
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
     EXPECT_EQ(s.variance(), 0.0);
 }
 
@@ -86,13 +89,45 @@ TEST(RunningStats, MergeWithEmpty)
     RunningStats a;
     a.add(1.0);
     a.add(2.0);
+
+    // Merging an empty operand is a no-op: the extrema must not be
+    // polluted by the empty side's (absent) min/max.
     RunningStats empty;
     RunningStats merged = a;
     merged.merge(empty);
     EXPECT_EQ(merged.count(), 2u);
+    EXPECT_EQ(merged.min(), 1.0);
+    EXPECT_EQ(merged.max(), 2.0);
+    EXPECT_NEAR(merged.mean(), 1.5, 1e-12);
+
+    // Merging into an empty accumulator copies the other side exactly.
     empty.merge(a);
     EXPECT_EQ(empty.count(), 2u);
+    EXPECT_EQ(empty.min(), 1.0);
+    EXPECT_EQ(empty.max(), 2.0);
     EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+
+    // Empty-with-empty stays empty, with NaN extrema.
+    RunningStats e1;
+    RunningStats e2;
+    e1.merge(e2);
+    EXPECT_EQ(e1.count(), 0u);
+    EXPECT_TRUE(std::isnan(e1.min()));
+    EXPECT_TRUE(std::isnan(e1.max()));
+}
+
+TEST(RunningStats, MergeNegativeExtremaIntoEmpty)
+{
+    // Regression guard: if merge() seeded min/max from a default 0.0,
+    // an all-negative operand merged into an empty accumulator would
+    // report max() == 0.0.
+    RunningStats neg;
+    neg.add(-3.0);
+    neg.add(-7.0);
+    RunningStats empty;
+    empty.merge(neg);
+    EXPECT_EQ(empty.min(), -7.0);
+    EXPECT_EQ(empty.max(), -3.0);
 }
 
 TEST(RunningStats, ResetClears)
@@ -102,6 +137,8 @@ TEST(RunningStats, ResetClears)
     s.reset();
     EXPECT_EQ(s.count(), 0u);
     EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
 }
 
 TEST(Histogram, CountsAndPercentiles)
@@ -115,14 +152,68 @@ TEST(Histogram, CountsAndPercentiles)
     EXPECT_EQ(h.percentile(1.00), 99u);
 }
 
-TEST(Histogram, OverflowBucket)
+TEST(Histogram, GrowsToKeepPercentilesExact)
 {
+    // A sample past the current capacity grows the array instead of
+    // saturating into the top bucket.
     Histogram h(10);
     h.add(5);
-    h.add(1000); // lands in bucket 9
-    EXPECT_EQ(h.bucket(9), 1u);
+    h.add(1000);
     EXPECT_EQ(h.count(), 2u);
-    EXPECT_EQ(h.percentile(1.0), 9u);
+    EXPECT_EQ(h.bucket(5), 1u);
+    EXPECT_EQ(h.bucket(1000), 1u);
+    EXPECT_EQ(h.bucket(9), 0u);
+    EXPECT_GE(h.numBuckets(), 1001u);
+    EXPECT_EQ(h.overflowCount(), 0u);
+    EXPECT_EQ(h.percentile(1.0), 1000u);
+}
+
+TEST(Histogram, GrowthIsGeometric)
+{
+    Histogram h(4);
+    EXPECT_EQ(h.numBuckets(), 4u);
+    h.add(4); // doubles once
+    EXPECT_EQ(h.numBuckets(), 8u);
+    h.add(100); // 8 -> 128 in power-of-two steps
+    EXPECT_EQ(h.numBuckets(), 128u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.bucket(100), 1u);
+}
+
+TEST(Histogram, LatenciesBeyondDefaultCapacityAreExact)
+{
+    // Regression for the p99 saturation bug: with a fixed 1024-bucket
+    // array, saturated-load latency tails past 1024 cycles all landed
+    // in bucket 1023 and p99 reported 1023 regardless of the true
+    // tail.  The histogram now grows, so the percentile is exact.
+    Histogram h(1024);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        h.add(4000 + i); // all samples well past 1024
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.percentile(0.50), 4049u);
+    EXPECT_EQ(h.percentile(0.99), 4098u);
+    EXPECT_EQ(h.percentile(1.00), 4099u);
+    EXPECT_EQ(h.maxSample(), 4099u);
+}
+
+TEST(Histogram, GrowthCapCountsOverflow)
+{
+    // With a small explicit cap, samples at/past the cap are tallied
+    // as overflow and percentile queries landing there return the
+    // recorded maximum instead of a clamped bucket index.
+    Histogram h(8, 16);
+    h.add(3);
+    h.add(15);                    // grows to the cap, still exact
+    EXPECT_EQ(h.numBuckets(), 16u);
+    h.add(500);                   // beyond the cap -> overflow tally
+    h.add(700);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.overflowCount(), 2u);
+    EXPECT_EQ(h.maxSample(), 700u);
+    EXPECT_EQ(h.numBuckets(), 16u); // never exceeds the cap
+    EXPECT_EQ(h.percentile(0.25), 3u);
+    EXPECT_EQ(h.percentile(0.50), 15u);
+    EXPECT_EQ(h.percentile(1.00), 700u);
 }
 
 TEST(Histogram, PercentileOfPointMass)
