@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Error model — transient bit errors on inter-router channels.
+ *
+ * The fail-stop FaultModel (fault_model.h) covers links that die;
+ * this model covers links that *lie*: the long, cheap electrical
+ * cables central to the paper's cost argument (Sections 5-6) suffer
+ * transient bit errors in deployed machines, which real high-radix
+ * routers (the YARC/BlackWidow lineage the paper builds on) survive
+ * with CRC-protected flits and link-level retry.
+ *
+ * An ErrorModel assigns each directed inter-router arc a per-wire-
+ * attempt corruption probability (flit arrives with flipped bits,
+ * caught by the receiver's CRC) and erasure probability (flit never
+ * arrives), plus an optional Gilbert-Elliott burst process that
+ * amplifies both while the channel is in its bad state.
+ *
+ * Like the FaultModel it is pure description: the Network applies it
+ * by enabling each channel's link-layer retry protocol
+ * (Channel::enableReliability) with the arc's rates and a
+ * channel-private Rng stream derived from the model's seed — so
+ * error draws are independent of cross-channel event order and the
+ * sweep engine's thread count, and any (topology, config) pair
+ * reproduces bit-identically at any `--threads N`.
+ */
+
+#ifndef FBFLY_FAULT_ERROR_MODEL_H
+#define FBFLY_FAULT_ERROR_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "network/channel.h"
+#include "topology/topology.h"
+
+namespace fbfly
+{
+
+/**
+ * Uniform transient-error configuration (per wire attempt).
+ */
+struct ErrorModelConfig
+{
+    /** P(flit corrupted on the wire) per attempt. */
+    double corruptRate = 0.0;
+    /** P(flit erased — lost on the wire) per attempt. */
+    double eraseRate = 0.0;
+    /** Gilbert-Elliott: P(good -> bad) per attempt. */
+    double burstStart = 0.0;
+    /** Gilbert-Elliott: P(bad -> good) per attempt. */
+    double burstStop = 1.0;
+    /** Rate multiplier while in the bad (bursty) state. */
+    double burstFactor = 1.0;
+    /** Seed of the error-draw streams (independent of the
+     *  simulation seed: the same traffic can be replayed under
+     *  different error draws and vice versa). */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Deterministic per-arc transient-error rates over a topology.
+ */
+class ErrorModel
+{
+  public:
+    /** @param topo topology the arcs refer to (must outlive the
+     *         model; arc indices follow topo.arcs()).
+     *  @param cfg  uniform initial rates for every arc. */
+    explicit ErrorModel(const Topology &topo,
+                        const ErrorModelConfig &cfg = {});
+
+    /** Set every arc's rates (burst parameters stay as configured). */
+    void setUniformRates(double corrupt, double erase);
+
+    /** Override one arc's rates (heterogeneous links, e.g. only the
+     *  long global cables of a dimension are error-prone). */
+    void setArcRates(std::size_t arc_index, double corrupt,
+                     double erase);
+
+    /** Full per-attempt rates for arc @p arc_index, burst process
+     *  included — the shape Channel::enableReliability consumes. */
+    LinkErrorRates arcRates(std::size_t arc_index) const;
+
+    /** Channel-private error-draw stream for arc @p arc_index,
+     *  derived from the model seed. */
+    Rng arcRng(std::size_t arc_index) const;
+
+    /** True when any arc has a nonzero corruption or erasure rate. */
+    bool anyErrors() const;
+
+    /**
+     * Config sanity: all rates/probabilities in [0, 1],
+     * corrupt + erase <= 1 per arc (they partition one draw), and
+     * burstStop > 0 when bursts can start (else the bad state is
+     * absorbing by accident).
+     *
+     * @return empty string when sound, else a description.
+     */
+    std::string validateRates() const;
+
+    /**
+     * Self-describing key/value pairs (rates, burst parameters,
+     * seed) for the sweep JSON metadata block, so resilience results
+     * carry their own error configuration.
+     */
+    std::vector<std::pair<std::string, std::string>> metadata() const;
+
+    std::size_t numArcs() const { return corrupt_.size(); }
+    const Topology &topology() const { return topo_; }
+    const ErrorModelConfig &config() const { return cfg_; }
+    std::uint64_t seed() const { return cfg_.seed; }
+
+  private:
+    const Topology &topo_;
+    ErrorModelConfig cfg_;
+    std::vector<double> corrupt_;
+    std::vector<double> erase_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_FAULT_ERROR_MODEL_H

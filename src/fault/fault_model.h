@@ -80,6 +80,17 @@ class FaultModel
      * all faults injected so far, evaluated at end-of-time) are
      * skipped, so the resulting network stays routable.
      *
+     * **Shortfall contract**: connectivity pruning can exhaust its
+     * candidate pool before reaching @p count — on small or sparse
+     * topologies (a cut edge can never fail) and at high fractions
+     * (once the survivors form a spanning tree, every remaining link
+     * is critical).  The draw then stops early and the return value
+     * is *less than* @p count.  Callers MUST label results by the
+     * returned effective count, never by the requested one — see
+     * DegradationPoint::shortfall(), which the degradation harness
+     * records for exactly this reason, and tests/test_fault_model.cc
+     * (FailRandomLinksShortfall).
+     *
      * @return the number of links actually failed (may be < count
      *         when connectivity pruning runs out of candidates).
      */

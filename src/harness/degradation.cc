@@ -30,6 +30,7 @@ runDegradationSweep(const Topology &topo,
     // failures.  The models must outlive every queued run.
     std::vector<std::unique_ptr<FaultModel>> faultSets;
     std::vector<int> failedCounts;
+    std::vector<int> requestedCounts;
     faultSets.reserve(cfg.fractions.size());
     for (const double frac : cfg.fractions) {
         const int want =
@@ -41,10 +42,16 @@ runDegradationSweep(const Topology &topo,
                                            cfg.preserveConnectivity)
                      : 0;
         if (failed < want) {
+            // Shortfall: the pruning ran out of candidates.  The
+            // sweep still runs the cell, but records both counts so
+            // consumers label the point by its *effective* fraction
+            // (DegradationPoint::shortfall()) instead of silently
+            // mislabeling it with the requested one.
             FBFLY_WARN("degradation: fraction ", frac, " requested ",
                        want, " links but only ", failed,
                        " could fail without disconnecting a terminal");
         }
+        requestedCounts.push_back(want);
         failedCounts.push_back(failed);
         faultSets.push_back(std::move(fm));
     }
@@ -77,15 +84,28 @@ runDegradationSweep(const Topology &topo,
 
             DegradationPoint pt;
             pt.fraction = cfg.fractions[f];
+            pt.requestedLinks = requestedCounts[f];
             pt.failedLinks = failedCounts[f];
             pt.totalLinks = total_links;
             pt.algorithm = algo->name();
             out.push_back(std::move(pt));
 
-            char series[64];
-            std::snprintf(series, sizeof series,
-                          "degradation f=%.3f %s", cfg.fractions[f],
-                          algo->name().c_str());
+            // Shortfall cells carry their effective link count in
+            // the series label so the JSON is never mislabeled.
+            char series[96];
+            if (failedCounts[f] < requestedCounts[f]) {
+                std::snprintf(series, sizeof series,
+                              "degradation f=%.3f (shortfall %d/%d) "
+                              "%s",
+                              cfg.fractions[f], failedCounts[f],
+                              requestedCounts[f],
+                              algo->name().c_str());
+            } else {
+                std::snprintf(series, sizeof series,
+                              "degradation f=%.3f %s",
+                              cfg.fractions[f],
+                              algo->name().c_str());
+            }
             CellIdx idx;
             idx.saturation = engine.addLoadPoint(
                 std::string(series) + " saturation", topo, *algo,

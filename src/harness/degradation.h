@@ -75,8 +75,14 @@ struct DegradationPoint
 {
     /** Requested failed-link fraction. */
     double fraction = 0.0;
-    /** Bidirectional links actually failed (connectivity pruning may
-     *  fail fewer than requested). */
+    /** Bidirectional links the fraction asked for. */
+    int requestedLinks = 0;
+    /** Bidirectional links actually failed.  May be **less than
+     *  requestedLinks**: FaultModel::failRandomLinks skips candidate
+     *  links whose loss would disconnect a terminal and can exhaust
+     *  its candidate pool (small or sparse topologies, high
+     *  fractions).  Consumers must label sweep points by this value,
+     *  not by the requested fraction — see shortfall(). */
     int failedLinks = 0;
     /** Total bidirectional links in the topology. */
     int totalLinks = 0;
@@ -86,6 +92,11 @@ struct DegradationPoint
     LoadPointResult saturation;
     /** Low-load run (cfg.lowLoad); avgLatency is the headline. */
     LoadPointResult lowLoad;
+
+    /** True when connectivity pruning failed fewer links than the
+     *  fraction requested; the cell's effective fraction is
+     *  failedLinks / totalLinks, not `fraction`. */
+    bool shortfall() const { return failedLinks < requestedLinks; }
 };
 
 /**

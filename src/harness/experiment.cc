@@ -47,6 +47,11 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
         return res;
     }
 
+    // The oracle outlives the network (the network holds a pointer).
+    DeliveryOracle oracle;
+    if (expcfg.verifyDelivery)
+        netcfg.oracle = &oracle;
+
     Network net(topo, algo, &pattern, netcfg);
     BernoulliInjection inj(offered, netcfg.packetSize,
                            expcfg.seed ^ 0x496e6a65637431ULL);
@@ -54,11 +59,28 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
     // Copy the counters and whatever statistics are backed by real
     // observations into res; fields with no observation keep their
     // NaN default (LoadPointResult's validity convention).
-    const auto fillObserved = [&]() {
+    const auto fillObserved = [&](bool drained) {
         const NetworkStats &st = net.stats();
         res.measuredPackets = st.measuredEjected;
         res.measuredDropped = st.measuredDropped;
         res.flitsDropped = st.flitsDropped;
+        res.link = net.linkStats();
+        if (res.link.attempts > 0) {
+            res.retransmitRate =
+                static_cast<double>(res.link.retransmits) /
+                static_cast<double>(res.link.attempts);
+        }
+        if (expcfg.verifyDelivery) {
+            res.delivery =
+                oracle.report(st.measuredDropped, drained,
+                              algo.preservesFlowOrder());
+            res.deliveryChecked = true;
+            if (!res.delivery.clean()) {
+                FBFLY_WARN("end-to-end delivery violation at "
+                           "offered=", offered, ": ",
+                           res.delivery.summary());
+            }
+        }
         if (st.measuredEjected > 0) {
             res.avgLatency = st.packetLatency.mean();
             res.avgNetworkLatency = st.networkLatency.mean();
@@ -77,7 +99,7 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
         res.status = LoadPointStatus::kStalled;
         res.diagnostics = net.stallDump();
         res.saturated = true; // no labeled packet will ever leave
-        fillObserved();
+        fillObserved(false);
         if (measure_complete) {
             res.accepted =
                 static_cast<double>(ej1 - ej0) /
@@ -124,7 +146,7 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
             return stalledOut(true, ejected0, ejected1);
     }
 
-    fillObserved();
+    fillObserved(!saturated);
     res.accepted = static_cast<double>(ejected1 - ejected0) /
                    (static_cast<double>(net.numNodes()) *
                     expcfg.measureCycles);

@@ -27,6 +27,7 @@
 
 #include "common/types.h"
 #include "network/network.h"
+#include "sim/delivery_oracle.h"
 
 namespace fbfly
 {
@@ -48,6 +49,14 @@ struct ExperimentConfig
     int drainCycles = 100000;
     /** Per-run master seed. */
     std::uint64_t seed = 1;
+    /**
+     * Audit end-to-end delivery with a DeliveryOracle: every labeled
+     * packet is fingerprinted at injection and checked at ejection
+     * for exactly-once, in-order (per flow), uncorrupted delivery.
+     * The audit is reported in LoadPointResult::delivery and warned
+     * about when violated; it never changes simulation behavior.
+     */
+    bool verifyDelivery = true;
 };
 
 /**
@@ -123,6 +132,19 @@ struct LoadPointResult
     /** Stall dump (kStalled) or validation report (kInvalidConfig);
      *  empty otherwise. */
     std::string diagnostics;
+
+    /** Link-layer reliability counters summed over all inter-router
+     *  channels (all zero when the retry protocol is off). */
+    LinkStats link;
+    /** Retransmissions per wire attempt (NaN with zero attempts,
+     *  i.e. before any flit crossed an inter-router channel). */
+    double retransmitRate = kUnknown;
+
+    /** End-to-end delivery audit (see ExperimentConfig ::
+     *  verifyDelivery); all-zero when auditing was off. */
+    OracleReport delivery;
+    /** True when the delivery oracle ran for this point. */
+    bool deliveryChecked = false;
 
     /**
      * True when the measurement window completed, i.e. `accepted`

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Resilience sweep: latency/throughput inflation and retransmission
+ * cost versus transient bit-error rate.
+ *
+ * The paper's cost advantage comes from long, cheap electrical
+ * cables (Sections 5-6) — exactly the links that suffer transient
+ * bit errors in deployed high-radix machines.  This harness
+ * quantifies what surviving those errors costs: for each per-flit
+ * error rate it builds a deterministic ErrorModel, runs every
+ * routing algorithm at a fixed load (and optionally at saturation)
+ * with the link-layer retry protocol enabled, and reports latency,
+ * accepted throughput, the retransmission-rate overhead, and the
+ * end-to-end delivery audit (every error must be absorbed by
+ * link-level retry — the oracle must stay clean).
+ *
+ * All cells execute on the parallel sweep engine; error draws are
+ * channel-private streams seeded from the error model, so results
+ * are bit-identical at any --threads N.  A zero error rate is
+ * transparent: the protocol runs but never retransmits, reproducing
+ * the error-free simulation bit-identically.
+ */
+
+#ifndef FBFLY_HARNESS_RESILIENCE_H
+#define FBFLY_HARNESS_RESILIENCE_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/error_model.h"
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+
+namespace fbfly
+{
+
+class Topology;
+class RoutingAlgorithm;
+class TrafficPattern;
+
+/**
+ * Resilience sweep parameters.
+ */
+struct ResilienceConfig
+{
+    /** Per-wire-attempt total error rates to evaluate (corruption +
+     *  erasure, split by eraseShare). */
+    std::vector<double> errorRates = {0.0, 1e-5, 1e-4, 1e-3};
+    /** Fraction of each rate that is erasure (flit lost) rather than
+     *  corruption (flit mangled, caught by CRC). */
+    double eraseShare = 0.25;
+    /** Offered load of the fixed-load latency point. */
+    double load = 0.4;
+    /** Also run an offered = 1.0 saturation point per cell. */
+    bool measureSaturation = true;
+    /** Burst parameters and error seed; corrupt/erase rates are
+     *  overridden per sweep point. */
+    ErrorModelConfig errorBase;
+    /** Retry-protocol knobs (always enabled by this harness, also at
+     *  zero rate — the protocol is timing-transparent there). */
+    LinkReliabilityConfig retry;
+    /** Watchdog backing every run. */
+    Cycle watchdogCycles = 20000;
+    /** Sweep worker threads (<= 0: all hardware threads). */
+    int threads = 1;
+    /** Experiment phasing; exp.seed is the sweep's master seed. */
+    ExperimentConfig exp;
+    /** Base network knobs; numVcs, seed, errors, linkRetry and
+     *  watchdogCycles are overridden per run. */
+    NetworkConfig net;
+};
+
+/**
+ * One (error rate, algorithm) cell of the sweep.
+ */
+struct ResiliencePoint
+{
+    /** Total per-attempt error rate of the cell. */
+    double errorRate = 0.0;
+    /** Corruption / erasure split actually applied. */
+    double corruptRate = 0.0;
+    double eraseRate = 0.0;
+    /** Routing algorithm name. */
+    std::string algorithm;
+    /** The cfg.load run: latency inflation + retry counters. */
+    LoadPointResult fixedLoad;
+    /** Offered = 1.0 run (valid() false when
+     *  !cfg.measureSaturation). */
+    LoadPointResult saturation;
+};
+
+/**
+ * Run the sweep: for each error rate, build one ErrorModel and
+ * evaluate every algorithm under it.  Cells execute on a SweepEngine
+ * with cfg.threads workers; queue order (= seed-derivation order) is
+ * rate-major, algorithm-minor, so output is thread-count
+ * independent.
+ *
+ * @param records_out when non-null, receives the engine's raw
+ *        per-point records (for JSON output via ResultWriter).
+ * @return points in (rate-major, algorithm-minor) order.
+ */
+std::vector<ResiliencePoint> runResilienceSweep(
+    const Topology &topo,
+    const std::vector<RoutingAlgorithm *> &algos,
+    const TrafficPattern &pattern, const ResilienceConfig &cfg,
+    std::vector<SweepPointRecord> *records_out = nullptr);
+
+/**
+ * Self-describing metadata for the sweep JSON: the swept rates, the
+ * corruption/erasure split, burst parameters, the error seed and the
+ * retry knobs — so a resilience JSON document fully specifies the
+ * error model that produced it.
+ */
+std::vector<std::pair<std::string, std::string>>
+resilienceMetadata(const ResilienceConfig &cfg);
+
+} // namespace fbfly
+
+#endif // FBFLY_HARNESS_RESILIENCE_H

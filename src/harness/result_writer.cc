@@ -132,7 +132,36 @@ writePoint(std::ostringstream &os, const SweepPointRecord &rec)
        << ", \"saturated\": " << (r.saturated ? "true" : "false")
        << ", \"measured_packets\": " << r.measuredPackets
        << ", \"measured_dropped\": " << r.measuredDropped
-       << ", \"flits_dropped\": " << r.flitsDropped << "}";
+       << ", \"flits_dropped\": " << r.flitsDropped;
+    // Link-layer reliability counters (all zero when the retry
+    // protocol was off for this point).
+    os << ", \"link_attempts\": " << r.link.attempts
+       << ", \"link_retransmits\": " << r.link.retransmits
+       << ", \"link_corrupt_injected\": " << r.link.corruptInjected
+       << ", \"link_erase_injected\": " << r.link.eraseInjected
+       << ", \"link_crc_rejected\": " << r.link.crcRejected
+       << ", \"link_dup_suppressed\": " << r.link.dupSuppressed
+       << ", \"link_nacks\": " << r.link.nacksSent
+       << ", \"link_acks\": " << r.link.acksSent
+       << ", \"link_timeouts\": " << r.link.timeouts
+       << ", \"retransmit_rate\": ";
+    jsonNumber(os, r.retransmitRate);
+    if (r.deliveryChecked) {
+        const OracleReport &d = r.delivery;
+        os << ", \"delivery\": {\"tracked\": " << d.tracked
+           << ", \"delivered\": " << d.delivered
+           << ", \"outstanding\": " << d.outstanding
+           << ", \"expected_dropped\": " << d.expectedDropped
+           << ", \"dropped\": " << d.dropped
+           << ", \"duplicates\": " << d.duplicates
+           << ", \"reorders\": " << d.reorders
+           << ", \"order_enforced\": "
+           << (d.orderEnforced ? "true" : "false")
+           << ", \"corruptions\": " << d.corruptions
+           << ", \"clean\": " << (d.clean() ? "true" : "false")
+           << "}";
+    }
+    os << "}";
 }
 
 } // namespace

@@ -1,9 +1,26 @@
 #include "network/channel.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace fbfly
 {
+
+LinkStats &
+LinkStats::operator+=(const LinkStats &o)
+{
+    attempts += o.attempts;
+    retransmits += o.retransmits;
+    corruptInjected += o.corruptInjected;
+    eraseInjected += o.eraseInjected;
+    crcRejected += o.crcRejected;
+    dupSuppressed += o.dupSuppressed;
+    nacksSent += o.nacksSent;
+    acksSent += o.acksSent;
+    timeouts += o.timeouts;
+    return *this;
+}
 
 Channel::Channel(Cycle latency, Cycle period)
     : latency_(latency), period_(period)
@@ -12,16 +29,47 @@ Channel::Channel(Cycle latency, Cycle period)
     FBFLY_ASSERT(period >= 1, "channel period must be >= 1");
 }
 
+void
+Channel::enableReliability(const LinkReliabilityConfig &cfg,
+                           const LinkErrorRates &rates, Rng rng)
+{
+    FBFLY_ASSERT(!dead_, "enableReliability on a dead channel");
+    FBFLY_ASSERT(flitsCarried_ == 0,
+                 "enableReliability after traffic has flowed");
+    FBFLY_ASSERT(rel_ == nullptr, "reliability enabled twice");
+    FBFLY_ASSERT(cfg.windowFlits >= 1,
+                 "retry window must hold at least one flit");
+    FBFLY_ASSERT(cfg.retryTimeout >= 1 &&
+                     cfg.maxTimeout >= cfg.retryTimeout,
+                 "bad retry timeout configuration");
+    rel_ = std::make_unique<Reliability>();
+    rel_->cfg = cfg;
+    rel_->rates = rates;
+    rel_->rng = rng;
+}
+
 bool
 Channel::canSendFlit(Cycle now) const
 {
-    return !dead_ && now >= nextFree_;
+    if (dead_ || now < nextFree_)
+        return false;
+    if (rel_ != nullptr) {
+        // The window must have room and no retransmission round may
+        // be in progress (go-back-N resends strictly before new
+        // flits, preserving sequence order on the wire).
+        if (rel_->resendPos != kNoResend)
+            return false;
+        if (static_cast<int>(rel_->replay.size()) >=
+            rel_->cfg.windowFlits)
+            return false;
+    }
+    return true;
 }
 
 void
-Channel::sendFlit(const Flit &f, Cycle now)
+Channel::transmitAttempt(const Flit &f, Cycle now, bool is_retransmit)
 {
-    FBFLY_ASSERT(!dead_, "sendFlit on a dead channel");
+    FBFLY_ASSERT(!dead_, "transmit on a dead channel");
     FBFLY_ASSERT(now >= lastFlitSend_,
                  "non-monotonic sendFlit: now=", now, " after ",
                  lastFlitSend_);
@@ -32,7 +80,108 @@ Channel::sendFlit(const Flit &f, Cycle now)
     lastFlitSend_ = now;
     nextFree_ = now + period_;
     ++flitsCarried_;
-    flits_.emplace_back(now + latency_, f);
+
+    if (rel_ == nullptr) {
+        flits_.emplace_back(now + latency_, f);
+        return;
+    }
+
+    Reliability &r = *rel_;
+    ++r.stats.attempts;
+    if (is_retransmit)
+        ++r.stats.retransmits;
+
+    bool erase = false;
+    bool corrupt = false;
+    if (r.rates.any()) {
+        // Gilbert-Elliott burst chain: enter the bad state with
+        // probability burstStart, apply (possibly amplified) rates,
+        // leave with probability burstStop.
+        if (!r.inBurst && r.rates.burstStart > 0.0 &&
+            r.rng.nextBernoulli(r.rates.burstStart))
+            r.inBurst = true;
+        double pc = r.rates.corrupt;
+        double pe = r.rates.erase;
+        if (r.inBurst) {
+            pc = std::min(1.0, pc * r.rates.burstFactor);
+            pe = std::min(1.0, pe * r.rates.burstFactor);
+        }
+        const double u = r.rng.nextDouble();
+        if (u < pe)
+            erase = true;
+        else if (u < pe + pc)
+            corrupt = true;
+        if (r.inBurst && r.rng.nextBernoulli(r.rates.burstStop))
+            r.inBurst = false;
+    }
+
+    if (erase) {
+        ++r.stats.eraseInjected;
+        return; // lost on the wire; the replay buffer still holds it
+    }
+    Flit g = f;
+    if (corrupt) {
+        ++r.stats.corruptInjected;
+        // Flip one random bit in a covered field; the receiver's
+        // CRC-32C check detects any such flip.
+        const std::uint64_t mask = std::uint64_t{1}
+                                   << r.rng.nextBounded(64);
+        switch (r.rng.nextBounded(5)) {
+        case 0:
+            g.id ^= mask;
+            break;
+        case 1:
+            g.packet ^= mask;
+            break;
+        case 2:
+            g.createTime ^= mask;
+            break;
+        case 3:
+            g.linkSeq ^= mask;
+            break;
+        default:
+            g.crc ^= static_cast<std::uint32_t>(mask) | 1u;
+            break;
+        }
+    }
+    flits_.emplace_back(now + latency_, g);
+}
+
+void
+Channel::sendFlit(const Flit &f, Cycle now)
+{
+    FBFLY_ASSERT(!dead_, "sendFlit on a dead channel");
+    if (rel_ != nullptr) {
+        FBFLY_ASSERT(rel_->resendPos == kNoResend &&
+                         static_cast<int>(rel_->replay.size()) <
+                             rel_->cfg.windowFlits,
+                     "sendFlit past the retry window "
+                     "(check canSendFlit first)");
+        Flit g = f;
+        g.linkSeq = rel_->nextSeq++;
+        g.crc = flitCrc(g);
+        if (rel_->replay.empty()) {
+            // First unacked flit (re)arms the timeout.
+            rel_->timeout = rel_->cfg.retryTimeout;
+            rel_->deadline = now + rel_->timeout;
+        }
+        rel_->replay.push_back(g);
+        ++logicalInFlight_;
+        if (g.vc >= 0) {
+            if (static_cast<std::size_t>(g.vc) >= inFlightVc_.size())
+                inFlightVc_.resize(g.vc + 1, 0);
+            ++inFlightVc_[g.vc];
+        }
+        transmitAttempt(g, now, false);
+        return;
+    }
+    ++logicalInFlight_;
+    if (f.vc >= 0) {
+        if (static_cast<std::size_t>(f.vc) >= inFlightVc_.size())
+            inFlightVc_.resize(f.vc + 1, 0);
+        ++inFlightVc_[f.vc];
+    }
+    transmitAttempt(f, now, false);
 }
 
 std::optional<Flit>
@@ -42,11 +191,149 @@ Channel::receiveFlit(Cycle now)
                  "non-monotonic receiveFlit: now=", now, " after ",
                  lastFlitRecv_);
     lastFlitRecv_ = now;
-    if (flits_.empty() || flits_.front().first > now)
-        return std::nullopt;
-    Flit f = flits_.front().second;
-    flits_.pop_front();
-    return f;
+
+    auto accept = [this](const Flit &f) {
+        --logicalInFlight_;
+        FBFLY_ASSERT(logicalInFlight_ >= 0,
+                     "channel accounting underflow");
+        if (f.vc >= 0 &&
+            static_cast<std::size_t>(f.vc) < inFlightVc_.size())
+            --inFlightVc_[f.vc];
+    };
+
+    if (rel_ == nullptr) {
+        if (flits_.empty() || flits_.front().first > now)
+            return std::nullopt;
+        Flit f = flits_.front().second;
+        flits_.pop_front();
+        accept(f);
+        return f;
+    }
+
+    Reliability &r = *rel_;
+    while (!flits_.empty() && flits_.front().first <= now) {
+        Flit f = flits_.front().second;
+        flits_.pop_front();
+        if (flitCrc(f) != f.crc) {
+            // Corrupted arrival: discard and (once per gap episode)
+            // nack the next expected sequence number so the
+            // transmitter goes back without waiting for the timeout.
+            ++r.stats.crcRejected;
+            if (!r.nackPending) {
+                r.nackPending = true;
+                ++r.stats.nacksSent;
+                pushAck({r.expectedSeq, true}, now);
+            }
+            continue;
+        }
+        if (f.linkSeq < r.expectedSeq) {
+            // Go-back-N retransmissions replay flits the receiver
+            // already accepted; exactly-once delivery is preserved
+            // by suppressing them here.
+            ++r.stats.dupSuppressed;
+            continue;
+        }
+        if (f.linkSeq > r.expectedSeq) {
+            // Sequence gap: an earlier flit was erased.  Nack it.
+            if (!r.nackPending) {
+                r.nackPending = true;
+                ++r.stats.nacksSent;
+                pushAck({r.expectedSeq, true}, now);
+            }
+            continue;
+        }
+        // In-order, uncorrupted: accept and cumulatively ack.
+        r.expectedSeq = f.linkSeq + 1;
+        r.nackPending = false;
+        ++r.stats.acksSent;
+        pushAck({r.expectedSeq, false}, now);
+        accept(f);
+        return f;
+    }
+    return std::nullopt;
+}
+
+void
+Channel::pushAck(const Ack &a, Cycle now)
+{
+    if (dead_) {
+        // The return lane of a failed link carries nothing (same as
+        // credits): the transmitter is dead too.
+        return;
+    }
+    rel_->acks.emplace_back(now + latency_, a);
+}
+
+void
+Channel::tick(Cycle now)
+{
+    if (rel_ == nullptr)
+        return;
+    tickTransmitter(now);
+}
+
+void
+Channel::tickTransmitter(Cycle now)
+{
+    Reliability &r = *rel_;
+
+    // 1. Drain the ack lane.
+    while (!r.acks.empty() && r.acks.front().first <= now) {
+        const Ack a = r.acks.front().second;
+        r.acks.pop_front();
+        if (a.nack) {
+            // Honor a nack only when idle (a resend round already in
+            // progress will cover it) and when it refers to a flit
+            // still outstanding (stale nacks arrive after the window
+            // has advanced past them).
+            if (r.resendPos == kNoResend && a.seq >= r.baseSeq &&
+                a.seq < r.nextSeq) {
+                r.resendPos =
+                    static_cast<std::size_t>(a.seq - r.baseSeq);
+                r.timeout = r.cfg.retryTimeout;
+                r.deadline = now + r.timeout;
+            }
+            continue;
+        }
+        // Cumulative ack: everything below a.seq has been accepted.
+        bool progress = false;
+        while (r.baseSeq < a.seq && !r.replay.empty()) {
+            r.replay.pop_front();
+            ++r.baseSeq;
+            progress = true;
+            if (r.resendPos != kNoResend && r.resendPos > 0)
+                --r.resendPos;
+        }
+        if (r.resendPos != kNoResend &&
+            r.resendPos >= r.replay.size())
+            r.resendPos = kNoResend;
+        if (progress) {
+            // Forward progress resets the backoff.
+            r.timeout = r.cfg.retryTimeout;
+            r.deadline = now + r.timeout;
+        }
+    }
+
+    // 2. Timeout: no ack progress for `timeout` cycles with flits
+    //    outstanding starts a full go-back-N round with exponential
+    //    backoff (capped), covering lost nacks and tail losses.
+    if (!r.replay.empty() && r.resendPos == kNoResend &&
+        now >= r.deadline) {
+        r.resendPos = 0;
+        ++r.stats.timeouts;
+        r.timeout = std::min(r.timeout * 2, r.cfg.maxTimeout);
+        r.deadline = now + r.timeout;
+    }
+
+    // 3. Put one pending retransmission on the wire, respecting
+    //    channel bandwidth (retransmissions compete with new flits
+    //    for the same wire slots).
+    if (r.resendPos != kNoResend && !dead_ && now >= nextFree_) {
+        transmitAttempt(r.replay[r.resendPos], now, true);
+        ++r.resendPos;
+        if (r.resendPos >= r.replay.size())
+            r.resendPos = kNoResend;
+    }
 }
 
 void
@@ -81,12 +368,17 @@ Channel::receiveCredit(Cycle now)
 }
 
 int
+Channel::flitsInFlight() const
+{
+    return logicalInFlight_;
+}
+
+int
 Channel::flitsInFlightOnVc(VcId vc) const
 {
-    int n = 0;
-    for (const auto &[cycle, f] : flits_)
-        n += f.vc == vc ? 1 : 0;
-    return n;
+    if (vc < 0 || static_cast<std::size_t>(vc) >= inFlightVc_.size())
+        return 0;
+    return inFlightVc_[vc];
 }
 
 int
@@ -96,6 +388,20 @@ Channel::creditsInFlightOnVc(VcId vc) const
     for (const auto &[cycle, c] : credits_)
         n += c == vc ? 1 : 0;
     return n;
+}
+
+const LinkStats &
+Channel::linkStats() const
+{
+    static const LinkStats kNone{};
+    return rel_ != nullptr ? rel_->stats : kNone;
+}
+
+int
+Channel::replayOccupancy() const
+{
+    return rel_ != nullptr ? static_cast<int>(rel_->replay.size())
+                           : 0;
 }
 
 void

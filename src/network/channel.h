@@ -9,20 +9,107 @@
  * comparison of paper Section 3.3 holds bisection bandwidth constant,
  * which gives the 10-dimensional hypercube half-bandwidth channels
  * (period 2) relative to the other topologies.
+ *
+ * Optionally a channel can run a link-layer reliability protocol
+ * (enableReliability): every flit carries a CRC-32C and a per-channel
+ * sequence number, the transmitter keeps a go-back-N replay buffer
+ * with a sliding-window cumulative ack, the receiver nacks CRC
+ * failures and sequence gaps and suppresses duplicates, and the
+ * transmitter retransmits on nack or timeout with capped exponential
+ * backoff.  A seeded error model injects corruption/erasure on each
+ * wire attempt.  The flit accounting observed from outside
+ * (flitsInFlight, flitsInFlightOnVc) is *logical*: a flit counts as
+ * in flight from the first sendFlit until it is accepted in order by
+ * receiveFlit, no matter how many wire attempts the protocol needs —
+ * so the network-wide flit/credit conservation invariants hold
+ * unchanged with and without retransmission.
  */
 
 #ifndef FBFLY_NETWORK_CHANNEL_H
 #define FBFLY_NETWORK_CHANNEL_H
 
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
+#include "common/rng.h"
 #include "common/types.h"
 #include "network/flit.h"
 
 namespace fbfly
 {
+
+/**
+ * Counters for the link-layer reliability protocol, per channel or
+ * summed network-wide (Network::linkStats()).
+ */
+struct LinkStats
+{
+    /** Wire transmission attempts (first sends + retransmissions). */
+    std::uint64_t attempts = 0;
+    /** Wire attempts that were retransmissions of a buffered flit. */
+    std::uint64_t retransmits = 0;
+    /** Flits corrupted on the wire by the error model. */
+    std::uint64_t corruptInjected = 0;
+    /** Flits erased (lost) on the wire by the error model. */
+    std::uint64_t eraseInjected = 0;
+    /** Arrivals rejected by the receiver's CRC check. */
+    std::uint64_t crcRejected = 0;
+    /** Duplicate arrivals suppressed by the receiver. */
+    std::uint64_t dupSuppressed = 0;
+    /** Nacks pushed onto the upstream ack lane. */
+    std::uint64_t nacksSent = 0;
+    /** Cumulative acks pushed onto the upstream ack lane. */
+    std::uint64_t acksSent = 0;
+    /** Retransmission rounds triggered by timeout (not nack). */
+    std::uint64_t timeouts = 0;
+
+    LinkStats &operator+=(const LinkStats &o);
+};
+
+/**
+ * Knobs for the link-layer retry protocol.  The defaults keep the
+ * protocol timing-transparent at zero error rate for the channel
+ * latencies used in the experiments: the window exceeds the largest
+ * number of flits a full-bandwidth channel can have outstanding
+ * before the first ack returns, and the timeout exceeds the ack
+ * round trip (see docs/FAULTS.md).
+ */
+struct LinkReliabilityConfig
+{
+    bool enabled = false;
+    /** Transmitter window: max unacked flits in the replay buffer. */
+    int windowFlits = 16;
+    /** Initial retransmission timeout in cycles since last progress. */
+    Cycle retryTimeout = 32;
+    /** Cap for the exponential backoff of the retry timeout. */
+    Cycle maxTimeout = 1024;
+};
+
+/**
+ * Per-wire-attempt error rates for one channel (drawn from the
+ * fault-subsystem ErrorModel; see src/fault/error_model.h).
+ *
+ * Burst errors follow a Gilbert-Elliott two-state chain: in the good
+ * state each attempt enters the bad state with probability
+ * `burstStart`; in the bad state the base rates are multiplied by
+ * `burstFactor` and each attempt leaves with probability `burstStop`.
+ */
+struct LinkErrorRates
+{
+    /** P(flit payload corrupted on the wire) per attempt. */
+    double corrupt = 0.0;
+    /** P(flit erased — never arrives) per attempt. */
+    double erase = 0.0;
+    double burstStart = 0.0;
+    double burstStop = 1.0;
+    double burstFactor = 1.0;
+
+    bool any() const { return corrupt > 0.0 || erase > 0.0; }
+};
 
 /**
  * One unidirectional flit channel with an upstream credit lane.
@@ -36,11 +123,28 @@ class Channel
      */
     explicit Channel(Cycle latency = 1, Cycle period = 1);
 
+    Channel(Channel &&) = default;
+    Channel &operator=(Channel &&) = default;
+
     Cycle latency() const { return latency_; }
     Cycle period() const { return period_; }
 
-    /** True if the channel is alive and bandwidth allows a flit to
-     *  enter at cycle @p now. */
+    /**
+     * Turn on the link-layer retry protocol with the given error
+     * rates.  Must be called before any flit is sent.  @p rng seeds
+     * the channel-private error draw stream (channel-private so
+     * results are independent of cross-channel event order and thus
+     * of the sweep engine's thread count).
+     */
+    void enableReliability(const LinkReliabilityConfig &cfg,
+                           const LinkErrorRates &rates, Rng rng);
+
+    /** True once enableReliability() has been called. */
+    bool reliable() const { return rel_ != nullptr; }
+
+    /** True if the channel is alive, bandwidth allows a flit to enter
+     *  at cycle @p now, and (reliable mode) the replay window has
+     *  room and no retransmission round is in progress. */
     bool canSendFlit(Cycle now) const;
 
     /**
@@ -56,8 +160,22 @@ class Channel
     /**
      * Take the next flit that has arrived by cycle @p now, if any.
      * Flits arrive in FIFO order, `latency` cycles after being sent.
+     * In reliable mode corrupted/duplicate/out-of-order arrivals are
+     * consumed internally (nacked / suppressed) and only clean,
+     * in-sequence flits are returned.
      */
     std::optional<Flit> receiveFlit(Cycle now);
+
+    /**
+     * Advance the transmitter side of the retry protocol at cycle
+     * @p now: drain the ack lane (advance the replay window, honor
+     * nacks), trigger timeout-based retransmission rounds, and put
+     * one pending retransmission on the wire if bandwidth allows.
+     * No-op on plain channels.  Must be called with non-decreasing
+     * cycles, before the cycle's sendFlit calls (the routers tick
+     * their output channels at the top of the receive phase).
+     */
+    void tick(Cycle now);
 
     /** Send one credit upstream (no bandwidth limit on credits). */
     void sendCredit(VcId vc, Cycle now);
@@ -65,8 +183,12 @@ class Channel
     /** Take the next credit that has arrived by cycle @p now, if any. */
     std::optional<VcId> receiveCredit(Cycle now);
 
-    /** Flits currently in flight (for invariant checks). */
-    int flitsInFlight() const { return static_cast<int>(flits_.size()); }
+    /**
+     * Flits logically in flight (for invariant checks): sent but not
+     * yet accepted in order by the receiver.  In reliable mode this
+     * counts each flit once regardless of retransmissions.
+     */
+    int flitsInFlight() const;
 
     /** In-flight flits currently travelling on VC @p vc (credit
      *  conservation checks). */
@@ -75,14 +197,20 @@ class Channel
     /** In-flight upstream credits for VC @p vc. */
     int creditsInFlightOnVc(VcId vc) const;
 
-    /** Total flits ever sent (for utilization accounting). */
+    /** Total wire attempts ever made (for utilization accounting). */
     std::uint64_t flitsCarried() const { return flitsCarried_; }
+
+    /** Reliability counters (all zero on plain channels). */
+    const LinkStats &linkStats() const;
+
+    /** Unacked flits currently held in the replay buffer. */
+    int replayOccupancy() const;
 
     /**
      * Fail the channel (fail-stop transmitter): it refuses new flits
-     * (`canSendFlit` is false forever) and drops future credits on
-     * its return lane.  Flits and credits already in flight are still
-     * delivered.  Irreversible.
+     * (`canSendFlit` is false forever) and drops future credits and
+     * acks on its return lane.  Flits and credits already in flight
+     * are still delivered.  Irreversible.
      */
     void kill();
 
@@ -93,6 +221,61 @@ class Channel
     std::uint64_t creditsDropped() const { return creditsDropped_; }
 
   private:
+    /** One ack-lane message: cumulative ack or targeted nack. */
+    struct Ack
+    {
+        /** Ack: receiver expects this seq next (all < seq are in).
+         *  Nack: retransmit from this seq. */
+        std::uint64_t seq;
+        bool nack;
+    };
+
+    static constexpr std::size_t kNoResend = ~std::size_t{0};
+
+    /** Transmitter/receiver state, allocated only in reliable mode. */
+    struct Reliability
+    {
+        LinkReliabilityConfig cfg;
+        LinkErrorRates rates;
+        Rng rng;
+        /** Gilbert-Elliott burst state (true = bad/bursty). */
+        bool inBurst = false;
+
+        /** @name Transmitter
+         *  @{ */
+        /** Unacked flits, seq baseSeq_ .. nextSeq_-1 in order. */
+        std::deque<Flit> replay;
+        std::uint64_t nextSeq = 0;
+        std::uint64_t baseSeq = 0;
+        /** Index into replay of the next flit to retransmit in the
+         *  current go-back-N round; kNoResend when idle. */
+        std::size_t resendPos = kNoResend;
+        /** Current (backed-off) timeout and its deadline. */
+        Cycle timeout = 0;
+        Cycle deadline = 0;
+        /** @} */
+
+        /** @name Receiver
+         *  @{ */
+        std::uint64_t expectedSeq = 0;
+        /** Whether a nack for expectedSeq is already outstanding —
+         *  suppresses nack storms while a gap's arrivals drain. */
+        bool nackPending = false;
+        /** @} */
+
+        /** Upstream ack lane (arrival cycle, message). */
+        std::deque<std::pair<Cycle, Ack>> acks;
+
+        LinkStats stats;
+    };
+
+    /** Put @p f on the wire at @p now, applying the error model. */
+    void transmitAttempt(const Flit &f, Cycle now, bool is_retransmit);
+    /** Queue an ack-lane message upstream (dropped if dead). */
+    void pushAck(const Ack &a, Cycle now);
+    /** Drain ack lane + run timeout/retransmit state machine. */
+    void tickTransmitter(Cycle now);
+
     Cycle latency_;
     Cycle period_;
     Cycle nextFree_ = 0;
@@ -105,8 +288,12 @@ class Channel
     Cycle lastFlitRecv_ = 0;
     Cycle lastCreditSend_ = 0;
     Cycle lastCreditRecv_ = 0;
+    /** Logical in-flight accounting (see flitsInFlight()). */
+    int logicalInFlight_ = 0;
+    std::vector<int> inFlightVc_;
     std::deque<std::pair<Cycle, Flit>> flits_;
     std::deque<std::pair<Cycle, VcId>> credits_;
+    std::unique_ptr<Reliability> rel_;
 };
 
 } // namespace fbfly

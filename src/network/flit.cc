@@ -1,8 +1,99 @@
 #include "network/flit.h"
 
-// Flit is a plain value type; this translation unit exists so the
-// header has a home in the library and static checks (size growth)
-// can live here.
+#include <array>
+#include <cstddef>
+
+// Flit is a plain value type; this translation unit holds the static
+// size check and the link-layer CRC used by reliable channels.
 
 static_assert(sizeof(fbfly::Flit) <= 96,
               "Flit grew unexpectedly; check hot-path memory use");
+
+namespace fbfly
+{
+
+namespace
+{
+
+/** Table-driven CRC-32C (Castagnoli), reflected polynomial. */
+constexpr std::uint32_t kCrc32cPoly = 0x82f63b78u;
+
+constexpr std::array<std::uint32_t, 256>
+makeCrc32cTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? (kCrc32cPoly ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr auto kCrc32cTable = makeCrc32cTable();
+
+std::uint32_t
+crc32c(const unsigned char *data, std::size_t len)
+{
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = kCrc32cTable[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+/** Serializer: appends values little-endian into a flat buffer. */
+struct ByteSink
+{
+    unsigned char buf[96];
+    std::size_t len = 0;
+
+    void
+    put64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf[len++] = static_cast<unsigned char>(v >> (8 * i));
+    }
+
+    void
+    put32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf[len++] = static_cast<unsigned char>(v >> (8 * i));
+    }
+
+    void put8(std::uint8_t v) { buf[len++] = v; }
+};
+
+} // namespace
+
+std::uint32_t
+flitCrc(const Flit &f)
+{
+    ByteSink s;
+    s.put64(f.id);
+    s.put64(f.packet);
+    s.put32(static_cast<std::uint32_t>(f.src));
+    s.put32(static_cast<std::uint32_t>(f.dst));
+    s.put8(f.head ? 1 : 0);
+    s.put8(f.tail ? 1 : 0);
+    s.put32(static_cast<std::uint32_t>(f.packetSize));
+    s.put64(f.createTime);
+    s.put64(f.injectTime);
+    s.put32(static_cast<std::uint32_t>(f.hops));
+    s.put8(f.measured ? 1 : 0);
+    s.put8(static_cast<std::uint8_t>(f.phase));
+    s.put8(static_cast<std::uint8_t>(f.routeMode));
+    s.put8(static_cast<std::uint8_t>(f.ascendDim));
+    s.put8(static_cast<std::uint8_t>(f.ancestorDim));
+    s.put32(static_cast<std::uint32_t>(f.intermediate));
+    s.put8(static_cast<std::uint8_t>(f.misroutes));
+    s.put32(static_cast<std::uint32_t>(f.vc));
+    s.put8(f.routed ? 1 : 0);
+    s.put32(static_cast<std::uint32_t>(f.outPort));
+    s.put32(static_cast<std::uint32_t>(f.outVc));
+    s.put64(f.linkSeq);
+    return crc32c(s.buf, s.len);
+}
+
+} // namespace fbfly

@@ -92,7 +92,30 @@ struct Flit
     PortId outPort = kInvalid;
     VcId outVc = kInvalid;
     /** @} */
+
+    /**
+     * @name Link-layer reliability (transient-error protection)
+     * Set by a reliable Channel on transmission; meaningless (and
+     * ignored) elsewhere.  `crc` covers every other field of the flit
+     * so that any single- or multi-bit corruption on the wire is
+     * detected at the receiver; `linkSeq` is the per-channel go-back-N
+     * sequence number used for ack/nack, retransmission and duplicate
+     * suppression.  See docs/FAULTS.md ("Transient errors").
+     * @{
+     */
+    std::uint32_t crc = 0;
+    std::uint64_t linkSeq = 0;
+    /** @} */
 };
+
+/**
+ * CRC-32C (Castagnoli) over every field of @p f except `crc` itself.
+ *
+ * The flit is serialized field by field into a fixed little-endian
+ * byte layout before hashing, so the checksum is independent of
+ * struct padding and host endianness.
+ */
+std::uint32_t flitCrc(const Flit &f);
 
 } // namespace fbfly
 

@@ -5,8 +5,10 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "fault/error_model.h"
 #include "fault/fault_model.h"
 #include "routing/routing.h"
+#include "sim/delivery_oracle.h"
 #include "topology/topology.h"
 #include "traffic/traffic_pattern.h"
 
@@ -103,6 +105,28 @@ Network::validate(const Topology &topo, const RoutingAlgorithm &algo,
                 " collides with other wiring");
     }
 
+    // --- Transient errors + link-layer retry -----------------------
+    if (cfg.errors != nullptr) {
+        const ErrorModel &em = *cfg.errors;
+        if (&em.topology() != &topo || em.numArcs() != arcs.size()) {
+            add("error model was built over a different topology");
+        } else {
+            const std::string bad = em.validateRates();
+            if (!bad.empty())
+                add("error model rates invalid:\n", bad);
+        }
+    }
+    if (cfg.linkRetry.enabled ||
+        (cfg.errors != nullptr && cfg.errors->anyErrors())) {
+        if (cfg.linkRetry.windowFlits < 1)
+            add("linkRetry.windowFlits must be >= 1 (got ",
+                cfg.linkRetry.windowFlits, ")");
+        if (cfg.linkRetry.retryTimeout < 1)
+            add("linkRetry.retryTimeout must be >= 1");
+        if (cfg.linkRetry.maxTimeout < cfg.linkRetry.retryTimeout)
+            add("linkRetry.maxTimeout must be >= retryTimeout");
+    }
+
     // --- Fault set -------------------------------------------------
     if (cfg.faults != nullptr) {
         const FaultModel &fm = *cfg.faults;
@@ -144,17 +168,57 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
                               bypass);
     }
 
-    // Inter-router channels.
+    // Inter-router channels.  The link-layer retry protocol runs on
+    // these (and only these — terminal channels are short local
+    // wires) when an error model injects transient errors or when
+    // the protocol is explicitly enabled.
     arcs_ = topo.arcs();
     FBFLY_ASSERT(cfg.arcLatencies.empty() ||
                  cfg.arcLatencies.size() == arcs_.size(),
                  "arcLatencies must match the topology's arc list");
+    const bool reliable_links =
+        cfg.linkRetry.enabled ||
+        (cfg.errors != nullptr && cfg.errors->anyErrors());
+    if (cfg.errors != nullptr) {
+        FBFLY_ASSERT(&cfg.errors->topology() == &topo &&
+                     cfg.errors->numArcs() == arcs_.size(),
+                     "error model topology mismatch (",
+                     cfg.errors->numArcs(), " arcs vs ",
+                     arcs_.size(), ")");
+        const std::string bad = cfg.errors->validateRates();
+        FBFLY_ASSERT(bad.empty(), "error model rates invalid:\n",
+                     bad);
+    }
+    Rng linkRngs = master.split(0x4c696e6b52656cULL); // "LinkRel"
     for (std::size_t i = 0; i < arcs_.size(); ++i) {
         const auto &arc = arcs_[i];
         const Cycle latency = cfg.arcLatencies.empty()
             ? cfg.channelLatency : cfg.arcLatencies[i];
         channels_.emplace_back(latency, cfg.channelPeriod);
         Channel *ch = &channels_.back();
+        if (reliable_links) {
+            LinkReliabilityConfig rc = cfg.linkRetry;
+            rc.enabled = true;
+            // Auto-scale per channel so the protocol stays
+            // timing-transparent on clean wires at any latency: the
+            // window must exceed the flits outstanding before the
+            // first ack returns, and the timeout must exceed the ack
+            // round trip (docs/FAULTS.md).
+            rc.windowFlits = std::max(
+                rc.windowFlits, static_cast<int>(latency) + 4);
+            rc.retryTimeout =
+                std::max(rc.retryTimeout, 2 * latency + 8);
+            rc.maxTimeout = std::max(rc.maxTimeout, rc.retryTimeout);
+            const LinkErrorRates rates = cfg.errors != nullptr
+                ? cfg.errors->arcRates(i) : LinkErrorRates{};
+            // Error draws come from the error model's own seed so
+            // the same traffic can be replayed under different error
+            // draws; with no error model the stream is never
+            // consumed.
+            Rng err_rng = cfg.errors != nullptr
+                ? cfg.errors->arcRng(i) : linkRngs.split(i);
+            ch->enableReliability(rc, rates, err_rng);
+        }
         routers_[arc.src].connectOutput(arc.srcPort, ch, cfg.vcDepth);
         routers_[arc.dst].connectInput(arc.dstPort, ch);
     }
@@ -375,8 +439,10 @@ Network::stallDump(int max_flits) const
             continue;
         os << "arc " << i << " (" << arcs_[i].src << "->"
            << arcs_[i].dst << ") in-flight="
-           << channels_[i].flitsInFlight()
-           << (channels_[i].dead() ? " DEAD" : "") << "\n";
+           << channels_[i].flitsInFlight();
+        if (channels_[i].reliable())
+            os << " replay=" << channels_[i].replayOccupancy();
+        os << (channels_[i].dead() ? " DEAD" : "") << "\n";
     }
     return os.str();
 }
@@ -451,6 +517,15 @@ Network::checkInvariants() const
         }
     }
     return os.str();
+}
+
+LinkStats
+Network::linkStats() const
+{
+    LinkStats total;
+    for (std::size_t i = 0; i < numArcs_; ++i)
+        total += channels_[i].linkStats();
+    return total;
 }
 
 std::vector<std::uint64_t>

@@ -31,6 +31,8 @@ class Topology;
 class RoutingAlgorithm;
 class TrafficPattern;
 class FaultModel;
+class ErrorModel;
+class DeliveryOracle;
 
 /**
  * Simulator configuration knobs.
@@ -64,6 +66,28 @@ struct NetworkConfig
      *  fail at their activation cycles; dead channels refuse flits
      *  and routers expose dead output ports to routing algorithms. */
     const FaultModel *faults = nullptr;
+
+    /**
+     * Transient-error model (nullptr: error-free wires).  Must be
+     * built over the same topology and outlive the network.  A model
+     * with any nonzero rate implicitly enables the link-layer retry
+     * protocol on every inter-router channel (terminal channels are
+     * short local wires and assumed error-free).
+     */
+    const ErrorModel *errors = nullptr;
+
+    /**
+     * Link-layer retry protocol knobs (window, timeout, backoff
+     * cap).  Set linkRetry.enabled to run the protocol even with no
+     * error model — e.g. to verify it is timing-transparent on clean
+     * wires.
+     */
+    LinkReliabilityConfig linkRetry;
+
+    /** End-to-end delivery oracle to notify at measured-packet
+     *  injection/ejection (nullptr: no auditing).  Must outlive the
+     *  network. */
+    DeliveryOracle *oracle = nullptr;
 
     /** Forward-progress watchdog: if no flit moves for this many
      *  cycles while work is pending, stalled() turns true (and step()
@@ -232,8 +256,18 @@ class Network
 
     /** Flits carried so far by each inter-router channel, indexed
      *  like Topology::arcs().  Snapshot before/after a window to
-     *  compute channel utilizations (load-balance diagnostics). */
+     *  compute channel utilizations (load-balance diagnostics).
+     *  With link-level retry enabled this counts wire *attempts*
+     *  (retransmissions consume bandwidth like any other flit). */
     std::vector<std::uint64_t> interRouterFlitCounts() const;
+
+    /** Link-layer reliability counters summed over every
+     *  inter-router channel (all zero when the retry protocol is
+     *  off).  See LinkStats. */
+    LinkStats linkStats() const;
+
+    /** The delivery oracle this network reports to (may be null). */
+    DeliveryOracle *oracle() const { return cfg_.oracle; }
 
     /** @name Services used by terminals @{ */
     NodeId drawDest(NodeId src, Rng &rng) const;

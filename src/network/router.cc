@@ -61,10 +61,14 @@ Router::markOccupied(int unit)
 void
 Router::receive(Cycle now)
 {
-    // Credits arrive on the channels this router transmits on.
+    // Credits arrive on the channels this router transmits on; a
+    // reliable channel's transmitter state machine (ack processing,
+    // timeouts, retransmissions) advances here too, before this
+    // cycle's new sends.
     for (auto &ou : outputs_) {
         if (ou.channel == nullptr)
             continue;
+        ou.channel->tick(now);
         while (auto vc = ou.channel->receiveCredit(now)) {
             FBFLY_ASSERT(*vc >= 0 && *vc < numVcs_, "credit VC range");
             ++ou.credits[*vc];

@@ -3,6 +3,7 @@
 #include "common/log.h"
 #include "network/flit.h"
 #include "network/network.h"
+#include "sim/delivery_oracle.h"
 
 namespace fbfly
 {
@@ -27,6 +28,7 @@ void
 Terminal::receive(Cycle now)
 {
     if (toRouter_ != nullptr) {
+        toRouter_->tick(now);
         while (auto vc = toRouter_->receiveCredit(now)) {
             FBFLY_ASSERT(*vc >= 0 && *vc < numVcs_,
                          "terminal credit VC range");
@@ -43,6 +45,8 @@ Terminal::receive(Cycle now)
         if (f->tail) {
             ++st.packetsEjected;
             if (f->measured) {
+                if (DeliveryOracle *oracle = parent_->oracle())
+                    oracle->onEject(*f);
                 ++st.measuredEjected;
                 const auto lat =
                     static_cast<double>(now - f->createTime);
@@ -107,6 +111,10 @@ Terminal::inject(Cycle now)
     f.vc = currentVc_;
 
     --credits_[currentVc_];
+    if (f.head && f.measured) {
+        if (DeliveryOracle *oracle = parent_->oracle())
+            oracle->onInject(f);
+    }
     toRouter_->sendFlit(f, now);
     ++parent_->stats().flitsInjected;
 

@@ -27,6 +27,7 @@ class ButterflyDest : public RoutingAlgorithm
 
     std::string name() const override { return "destination-based"; }
     int numVcs() const override { return 1; }
+    bool preservesFlowOrder() const override { return true; }
     RouteDecision route(Router &router, Flit &flit) override;
 
   private:

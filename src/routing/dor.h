@@ -28,6 +28,7 @@ class DimensionOrder : public FbflyRouting
 
     std::string name() const override { return "DOR"; }
     int numVcs() const override { return 1; }
+    bool preservesFlowOrder() const override { return true; }
     RouteDecision route(Router &router, Flit &flit) override;
 };
 

@@ -26,6 +26,7 @@ class HypercubeEcube : public RoutingAlgorithm
 
     std::string name() const override { return "e-cube"; }
     int numVcs() const override { return 1; }
+    bool preservesFlowOrder() const override { return true; }
     RouteDecision route(Router &router, Flit &flit) override;
 
   private:

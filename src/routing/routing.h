@@ -77,6 +77,25 @@ class RoutingAlgorithm
 
     /** True: sequential routing-decision allocator (UGAL-S, CLOS AD). */
     virtual bool sequential() const { return false; }
+
+    /**
+     * True when the algorithm guarantees per-flow FIFO delivery: all
+     * packets of one (src, dst) pair follow a single deterministic
+     * path through the same VCs, so the routers' per-VC FIFO
+     * discipline preserves their injection order end to end.
+     *
+     * Deterministic single-path algorithms (DOR, destination-tag,
+     * e-cube, torus DOR, minimal GHC) override this to true.
+     * Adaptive and non-minimal algorithms must leave it false:
+     * routing same-flow packets through different intermediates or
+     * adaptively chosen channels reorders them even at a zero error
+     * rate — VAL and UGAL measurably do — which is inherent to
+     * multipath routing, not a delivery failure.  The delivery
+     * oracle (sim/delivery_oracle.h) audits per-flow order only when
+     * this returns true; otherwise reorders are reported but do not
+     * dirty the run.
+     */
+    virtual bool preservesFlowOrder() const { return false; }
 };
 
 } // namespace fbfly

@@ -29,6 +29,10 @@ class TorusDor : public RoutingAlgorithm
 
     std::string name() const override { return "torus DOR"; }
     int numVcs() const override { return 2; }
+    /** Same-flow packets take one path through one VC schedule (the
+     *  dateline transition happens at a fixed position on that path),
+     *  so per-VC FIFO preserves flow order. */
+    bool preservesFlowOrder() const override { return true; }
     RouteDecision route(Router &router, Flit &flit) override;
 
   private:

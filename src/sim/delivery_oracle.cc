@@ -1,0 +1,131 @@
+#include "sim/delivery_oracle.h"
+
+#include <sstream>
+
+namespace fbfly
+{
+
+namespace
+{
+
+/** SplitMix64-style finalizer for fingerprint mixing. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+std::string
+OracleReport::summary() const
+{
+    std::ostringstream os;
+    os << "delivery oracle: tracked=" << tracked
+       << " delivered=" << delivered << " outstanding=" << outstanding
+       << " (expected_dropped=" << expectedDropped << ")"
+       << " dropped=" << dropped << " duplicates=" << duplicates
+       << " reorders=" << reorders
+       << (orderEnforced ? " (order enforced)" : " (order advisory)")
+       << " corruptions=" << corruptions
+       << (clean() ? " [clean]" : " [VIOLATIONS]");
+    return os.str();
+}
+
+std::uint64_t
+DeliveryOracle::fingerprint(const Flit &f)
+{
+    // Identity fields shared by every flit of a packet; any
+    // corruption that survives the link layer perturbs at least one
+    // of them (or the packet id used to look the entry up).
+    std::uint64_t h = mix64(f.packet ^ 0x6f7261636c65ULL);
+    h = mix64(h ^ static_cast<std::uint64_t>(
+                      static_cast<std::uint32_t>(f.src)));
+    h = mix64(h ^ (static_cast<std::uint64_t>(
+                       static_cast<std::uint32_t>(f.dst))
+                   << 1));
+    h = mix64(h ^ f.createTime);
+    h = mix64(h ^ static_cast<std::uint64_t>(
+                      static_cast<std::uint32_t>(f.packetSize)));
+    return h;
+}
+
+std::uint64_t
+DeliveryOracle::flowKey(const Flit &f)
+{
+    return (static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(f.src))
+            << 32) |
+           static_cast<std::uint64_t>(
+               static_cast<std::uint32_t>(f.dst));
+}
+
+void
+DeliveryOracle::onInject(const Flit &head)
+{
+    const std::uint64_t flow = flowKey(head);
+    Entry e;
+    e.fingerprint = fingerprint(head);
+    e.flow = flow;
+    e.flowSeq = flowInjected_[flow]++;
+    packets_.emplace(head.packet, e);
+    ++tracked_;
+}
+
+void
+DeliveryOracle::onEject(const Flit &tail)
+{
+    const auto it = packets_.find(tail.packet);
+    if (it == packets_.end()) {
+        // An ejection that matches nothing we injected: its packet
+        // id (or measured flag) was mangled in transit.
+        ++corruptions_;
+        return;
+    }
+    Entry &e = it->second;
+    if (e.delivered) {
+        ++duplicates_;
+        return;
+    }
+    if (fingerprint(tail) != e.fingerprint) {
+        ++corruptions_;
+        return;
+    }
+    e.delivered = true;
+    ++delivered_;
+    // In-order per flow: the watermark holds 1 + the highest flowSeq
+    // delivered so far; a delivery below it was overtaken by a later
+    // injection of the same (src, dst) flow.
+    auto &watermark = flowWatermark_[e.flow];
+    if (e.flowSeq < watermark)
+        ++reorders_;
+    else
+        watermark = e.flowSeq + 1;
+}
+
+OracleReport
+DeliveryOracle::report(std::uint64_t expected_dropped, bool drained,
+                       bool order_enforced) const
+{
+    OracleReport rep;
+    rep.orderEnforced = order_enforced;
+    rep.tracked = tracked_;
+    rep.delivered = delivered_;
+    rep.duplicates = duplicates_;
+    rep.reorders = reorders_;
+    rep.corruptions = corruptions_;
+    rep.expectedDropped = expected_dropped;
+    for (const auto &[id, e] : packets_) {
+        if (!e.delivered)
+            ++rep.outstanding;
+    }
+    rep.dropped = drained && rep.outstanding > expected_dropped
+                      ? rep.outstanding - expected_dropped
+                      : 0;
+    return rep;
+}
+
+} // namespace fbfly

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Delivery oracle — end-to-end exactly-once delivery checking.
+ *
+ * The link-layer retry protocol (network/channel.h) claims that any
+ * transient corruption or erasure on the wire is absorbed below the
+ * network layer: every packet still arrives exactly once, in per-flow
+ * FIFO order, with its payload intact.  The oracle checks that claim
+ * end to end, independently of the mechanism under test: it
+ * fingerprints every measured packet at injection and verifies each
+ * ejection against the ledger, classifying failures as
+ *
+ *  - **drop**: a tracked packet never ejected (beyond the drops the
+ *    router layer itself reported, e.g. unreachable destinations
+ *    under a fail-stop fault set);
+ *  - **duplicate**: the same packet ejected more than once;
+ *  - **reorder**: a packet overtaking an earlier injection of the
+ *    same (src, dst) flow.  Reorders are always *counted*, but they
+ *    dirty the report only when the routing algorithm promises
+ *    per-flow FIFO (RoutingAlgorithm::preservesFlowOrder) — adaptive
+ *    and non-minimal algorithms (UGAL, VAL, adaptive Clos) reorder
+ *    same-flow packets even at a zero error rate, inherently, by
+ *    routing them through different intermediates;
+ *  - **corruption**: an ejected packet whose identity fields no
+ *    longer match its injection fingerprint (or an ejection that
+ *    matches no tracked packet at all).
+ *
+ * A clean report from a run with nonzero error injection is the
+ * acceptance evidence that the retry protocol works; a clean report
+ * at zero error rate guards against oracle false positives.
+ *
+ * One oracle serves one Network (wired via NetworkConfig::oracle);
+ * the sweep engine gives each load point its own network and oracle,
+ * so there is no cross-thread sharing.
+ */
+
+#ifndef FBFLY_SIM_DELIVERY_ORACLE_H
+#define FBFLY_SIM_DELIVERY_ORACLE_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "network/flit.h"
+
+namespace fbfly
+{
+
+/**
+ * Outcome of an end-to-end delivery audit.
+ */
+struct OracleReport
+{
+    /** Packets fingerprinted at injection. */
+    std::uint64_t tracked = 0;
+    /** Tracked packets ejected exactly once with matching
+     *  fingerprint. */
+    std::uint64_t delivered = 0;
+    /** Tracked packets never ejected (drain ended without them). */
+    std::uint64_t outstanding = 0;
+    /** Drops the router layer accounted for (unreachable /
+     *  truncated packets under fail-stop faults). */
+    std::uint64_t expectedDropped = 0;
+    /** Outstanding packets *beyond* the expected drops — silent
+     *  losses the network cannot explain. */
+    std::uint64_t dropped = 0;
+    /** Ejections of an already-delivered packet. */
+    std::uint64_t duplicates = 0;
+    /** Deliveries overtaking an earlier same-flow injection. */
+    std::uint64_t reorders = 0;
+    /** Fingerprint mismatches or ejections of unknown packets. */
+    std::uint64_t corruptions = 0;
+    /**
+     * True when the run's routing algorithm promises per-flow FIFO
+     * delivery (RoutingAlgorithm::preservesFlowOrder): reorders then
+     * count as violations.  False for adaptive / non-minimal routing,
+     * whose multipath reorders are inherent — still reported above,
+     * but advisory.
+     */
+    bool orderEnforced = false;
+
+    /** True when delivery was exactly-once and uncorrupted — and, if
+     *  the routing promises order, in per-flow FIFO order. */
+    bool clean() const
+    {
+        return dropped == 0 && duplicates == 0 && corruptions == 0 &&
+               (!orderEnforced || reorders == 0);
+    }
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+/**
+ * Packet ledger: fingerprints at injection, audits at ejection.
+ */
+class DeliveryOracle
+{
+  public:
+    DeliveryOracle() = default;
+
+    /** Record a measured packet entering the network (head flit at
+     *  the source terminal). */
+    void onInject(const Flit &head);
+
+    /** Audit a measured packet leaving the network (tail flit at the
+     *  destination terminal). */
+    void onEject(const Flit &tail);
+
+    /**
+     * Final audit.
+     *
+     * @param expected_dropped measured packets the router layer
+     *        reported dropping (NetworkStats::measuredDropped);
+     *        that many missing packets are explained, anything
+     *        beyond is a silent drop.
+     * @param drained true when the run drained every measured packet
+     *        out of the network (delivered or dropped).  When false
+     *        (saturated or stalled runs cut off with packets still
+     *        in flight) outstanding packets cannot be classified, so
+     *        the `dropped` category reports 0 and only duplicates /
+     *        reorders / corruptions remain meaningful.
+     * @param order_enforced true when the routing algorithm promises
+     *        per-flow FIFO (RoutingAlgorithm::preservesFlowOrder):
+     *        reorders then dirty the report instead of being
+     *        advisory.
+     */
+    OracleReport report(std::uint64_t expected_dropped = 0,
+                        bool drained = true,
+                        bool order_enforced = false) const;
+
+    /** Packets tracked so far. */
+    std::uint64_t tracked() const { return tracked_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t fingerprint;
+        /** Injection order within the packet's (src, dst) flow. */
+        std::uint64_t flowSeq;
+        std::uint64_t flow;
+        bool delivered = false;
+    };
+
+    static std::uint64_t fingerprint(const Flit &f);
+    static std::uint64_t flowKey(const Flit &f);
+
+    std::unordered_map<PacketId, Entry> packets_;
+    /** Per-flow injection counters. */
+    std::unordered_map<std::uint64_t, std::uint64_t> flowInjected_;
+    /** Per-flow highest delivered flowSeq watermark (+1). */
+    std::unordered_map<std::uint64_t, std::uint64_t> flowWatermark_;
+
+    std::uint64_t tracked_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t duplicates_ = 0;
+    std::uint64_t reorders_ = 0;
+    std::uint64_t corruptions_ = 0;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_SIM_DELIVERY_ORACLE_H

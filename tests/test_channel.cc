@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "network/channel.h"
 
 namespace fbfly
@@ -113,6 +114,104 @@ TEST(Channel, FlitsInFlightTracking)
     EXPECT_EQ(ch.flitsInFlight(), 2);
     (void)ch.receiveFlit(4);
     EXPECT_EQ(ch.flitsInFlight(), 1);
+}
+
+// --- kill(): fail-stop semantics and edge cases -------------------
+
+TEST(Channel, KillRefusesNewFlitsForever)
+{
+    Channel ch(2, 1);
+    EXPECT_FALSE(ch.dead());
+    EXPECT_TRUE(ch.canSendFlit(0));
+    ch.kill();
+    EXPECT_TRUE(ch.dead());
+    for (Cycle t = 0; t < 5; ++t)
+        EXPECT_FALSE(ch.canSendFlit(t)) << t;
+}
+
+TEST(Channel, KillDeliversInFlightFlitsAndCredits)
+{
+    // Fail-stop kills the *transmitter*; what is already on the wire
+    // still arrives (the paper-world analogue: a cable pulled at the
+    // source end does not vaporize photons already in flight).
+    Channel ch(3, 1);
+    ch.sendFlit(makeFlit(1), 0);
+    ch.sendCredit(2, 0);
+    ch.kill();
+    const auto f = ch.receiveFlit(3);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->id, 1u);
+    const auto c = ch.receiveCredit(3);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c.value(), 2);
+    EXPECT_EQ(ch.flitsInFlight(), 0);
+}
+
+TEST(Channel, KillDropsAndCountsFutureCredits)
+{
+    Channel ch(1, 1);
+    ch.sendCredit(0, 0);
+    ch.kill();
+    EXPECT_EQ(ch.creditsDropped(), 0u);
+    ch.sendCredit(1, 1);
+    ch.sendCredit(0, 2);
+    ch.sendCredit(1, 3);
+    EXPECT_EQ(ch.creditsDropped(), 3u);
+    // Only the pre-kill credit arrives.
+    EXPECT_EQ(ch.receiveCredit(10).value(), 0);
+    EXPECT_FALSE(ch.receiveCredit(10).has_value());
+    EXPECT_EQ(ch.creditsInFlightOnVc(1), 0);
+}
+
+TEST(ChannelDeath, SendOnDeadChannelPanics)
+{
+    Channel ch(1, 1);
+    ch.kill();
+    EXPECT_DEATH(ch.sendFlit(makeFlit(1), 0), "dead channel");
+}
+
+TEST(ChannelDeath, NonMonotonicSendPanics)
+{
+    // The channel is a FIFO wire: a send earlier than a previous
+    // send would corrupt arrival order.
+    Channel ch(1, 1);
+    ch.sendFlit(makeFlit(1), 10);
+    EXPECT_DEATH(ch.sendFlit(makeFlit(2), 5), "non-monotonic");
+}
+
+TEST(ChannelDeath, NonMonotonicReceivePanics)
+{
+    Channel ch(1, 1);
+    (void)ch.receiveFlit(10);
+    EXPECT_DEATH((void)ch.receiveFlit(9), "non-monotonic");
+}
+
+TEST(ChannelDeath, NonMonotonicCreditLanePanics)
+{
+    Channel ch(1, 1);
+    ch.sendCredit(0, 10);
+    EXPECT_DEATH(ch.sendCredit(0, 9), "non-monotonic");
+    (void)ch.receiveCredit(10);
+    EXPECT_DEATH((void)ch.receiveCredit(9), "non-monotonic");
+}
+
+TEST(ChannelDeath, BandwidthViolationPanics)
+{
+    Channel ch(1, 2);
+    ch.sendFlit(makeFlit(1), 0);
+    EXPECT_DEATH(ch.sendFlit(makeFlit(2), 1), "bandwidth");
+}
+
+TEST(ChannelDeath, ReliabilityAfterTrafficPanics)
+{
+    // The retry protocol numbers every flit from 0; enabling it
+    // after unprotected traffic has flowed would desynchronize the
+    // receiver.
+    Channel ch(1, 1);
+    ch.sendFlit(makeFlit(1), 0);
+    EXPECT_DEATH(
+        ch.enableReliability({true, 4, 8, 16}, {}, Rng(1)),
+        "after traffic");
 }
 
 } // namespace

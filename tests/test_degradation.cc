@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the graceful-degradation sweep (harness/degradation.h),
+ * in particular the fault-draw *shortfall* contract: when
+ * connectivity pruning cannot fail as many links as the fraction
+ * requested, the sweep must report the effective count instead of
+ * silently mislabeling the point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/degradation.h"
+#include "routing/min_adaptive.h"
+#include "topology/flattened_butterfly.h"
+#include "traffic/traffic_pattern.h"
+
+namespace fbfly
+{
+namespace
+{
+
+ExperimentConfig
+shortPhasing()
+{
+    ExperimentConfig e;
+    e.warmupCycles = 150;
+    e.measureCycles = 200;
+    e.drainCycles = 2000;
+    e.seed = 321;
+    return e;
+}
+
+TEST(Degradation, ShortfallPointIsLabeledNotMislabeled)
+{
+    // The 2-ary 2-flat has exactly one bidirectional inter-router
+    // link, and that link is a cut edge: connectivity-preserving
+    // pruning can fail *nothing*.  Requesting the full fraction must
+    // yield a shortfall point that says so, not a point pretending
+    // the link failed.
+    FlattenedButterfly topo(2, 2);
+    MinAdaptive algo(topo);
+    UniformRandom pattern(topo.numNodes());
+
+    DegradationConfig cfg;
+    cfg.fractions = {1.0};
+    cfg.lowLoad = 0.2;
+    cfg.preserveConnectivity = true;
+    cfg.exp = shortPhasing();
+    cfg.net.vcDepth = 8;
+
+    std::vector<SweepPointRecord> records;
+    const auto pts =
+        runDegradationSweep(topo, {&algo}, pattern, cfg, &records);
+    ASSERT_EQ(pts.size(), 1u);
+    const DegradationPoint &pt = pts[0];
+    EXPECT_EQ(pt.totalLinks, 1);
+    EXPECT_EQ(pt.requestedLinks, 1);
+    EXPECT_EQ(pt.failedLinks, 0);
+    EXPECT_TRUE(pt.shortfall());
+    // The effective fraction is 0/1 — the cell really ran
+    // fault-free, and its runs prove it.
+    EXPECT_EQ(pt.lowLoad.status, LoadPointStatus::kDelivered);
+    EXPECT_EQ(pt.lowLoad.measuredDropped, 0u);
+
+    // The JSON series label carries the effective/requested counts
+    // so downstream plots cannot mislabel the point.
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_NE(records[0].series.find("shortfall 0/1"),
+              std::string::npos)
+        << records[0].series;
+}
+
+TEST(Degradation, NoShortfallOnRichTopology)
+{
+    // K8 per dimension has link diversity to spare: small fractions
+    // are honored in full and the label stays plain.
+    FlattenedButterfly topo(4, 2); // K4: 6 bidirectional links
+    MinAdaptive algo(topo);
+    UniformRandom pattern(topo.numNodes());
+
+    DegradationConfig cfg;
+    cfg.fractions = {0.0, 0.2};
+    cfg.lowLoad = 0.2;
+    cfg.exp = shortPhasing();
+    cfg.net.vcDepth = 8;
+
+    std::vector<SweepPointRecord> records;
+    const auto pts =
+        runDegradationSweep(topo, {&algo}, pattern, cfg, &records);
+    ASSERT_EQ(pts.size(), 2u);
+    for (const auto &pt : pts) {
+        EXPECT_EQ(pt.failedLinks, pt.requestedLinks);
+        EXPECT_FALSE(pt.shortfall());
+    }
+    EXPECT_EQ(pts[0].failedLinks, 0);
+    EXPECT_EQ(pts[1].failedLinks, 1); // round(0.2 * 6)
+    for (const auto &rec : records)
+        EXPECT_EQ(rec.series.find("shortfall"), std::string::npos)
+            << rec.series;
+
+    // Both algorithms' cells stay live and deliver at low load.
+    EXPECT_EQ(pts[1].lowLoad.status, LoadPointStatus::kDelivered);
+}
+
+} // namespace
+} // namespace fbfly

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the transient-error model (fault/error_model.h):
+ * uniform and per-arc rates, validation, deterministic per-arc Rng
+ * streams, and the self-describing metadata block.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "fault/error_model.h"
+#include "topology/flattened_butterfly.h"
+
+namespace fbfly
+{
+namespace
+{
+
+TEST(ErrorModel, FreshModelHasNoErrors)
+{
+    FlattenedButterfly topo(4, 2); // 4 routers, K4, 12 arcs
+    ErrorModel em(topo);
+    EXPECT_FALSE(em.anyErrors());
+    EXPECT_EQ(em.numArcs(), topo.arcs().size());
+    EXPECT_TRUE(em.validateRates().empty());
+    for (std::size_t i = 0; i < em.numArcs(); ++i) {
+        EXPECT_EQ(em.arcRates(i).corrupt, 0.0);
+        EXPECT_EQ(em.arcRates(i).erase, 0.0);
+        EXPECT_FALSE(em.arcRates(i).any());
+    }
+}
+
+TEST(ErrorModel, UniformRatesApplyToEveryArc)
+{
+    FlattenedButterfly topo(4, 2);
+    ErrorModelConfig cfg;
+    cfg.corruptRate = 1e-3;
+    cfg.eraseRate = 1e-4;
+    cfg.burstStart = 0.01;
+    cfg.burstStop = 0.5;
+    cfg.burstFactor = 10.0;
+    ErrorModel em(topo, cfg);
+    EXPECT_TRUE(em.anyErrors());
+    EXPECT_TRUE(em.validateRates().empty());
+    for (std::size_t i = 0; i < em.numArcs(); ++i) {
+        const LinkErrorRates r = em.arcRates(i);
+        EXPECT_EQ(r.corrupt, 1e-3);
+        EXPECT_EQ(r.erase, 1e-4);
+        EXPECT_EQ(r.burstStart, 0.01);
+        EXPECT_EQ(r.burstStop, 0.5);
+        EXPECT_EQ(r.burstFactor, 10.0);
+    }
+
+    em.setUniformRates(0.0, 0.0);
+    EXPECT_FALSE(em.anyErrors());
+}
+
+TEST(ErrorModel, PerArcOverride)
+{
+    FlattenedButterfly topo(4, 2);
+    ErrorModel em(topo);
+    em.setArcRates(3, 0.5, 0.25);
+    EXPECT_TRUE(em.anyErrors());
+    EXPECT_EQ(em.arcRates(3).corrupt, 0.5);
+    EXPECT_EQ(em.arcRates(3).erase, 0.25);
+    EXPECT_EQ(em.arcRates(0).corrupt, 0.0);
+    EXPECT_EQ(em.arcRates(0).erase, 0.0);
+}
+
+TEST(ErrorModel, ValidationCatchesBadConfigs)
+{
+    FlattenedButterfly topo(4, 2);
+    {
+        ErrorModelConfig cfg;
+        cfg.corruptRate = 1.5;
+        ErrorModel em(topo, cfg);
+        EXPECT_FALSE(em.validateRates().empty());
+    }
+    {
+        // corrupt + erase partition a single draw: their sum must
+        // not exceed 1.
+        ErrorModelConfig cfg;
+        cfg.corruptRate = 0.7;
+        cfg.eraseRate = 0.7;
+        ErrorModel em(topo, cfg);
+        EXPECT_FALSE(em.validateRates().empty());
+    }
+    {
+        // Bursts can start but never stop: the bad state would be
+        // absorbing by accident.
+        ErrorModelConfig cfg;
+        cfg.corruptRate = 0.01;
+        cfg.burstStart = 0.1;
+        cfg.burstStop = 0.0;
+        ErrorModel em(topo, cfg);
+        EXPECT_FALSE(em.validateRates().empty());
+    }
+    {
+        ErrorModelConfig cfg;
+        cfg.corruptRate = 0.01;
+        cfg.burstFactor = 0.5;
+        ErrorModel em(topo, cfg);
+        EXPECT_FALSE(em.validateRates().empty());
+    }
+    {
+        // Per-arc override can break soundness too.
+        ErrorModel em(topo);
+        em.setArcRates(0, 0.9, 0.9);
+        EXPECT_FALSE(em.validateRates().empty());
+    }
+}
+
+TEST(ErrorModel, ArcRngStreamsAreDeterministicAndPerArc)
+{
+    FlattenedButterfly topo(4, 2);
+    ErrorModelConfig cfg;
+    cfg.seed = 77;
+    ErrorModel em(topo, cfg);
+
+    Rng a0 = em.arcRng(0);
+    Rng a0b = em.arcRng(0);
+    Rng a1 = em.arcRng(1);
+    bool same_arc_same = true;
+    bool diff_arc_same = true;
+    for (int i = 0; i < 16; ++i) {
+        const std::uint64_t x = a0.next();
+        same_arc_same = same_arc_same && x == a0b.next();
+        diff_arc_same = diff_arc_same && x == a1.next();
+    }
+    EXPECT_TRUE(same_arc_same);
+    EXPECT_FALSE(diff_arc_same);
+
+    // A different model seed changes every stream.
+    ErrorModelConfig other = cfg;
+    other.seed = 78;
+    ErrorModel em2(topo, other);
+    Rng b0 = em2.arcRng(0);
+    Rng c0 = em.arcRng(0);
+    bool diff_seed_same = true;
+    for (int i = 0; i < 16; ++i)
+        diff_seed_same = diff_seed_same && b0.next() == c0.next();
+    EXPECT_FALSE(diff_seed_same);
+}
+
+TEST(ErrorModel, MetadataRoundTripsRatesAndSeed)
+{
+    FlattenedButterfly topo(4, 2);
+    ErrorModelConfig cfg;
+    cfg.corruptRate = 7.5e-5;
+    cfg.eraseRate = 2.5e-5;
+    cfg.burstStart = 0.001;
+    cfg.burstStop = 0.25;
+    cfg.burstFactor = 20.0;
+    cfg.seed = 424242;
+    ErrorModel em(topo, cfg);
+
+    const auto kv = em.metadata();
+    const auto find = [&](const std::string &key) -> std::string {
+        for (const auto &[k, v] : kv) {
+            if (k == key)
+                return v;
+        }
+        ADD_FAILURE() << "missing metadata key " << key;
+        return "";
+    };
+    EXPECT_EQ(std::strtod(find("error_corrupt_rate").c_str(), nullptr),
+              7.5e-5);
+    EXPECT_EQ(std::strtod(find("error_erase_rate").c_str(), nullptr),
+              2.5e-5);
+    EXPECT_EQ(std::strtod(find("error_burst_start").c_str(), nullptr),
+              0.001);
+    EXPECT_EQ(std::strtod(find("error_burst_stop").c_str(), nullptr),
+              0.25);
+    EXPECT_EQ(std::strtod(find("error_burst_factor").c_str(), nullptr),
+              20.0);
+    EXPECT_EQ(find("error_seed"), "424242");
+}
+
+} // namespace
+} // namespace fbfly

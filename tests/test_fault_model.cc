@@ -141,6 +141,32 @@ TEST(FaultModel, RandomDrawIsDeterministic)
     EXPECT_FALSE(same);
 }
 
+TEST(FaultModel, FailRandomLinksShortfall)
+{
+    // The 2-ary 2-flat's single inter-router link is a cut edge:
+    // connectivity-preserving pruning can fail nothing at all, and
+    // the return value must say so (the caller labels results by the
+    // effective count — the shortfall contract).
+    FlattenedButterfly tiny(2, 2);
+    FaultModel fm(tiny);
+    EXPECT_EQ(static_cast<int>(fm.numArcs()) / 2, 1);
+    EXPECT_EQ(fm.failRandomLinks(1, 5, 0, true), 0);
+    EXPECT_FALSE(fm.anyFaults());
+    EXPECT_TRUE(fm.connected());
+
+    // Richer topology, excessive request: the draw stops when every
+    // remaining link is critical, strictly short of the request, and
+    // the network stays connected.
+    FlattenedButterfly topo(8, 2); // K8: 28 bidirectional links
+    FaultModel big(topo);
+    const int failed = big.failRandomLinks(28, 5, 0, true);
+    EXPECT_LT(failed, 28);
+    EXPECT_GT(failed, 0);
+    EXPECT_TRUE(big.connected());
+    // The effective count matches the arcs actually failed.
+    EXPECT_EQ(big.failedArcCount(0), 2 * failed);
+}
+
 TEST(FaultModel, RandomDrawPreservesConnectivity)
 {
     FlattenedButterfly topo(4, 2); // K4: 6 links, spanning needs 3

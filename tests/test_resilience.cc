@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the resilience sweep (harness/resilience.h): zero-rate
+ * timing transparency against the plain simulator, error absorption
+ * with a clean delivery oracle, thread-count invariance, and the
+ * self-describing JSON metadata/counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/resilience.h"
+#include "harness/result_writer.h"
+#include "harness/sweep.h"
+#include "routing/min_adaptive.h"
+#include "routing/valiant.h"
+#include "topology/flattened_butterfly.h"
+#include "traffic/traffic_pattern.h"
+
+namespace fbfly
+{
+namespace
+{
+
+struct Fixture
+{
+    Fixture() : topo(4, 2), algo(topo), pattern(topo.numNodes())
+    {
+        exp.warmupCycles = 200;
+        exp.measureCycles = 300;
+        exp.drainCycles = 3000;
+        exp.seed = 123;
+    }
+    FlattenedButterfly topo;
+    MinAdaptive algo;
+    UniformRandom pattern;
+    ExperimentConfig exp;
+};
+
+TEST(Resilience, ZeroRateReproducesPlainRunBitIdentically)
+{
+    // The protocol-overhead control: at a zero error rate the retry
+    // protocol never retransmits and must be timing-transparent —
+    // the sweep's zero-rate cell reproduces a plain (no error model,
+    // no retry) run of the same seed bit for bit.
+    Fixture f;
+    ResilienceConfig cfg;
+    cfg.errorRates = {0.0};
+    cfg.load = 0.3;
+    cfg.measureSaturation = false;
+    cfg.exp = f.exp;
+    cfg.net.vcDepth = 8;
+    const auto pts =
+        runResilienceSweep(f.topo, {&f.algo}, f.pattern, cfg);
+    ASSERT_EQ(pts.size(), 1u);
+    const LoadPointResult &rel = pts[0].fixedLoad;
+
+    // Plain baseline at the same queue index (= same derived seed).
+    SweepConfig sweepcfg;
+    sweepcfg.threads = 1;
+    sweepcfg.masterSeed = cfg.exp.seed;
+    SweepEngine engine(sweepcfg);
+    NetworkConfig plaincfg = cfg.net;
+    plaincfg.watchdogCycles = cfg.watchdogCycles;
+    engine.addLoadPoint("baseline", f.topo, f.algo, f.pattern,
+                        plaincfg, cfg.exp, cfg.load);
+    const LoadPointResult &base = engine.run()[0].load;
+
+    EXPECT_EQ(rel.status, base.status);
+    EXPECT_EQ(rel.avgLatency, base.avgLatency);
+    EXPECT_EQ(rel.avgNetworkLatency, base.avgNetworkLatency);
+    EXPECT_EQ(rel.p99Latency, base.p99Latency);
+    EXPECT_EQ(rel.accepted, base.accepted);
+    EXPECT_EQ(rel.avgHops, base.avgHops);
+    EXPECT_EQ(rel.measuredPackets, base.measuredPackets);
+
+    // The protocol ran (acks flowed) but never had to retransmit.
+    EXPECT_GT(rel.link.attempts, 0u);
+    EXPECT_GT(rel.link.acksSent, 0u);
+    EXPECT_EQ(rel.link.retransmits, 0u);
+    EXPECT_EQ(rel.link.timeouts, 0u);
+    EXPECT_EQ(rel.link.crcRejected, 0u);
+    EXPECT_EQ(rel.retransmitRate, 0.0);
+    // The plain baseline has no protocol at all.
+    EXPECT_EQ(base.link.attempts, 0u);
+
+    // Both runs audit clean at zero error rate (no oracle false
+    // positives).
+    ASSERT_TRUE(rel.deliveryChecked);
+    ASSERT_TRUE(base.deliveryChecked);
+    EXPECT_TRUE(rel.delivery.clean());
+    EXPECT_TRUE(base.delivery.clean());
+    EXPECT_EQ(rel.delivery.tracked, rel.delivery.delivered);
+}
+
+TEST(Resilience, ErrorsAreAbsorbedAndOracleStaysClean)
+{
+    Fixture f;
+    ResilienceConfig cfg;
+    cfg.errorRates = {1e-2};
+    cfg.eraseShare = 0.25;
+    cfg.load = 0.3;
+    cfg.measureSaturation = false;
+    cfg.exp = f.exp;
+    cfg.net.vcDepth = 8;
+    const auto pts =
+        runResilienceSweep(f.topo, {&f.algo}, f.pattern, cfg);
+    ASSERT_EQ(pts.size(), 1u);
+    const ResiliencePoint &pt = pts[0];
+    EXPECT_DOUBLE_EQ(pt.corruptRate, 1e-2 * 0.75);
+    EXPECT_DOUBLE_EQ(pt.eraseRate, 1e-2 * 0.25);
+
+    const LoadPointResult &r = pt.fixedLoad;
+    ASSERT_EQ(r.status, LoadPointStatus::kDelivered);
+    // Errors were injected and the protocol worked for a living.
+    EXPECT_GT(r.link.corruptInjected, 0u);
+    EXPECT_GT(r.link.eraseInjected, 0u);
+    EXPECT_GT(r.link.crcRejected, 0u);
+    EXPECT_GT(r.link.retransmits, 0u);
+    ASSERT_FALSE(std::isnan(r.retransmitRate));
+    EXPECT_GT(r.retransmitRate, 0.0);
+    // Every injected error was absorbed below the network layer:
+    // exactly-once, in-order, uncorrupted end-to-end delivery.
+    ASSERT_TRUE(r.deliveryChecked);
+    EXPECT_TRUE(r.delivery.clean()) << r.delivery.summary();
+    EXPECT_GT(r.delivery.tracked, 0u);
+    EXPECT_EQ(r.delivery.delivered, r.delivery.tracked);
+    EXPECT_EQ(r.measuredDropped, 0u);
+}
+
+TEST(Resilience, ThreadCountDoesNotChangeResults)
+{
+    Fixture f;
+    Valiant val(f.topo);
+    const auto run = [&](int threads) {
+        ResilienceConfig cfg;
+        cfg.errorRates = {0.0, 5e-3};
+        cfg.load = 0.25;
+        cfg.measureSaturation = false;
+        cfg.threads = threads;
+        cfg.exp = f.exp;
+        cfg.net.vcDepth = 8;
+        return runResilienceSweep(f.topo, {&f.algo, &val}, f.pattern,
+                                  cfg);
+    };
+    const auto a = run(1);
+    const auto b = run(4);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].algorithm, b[i].algorithm) << i;
+        EXPECT_EQ(a[i].fixedLoad.avgLatency, b[i].fixedLoad.avgLatency)
+            << i;
+        EXPECT_EQ(a[i].fixedLoad.accepted, b[i].fixedLoad.accepted)
+            << i;
+        EXPECT_EQ(a[i].fixedLoad.link.attempts,
+                  b[i].fixedLoad.link.attempts)
+            << i;
+        EXPECT_EQ(a[i].fixedLoad.link.retransmits,
+                  b[i].fixedLoad.link.retransmits)
+            << i;
+        EXPECT_EQ(a[i].fixedLoad.link.corruptInjected,
+                  b[i].fixedLoad.link.corruptInjected)
+            << i;
+    }
+}
+
+TEST(Resilience, JsonCarriesErrorMetadataAndRetryCounters)
+{
+    Fixture f;
+    ResilienceConfig cfg;
+    cfg.errorRates = {0.0, 1e-3};
+    cfg.load = 0.3;
+    cfg.measureSaturation = false;
+    cfg.exp = f.exp;
+    cfg.net.vcDepth = 8;
+    std::vector<SweepPointRecord> records;
+    (void)runResilienceSweep(f.topo, {&f.algo}, f.pattern, cfg,
+                             &records);
+    ASSERT_EQ(records.size(), 2u);
+
+    SweepRunMeta meta;
+    meta.bench = "resilience_test";
+    meta.extra = resilienceMetadata(cfg);
+    const std::string json = sweepResultsToJson(
+        meta, records, cfg.exp.seed, 1, /*total_wall_seconds=*/0.1);
+
+    // Self-describing error model + retry knobs in the metadata.
+    EXPECT_NE(json.find("\"error_rates\": \"0,0.001\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"erase_share\""), std::string::npos);
+    EXPECT_NE(json.find("\"error_seed\""), std::string::npos);
+    EXPECT_NE(json.find("\"retry_window_flits\""), std::string::npos);
+    EXPECT_NE(json.find("\"retry_timeout\""), std::string::npos);
+
+    // Per-point retry counters and the delivery audit.
+    EXPECT_NE(json.find("\"link_attempts\""), std::string::npos);
+    EXPECT_NE(json.find("\"link_retransmits\""), std::string::npos);
+    EXPECT_NE(json.find("\"link_crc_rejected\""), std::string::npos);
+    EXPECT_NE(json.find("\"retransmit_rate\""), std::string::npos);
+    EXPECT_NE(json.find("\"delivery\""), std::string::npos);
+    EXPECT_NE(json.find("\"clean\": true"), std::string::npos);
+    EXPECT_EQ(json.find("\"clean\": false"), std::string::npos);
+}
+
+} // namespace
+} // namespace fbfly
