@@ -17,7 +17,12 @@
  *                 contract);
  *   --json PATH   additionally emit the results as a
  *                 "fbfly-sweep-v1" JSON document;
- *   --seed S      master seed (per-point seeds derive from it).
+ *   --seed S      master seed (per-point seeds derive from it);
+ *   --trace       collect flit-lifecycle traces + metrics per point
+ *                 (docs/OBSERVABILITY.md) and write a merged Chrome
+ *                 trace_event JSON viewable in Perfetto;
+ *   --trace-out PATH  where to write that trace (implies --trace;
+ *                 default: <bench>.trace.json).
  */
 
 #ifndef FBFLY_BENCH_BENCH_UTIL_H
@@ -33,6 +38,7 @@
 #include "harness/experiment.h"
 #include "harness/result_writer.h"
 #include "harness/sweep.h"
+#include "obs/trace_export.h"
 
 namespace fbfly::bench
 {
@@ -77,6 +83,12 @@ struct BenchOptions
     std::string jsonPath;
     /** Master seed (--seed). */
     std::uint64_t seed = 2007; // ISCA'07
+    /** Collect per-point traces + metrics (--trace /
+     *  --trace-out; docs/OBSERVABILITY.md). */
+    bool trace = false;
+    /** Chrome-trace output path (--trace-out; empty: derive
+     *  <bench>.trace.json). */
+    std::string traceOut;
 };
 
 /**
@@ -89,7 +101,8 @@ parseBenchOptions(int argc, char **argv)
     const auto usage = [&](int status) {
         std::fprintf(
             stderr,
-            "usage: %s [--threads N] [--json PATH] [--seed S]\n"
+            "usage: %s [--threads N] [--json PATH] [--seed S] "
+            "[--trace] [--trace-out PATH]\n"
             "  --threads N  worker threads for independent sweep "
             "points\n"
             "               (0: all hardware threads; default 1; "
@@ -97,7 +110,14 @@ parseBenchOptions(int argc, char **argv)
             "               identical for every N)\n"
             "  --json PATH  also write results as fbfly-sweep-v1 "
             "JSON\n"
-            "  --seed S     master seed (default 2007)\n",
+            "  --seed S     master seed (default 2007)\n"
+            "  --trace      collect flit traces + metrics per point "
+            "and write\n"
+            "               a Chrome trace_event JSON (Perfetto-"
+            "loadable)\n"
+            "  --trace-out PATH  trace output path (implies --trace; "
+            "default\n"
+            "               <bench>.trace.json)\n",
             argv[0]);
         std::exit(status);
     };
@@ -133,6 +153,11 @@ parseBenchOptions(int argc, char **argv)
             }
         } else if (const char *v = value(i, arg, "--json")) {
             opt.jsonPath = v;
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            opt.trace = true;
+        } else if (const char *v = value(i, arg, "--trace-out")) {
+            opt.trace = true;
+            opt.traceOut = v;
         } else if (const char *v = value(i, arg, "--seed")) {
             char *end = nullptr;
             opt.seed = std::strtoull(v, &end, 0);
@@ -158,6 +183,19 @@ sweepConfig(const BenchOptions &opt)
     cfg.threads = opt.threads;
     cfg.masterSeed = opt.seed;
     return cfg;
+}
+
+/** Apply the --trace decision to an ExperimentConfig: tracing
+ *  implies metrics collection (the trace and its reconciling
+ *  counters travel together; docs/OBSERVABILITY.md). */
+inline ExperimentConfig
+withObs(ExperimentConfig e, const BenchOptions &opt)
+{
+    if (opt.trace) {
+        e.obs.traceEnabled = true;
+        e.obs.metricsEnabled = true;
+    }
+    return e;
 }
 
 /** Print the header for a latency/throughput series. */
@@ -223,12 +261,43 @@ finishBench(const SweepEngine &engine, const BenchOptions &opt,
                     ? engine.pointWallSecondsSum() /
                           engine.totalWallSeconds()
                     : 0.0);
+
+    // Merge per-point traces (strictly in point-index order — the
+    // determinism contract) into one Perfetto-loadable file.
+    std::string trace_file;
+    if (opt.trace) {
+        std::vector<TracePoint> points;
+        points.reserve(engine.records().size());
+        for (const auto &rec : engine.records()) {
+            TracePoint pt;
+            pt.label = "point " + std::to_string(rec.index) + ": " +
+                       rec.series;
+            if (rec.kind == SweepPointKind::kLoadPoint) {
+                char load[32];
+                std::snprintf(load, sizeof load, " @ %.3g",
+                              rec.load.offered);
+                pt.label += load;
+                pt.trace = rec.load.trace.get();
+            }
+            points.push_back(std::move(pt));
+        }
+        trace_file = opt.traceOut.empty()
+                         ? bench_name + ".trace.json"
+                         : opt.traceOut;
+        if (writeChromeTrace(trace_file, points))
+            std::printf("# wrote %s (open in ui.perfetto.dev)\n",
+                        trace_file.c_str());
+        else
+            trace_file.clear();
+    }
+
     if (opt.jsonPath.empty())
         return;
     SweepRunMeta meta;
     meta.bench = bench_name;
     meta.description = description;
     meta.extra = std::move(extra);
+    meta.traceFile = trace_file;
     if (writeSweepResults(opt.jsonPath, meta, engine))
         std::printf("# wrote %s\n", opt.jsonPath.c_str());
 }

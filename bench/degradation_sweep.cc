@@ -51,7 +51,7 @@ main(int argc, char **argv)
                                                    &val};
 
     DegradationConfig cfg;
-    cfg.exp = defaultPhasing();
+    cfg.exp = withObs(defaultPhasing(), opt);
     cfg.exp.seed = opt.seed;
     cfg.threads = opt.threads;
     cfg.net.vcDepth = 8; // scaled with the small network

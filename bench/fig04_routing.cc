@@ -33,16 +33,17 @@ namespace
 {
 
 void
-queueAlgo(SweepEngine &engine, const FlattenedButterfly &topo,
-          RoutingAlgorithm &algo, const TrafficPattern &pattern,
-          const char *figure, const std::vector<double> &loads)
+queueAlgo(SweepEngine &engine, const ExperimentConfig &phasing,
+          const FlattenedButterfly &topo, RoutingAlgorithm &algo,
+          const TrafficPattern &pattern, const char *figure,
+          const std::vector<double> &loads)
 {
     NetworkConfig netcfg;
     netcfg.vcDepth = 32 / algo.numVcs();
     engine.addLoadSweep(std::string(figure) + " " + algo.name() +
                             " / " + pattern.name(),
-                        topo, algo, pattern, netcfg,
-                        defaultPhasing(), loads);
+                        topo, algo, pattern, netcfg, phasing,
+                        loads);
 }
 
 } // namespace
@@ -66,22 +67,31 @@ main(int argc, char **argv)
                 "(N=1024, k'=%d)\n", topo.radix());
 
     SweepEngine engine(sweepConfig(opt));
+    const ExperimentConfig phasing = withObs(defaultPhasing(), opt);
 
     // (a) uniform random.
-    queueAlgo(engine, topo, min_ad, ur, "fig4a", loadSweep(1.0));
-    queueAlgo(engine, topo, val, ur, "fig4a", halfCapacitySweep());
-    queueAlgo(engine, topo, ugal, ur, "fig4a", loadSweep(1.0));
-    queueAlgo(engine, topo, ugal_s, ur, "fig4a", loadSweep(1.0));
-    queueAlgo(engine, topo, clos_ad, ur, "fig4a", loadSweep(1.0));
+    queueAlgo(engine, phasing, topo, min_ad, ur, "fig4a",
+              loadSweep(1.0));
+    queueAlgo(engine, phasing, topo, val, ur, "fig4a",
+              halfCapacitySweep());
+    queueAlgo(engine, phasing, topo, ugal, ur, "fig4a",
+              loadSweep(1.0));
+    queueAlgo(engine, phasing, topo, ugal_s, ur, "fig4a",
+              loadSweep(1.0));
+    queueAlgo(engine, phasing, topo, clos_ad, ur, "fig4a",
+              loadSweep(1.0));
 
     // (b) worst case.  MIN AD saturates at ~3%, so a couple of
     // points suffice to show the plateau.
-    queueAlgo(engine, topo, min_ad, wc, "fig4b",
+    queueAlgo(engine, phasing, topo, min_ad, wc, "fig4b",
               {0.02, 0.05, 0.2, 0.5});
-    queueAlgo(engine, topo, val, wc, "fig4b", halfCapacitySweep());
-    queueAlgo(engine, topo, ugal, wc, "fig4b", halfCapacitySweep());
-    queueAlgo(engine, topo, ugal_s, wc, "fig4b", halfCapacitySweep());
-    queueAlgo(engine, topo, clos_ad, wc, "fig4b",
+    queueAlgo(engine, phasing, topo, val, wc, "fig4b",
+              halfCapacitySweep());
+    queueAlgo(engine, phasing, topo, ugal, wc, "fig4b",
+              halfCapacitySweep());
+    queueAlgo(engine, phasing, topo, ugal_s, wc, "fig4b",
+              halfCapacitySweep());
+    queueAlgo(engine, phasing, topo, clos_ad, wc, "fig4b",
               halfCapacitySweep());
 
     printLoadRecords(engine.run());

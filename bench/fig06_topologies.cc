@@ -36,10 +36,10 @@ namespace
 {
 
 void
-queueSweep(SweepEngine &engine, const Topology &topo,
-           RoutingAlgorithm &algo, const TrafficPattern &pattern,
-           const char *figure, const std::vector<double> &loads,
-           Cycle period = 1)
+queueSweep(SweepEngine &engine, const ExperimentConfig &phasing,
+           const Topology &topo, RoutingAlgorithm &algo,
+           const TrafficPattern &pattern, const char *figure,
+           const std::vector<double> &loads, Cycle period = 1)
 {
     NetworkConfig netcfg;
     netcfg.vcDepth = 32 / algo.numVcs();
@@ -47,8 +47,8 @@ queueSweep(SweepEngine &engine, const Topology &topo,
     engine.addLoadSweep(std::string(figure) + " " + topo.name() +
                             " / " + algo.name() + " / " +
                             pattern.name(),
-                        topo, algo, pattern, netcfg,
-                        defaultPhasing(), loads);
+                        topo, algo, pattern, netcfg, phasing,
+                        loads);
 }
 
 } // namespace
@@ -86,23 +86,27 @@ main(int argc, char **argv)
                 hc_algo.numVcs());
 
     SweepEngine engine(sweepConfig(opt));
+    const ExperimentConfig phasing = withObs(defaultPhasing(), opt);
 
     // (a) uniform random.
-    queueSweep(engine, fb, fb_algo, ur, "fig6a", loadSweep(1.0));
-    queueSweep(engine, bf, bf_algo, ur, "fig6a", loadSweep(1.0));
-    queueSweep(engine, fc, fc_algo, ur, "fig6a",
+    queueSweep(engine, phasing, fb, fb_algo, ur, "fig6a",
+               loadSweep(1.0));
+    queueSweep(engine, phasing, bf, bf_algo, ur, "fig6a",
+               loadSweep(1.0));
+    queueSweep(engine, phasing, fc, fc_algo, ur, "fig6a",
                halfCapacitySweep());
-    queueSweep(engine, hc, hc_algo, ur, "fig6a", loadSweep(1.0), 2);
+    queueSweep(engine, phasing, hc, hc_algo, ur, "fig6a",
+               loadSweep(1.0), 2);
 
     // (b) worst case.
-    queueSweep(engine, fb, fb_algo, wc, "fig6b",
+    queueSweep(engine, phasing, fb, fb_algo, wc, "fig6b",
                halfCapacitySweep());
-    queueSweep(engine, bf, bf_algo, wc, "fig6b",
+    queueSweep(engine, phasing, bf, bf_algo, wc, "fig6b",
                {0.02, 0.05, 0.2, 0.5});
-    queueSweep(engine, fc, fc_algo, wc, "fig6b",
+    queueSweep(engine, phasing, fc, fc_algo, wc, "fig6b",
                halfCapacitySweep());
-    queueSweep(engine, hc, hc_algo, wc, "fig6b", halfCapacitySweep(),
-               2);
+    queueSweep(engine, phasing, hc, hc_algo, wc, "fig6b",
+               halfCapacitySweep(), 2);
 
     printLoadRecords(engine.run());
     finishBench(engine, opt, "fig06_topologies",

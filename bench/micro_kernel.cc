@@ -78,6 +78,7 @@ main(int argc, char **argv)
     phasing.measureCycles = 1000;
     phasing.drainCycles = 3000;
     phasing.seed = opt.seed;
+    phasing = withObs(phasing, opt);
 
     std::printf("micro kernel: sweep-engine smoke sweep on the "
                 "8-ary 2-flat (N=%lld)\n",

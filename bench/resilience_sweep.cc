@@ -56,7 +56,7 @@ main(int argc, char **argv)
                                                    &val};
 
     ResilienceConfig cfg;
-    cfg.exp = defaultPhasing();
+    cfg.exp = withObs(defaultPhasing(), opt);
     cfg.exp.seed = opt.seed;
     cfg.threads = opt.threads;
     cfg.net.vcDepth = 8; // scaled with the small network

@@ -1,7 +1,11 @@
 #include "harness/experiment.h"
 
+#include <optional>
+
 #include "common/log.h"
+#include "obs/obs_sampler.h"
 #include "routing/routing.h"
+#include "sim/stats.h"
 #include "topology/topology.h"
 #include "traffic/injection.h"
 #include "traffic/traffic_pattern.h"
@@ -52,7 +56,30 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
     if (expcfg.verifyDelivery)
         netcfg.oracle = &oracle;
 
+    // Per-run observability state (docs/OBSERVABILITY.md): the sink
+    // and registry belong to this run alone, so sweep results are
+    // identical for any thread count.
+    std::shared_ptr<TraceSink> sink;
+    if (expcfg.obs.traceEnabled) {
+        sink = std::make_shared<TraceSink>(expcfg.obs.traceCapacity);
+        sink->setLevel(expcfg.obs.traceLevel);
+        netcfg.trace = sink.get();
+    }
+
     Network net(topo, algo, &pattern, netcfg);
+
+    std::shared_ptr<MetricsRegistry> metrics;
+    std::optional<ObsSampler> sampler;
+    if (expcfg.obs.metricsEnabled) {
+        metrics = std::make_shared<MetricsRegistry>();
+        sampler.emplace(net, *metrics,
+                        expcfg.obs.metricsWindowCycles);
+    }
+    const auto obsTick = [&sampler] {
+        if (sampler.has_value())
+            sampler->tick();
+    };
+
     BernoulliInjection inj(offered, netcfg.packetSize,
                            expcfg.seed ^ 0x496e6a65637431ULL);
 
@@ -90,6 +117,56 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
             res.p99Latency = static_cast<double>(
                 st.latencyHist.percentile(0.99));
         }
+
+        // Observability: close the sampling window and publish the
+        // registry.  Counters first, then gauges — insertion order is
+        // the JSON order and the determinism-comparison order.
+        if (sampler.has_value())
+            sampler->finish();
+        if (metrics != nullptr) {
+            MetricsRegistry &m = *metrics;
+            m.setCounter("net.flits_injected", st.flitsInjected);
+            m.setCounter("net.flits_ejected", st.flitsEjected);
+            m.setCounter("net.hops_ejected", st.hopsEjected);
+            m.setCounter("net.packets_ejected", st.packetsEjected);
+            m.setCounter("net.measured_created", st.measuredCreated);
+            m.setCounter("net.measured_ejected", st.measuredEjected);
+            m.setCounter("net.flits_dropped", st.flitsDropped);
+            m.setCounter("link.attempts", res.link.attempts);
+            m.setCounter("link.retransmits", res.link.retransmits);
+            m.setCounter("link.crc_rejected", res.link.crcRejected);
+            m.setCounter("link.nacks_sent", res.link.nacksSent);
+            m.setCounter("link.timeouts", res.link.timeouts);
+            if (sink != nullptr) {
+                m.setCounter("trace.recorded", sink->recorded());
+                m.setCounter("trace.dropped",
+                             sink->droppedRecords());
+                for (int t = 0; t < kNumTraceEventTypes; ++t) {
+                    const auto type = static_cast<TraceEventType>(t);
+                    m.setCounter(std::string("trace.") +
+                                     toString(type),
+                                 sink->count(type));
+                }
+            }
+            const DistSummary lat =
+                summarize(st.packetLatency, st.latencyHist);
+            m.setCounter("latency.count", lat.count);
+            m.setGauge("latency.mean", lat.mean);
+            m.setGauge("latency.stddev", lat.stddev);
+            m.setGauge("latency.min", lat.min);
+            m.setGauge("latency.max", lat.max);
+            m.setGauge("latency.p50", lat.p50);
+            m.setGauge("latency.p99", lat.p99);
+            m.setGauge("network_latency.mean",
+                       st.measuredEjected > 0
+                           ? st.networkLatency.mean()
+                           : LoadPointResult::kUnknown);
+            m.setGauge("hops.mean", st.measuredEjected > 0
+                                        ? st.hops.mean()
+                                        : LoadPointResult::kUnknown);
+        }
+        res.trace = sink;
+        res.metrics = metrics;
     };
 
     // measure_complete: the measurement window closed, so accepted
@@ -113,6 +190,7 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
     for (int c = 0; c < expcfg.warmupCycles; ++c) {
         inj.tick(net, false);
         net.step();
+        obsTick();
         if (net.stalled())
             return stalledOut(false, 0, 0);
     }
@@ -123,6 +201,7 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
     for (int c = 0; c < expcfg.measureCycles; ++c) {
         inj.tick(net, true);
         net.step();
+        obsTick();
         if (net.stalled())
             return stalledOut(false, 0, 0);
     }
@@ -142,6 +221,7 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
         }
         inj.tick(net, false);
         net.step();
+        obsTick();
         if (net.stalled())
             return stalledOut(true, ejected0, ejected1);
     }

@@ -22,11 +22,14 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
 #include "network/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/delivery_oracle.h"
 
 namespace fbfly
@@ -35,6 +38,34 @@ namespace fbfly
 class Topology;
 class RoutingAlgorithm;
 class TrafficPattern;
+
+/**
+ * Observability knobs for one run (docs/OBSERVABILITY.md).
+ *
+ * Both collectors are per-run (per sweep point) state: each
+ * runLoadPoint call owns its sink and registry, written only from
+ * the thread executing that point — so results are bit-identical for
+ * any sweep thread count.
+ */
+struct ObsConfig
+{
+    /** Record flit-lifecycle events into a TraceSink (exported to
+     *  Chrome trace_event JSON by the benches' --trace-out). */
+    bool traceEnabled = false;
+    /** Trace ring capacity in events.  Every sweep point keeps its
+     *  ring alive until the post-run merge, so this default is
+     *  deliberately smaller than TraceSink::kDefaultCapacity:
+     *  256 Ki events (~12 MiB) per point, oldest overwritten first
+     *  (the tail of a run is the interesting part). */
+    std::size_t traceCapacity = std::size_t{1} << 18;
+    /** Event mask preset (kFull records everything). */
+    TraceLevel traceLevel = TraceLevel::kFull;
+    /** Collect a MetricsRegistry (counters, latency gauges, channel
+     *  utilization / VC occupancy series). */
+    bool metricsEnabled = false;
+    /** Sampling window for the utilization / occupancy series. */
+    std::uint64_t metricsWindowCycles = 100;
+};
 
 /**
  * Experiment phasing parameters.
@@ -57,6 +88,10 @@ struct ExperimentConfig
      * about when violated; it never changes simulation behavior.
      */
     bool verifyDelivery = true;
+
+    /** Observability collection (off by default: tracing costs one
+     *  dead branch per record site, metrics cost nothing). */
+    ObsConfig obs;
 };
 
 /**
@@ -145,6 +180,13 @@ struct LoadPointResult
     OracleReport delivery;
     /** True when the delivery oracle ran for this point. */
     bool deliveryChecked = false;
+
+    /** Flit-lifecycle trace (null unless obs.traceEnabled).  Shared
+     *  so sweep records can be copied cheaply; the sink is immutable
+     *  once the run ends. */
+    std::shared_ptr<const TraceSink> trace;
+    /** Collected metrics (null unless obs.metricsEnabled). */
+    std::shared_ptr<const MetricsRegistry> metrics;
 
     /**
      * True when the measurement window completed, i.e. `accepted`

@@ -161,6 +161,13 @@ writePoint(std::ostringstream &os, const SweepPointRecord &rec)
            << ", \"clean\": " << (d.clean() ? "true" : "false")
            << "}";
     }
+    // Observability: the point's MetricsRegistry (counters, gauges,
+    // utilization/occupancy series), present only when the point ran
+    // with obs.metricsEnabled.
+    if (r.metrics != nullptr && !r.metrics->empty()) {
+        os << ", \"metrics\": ";
+        r.metrics->writeJson(os);
+    }
     os << "}";
 }
 
@@ -192,6 +199,11 @@ sweepResultsToJson(const SweepRunMeta &meta,
     jsonNumber(os, serial);
     os << ",\n  \"parallel_speedup\": ";
     jsonNumber(os, speedup);
+    os << ",\n  \"trace_file\": ";
+    if (meta.traceFile.empty())
+        os << "null";
+    else
+        jsonString(os, meta.traceFile);
     os << ",\n  \"metadata\": {";
     bool first = true;
     if (!meta.description.empty()) {

@@ -44,6 +44,10 @@ struct SweepRunMeta
     std::string description;
     /** Extra string key/value pairs merged into "metadata". */
     std::vector<std::pair<std::string, std::string>> extra;
+    /** Path of the Chrome-trace JSON written for this run ("" when
+     *  tracing was off); serialized as top-level "trace_file" (null
+     *  when empty).  See docs/OBSERVABILITY.md. */
+    std::string traceFile;
 };
 
 /**

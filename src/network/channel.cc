@@ -1,11 +1,28 @@
 #include "network/channel.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace fbfly
 {
+
+namespace
+{
+
+/** Link sequence numbers are uint64; trace operands are int32.
+ *  Saturate (sequences big enough to clip never occur in tests). */
+std::int32_t
+saturateSeq(std::uint64_t seq)
+{
+    constexpr auto kMax = static_cast<std::uint64_t>(
+        std::numeric_limits<std::int32_t>::max());
+    return static_cast<std::int32_t>(std::min(seq, kMax));
+}
+
+} // namespace
 
 LinkStats &
 LinkStats::operator+=(const LinkStats &o)
@@ -80,6 +97,11 @@ Channel::transmitAttempt(const Flit &f, Cycle now, bool is_retransmit)
     lastFlitSend_ = now;
     nextFree_ = now + period_;
     ++flitsCarried_;
+
+    FBFLY_TRACE(trace_,
+                is_retransmit ? TraceEventType::kRetry
+                              : TraceEventType::kLinkTraverse,
+                now, traceTrack_, f);
 
     if (rel_ == nullptr) {
         flits_.emplace_back(now + latency_, f);
@@ -223,6 +245,9 @@ Channel::receiveFlit(Cycle now)
                 r.nackPending = true;
                 ++r.stats.nacksSent;
                 pushAck({r.expectedSeq, true}, now);
+                FBFLY_TRACE(trace_, TraceEventType::kNack, now,
+                            traceTrack_, f,
+                            saturateSeq(r.expectedSeq));
             }
             continue;
         }
@@ -239,6 +264,9 @@ Channel::receiveFlit(Cycle now)
                 r.nackPending = true;
                 ++r.stats.nacksSent;
                 pushAck({r.expectedSeq, true}, now);
+                FBFLY_TRACE(trace_, TraceEventType::kNack, now,
+                            traceTrack_, f,
+                            saturateSeq(r.expectedSeq));
             }
             continue;
         }

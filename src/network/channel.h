@@ -42,6 +42,8 @@
 namespace fbfly
 {
 
+class TraceSink;
+
 /**
  * Counters for the link-layer reliability protocol, per channel or
  * summed network-wide (Network::linkStats()).
@@ -220,6 +222,14 @@ class Channel
     /** Credits dropped because the channel was dead. */
     std::uint64_t creditsDropped() const { return creditsDropped_; }
 
+    /** Attach a trace sink (nullptr disables; see obs/trace.h).
+     *  @p track is this channel's timeline row. */
+    void setTrace(TraceSink *sink, std::int32_t track)
+    {
+        trace_ = sink;
+        traceTrack_ = track;
+    }
+
   private:
     /** One ack-lane message: cumulative ack or targeted nack. */
     struct Ack
@@ -294,6 +304,11 @@ class Channel
     std::deque<std::pair<Cycle, Flit>> flits_;
     std::deque<std::pair<Cycle, VcId>> credits_;
     std::unique_ptr<Reliability> rel_;
+
+    /** Observability (nullptr: tracing off — one dead branch per
+     *  record site). */
+    TraceSink *trace_ = nullptr;
+    std::int32_t traceTrack_ = -1;
 };
 
 } // namespace fbfly

@@ -7,6 +7,7 @@
 #include "common/log.h"
 #include "fault/error_model.h"
 #include "fault/fault_model.h"
+#include "obs/trace.h"
 #include "routing/routing.h"
 #include "sim/delivery_oracle.h"
 #include "topology/topology.h"
@@ -166,6 +167,12 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
         routers_.emplace_back(r, topo.numPorts(r), cfg.numVcs,
                               cfg.vcDepth, routerRngs.split(r),
                               bypass);
+        if (cfg.trace != nullptr) {
+            routers_.back().setTrace(
+                cfg.trace,
+                cfg.trace->addTrack("router " + std::to_string(r),
+                                    TrackKind::kRouter));
+        }
     }
 
     // Inter-router channels.  The link-layer retry protocol runs on
@@ -219,6 +226,15 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
                 ? cfg.errors->arcRng(i) : linkRngs.split(i);
             ch->enableReliability(rc, rates, err_rng);
         }
+        if (cfg.trace != nullptr) {
+            const std::int32_t track = cfg.trace->addTrack(
+                "chan " + std::to_string(i) + ": " +
+                    std::to_string(arc.src) + "->" +
+                    std::to_string(arc.dst),
+                TrackKind::kChannel);
+            ch->setTrace(cfg.trace, track);
+            arcTracks_.push_back(track);
+        }
         routers_[arc.src].connectOutput(arc.srcPort, ch, cfg.vcDepth);
         routers_[arc.dst].connectInput(arc.dstPort, ch);
     }
@@ -233,6 +249,12 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
         terminals_.emplace_back(n, cfg.numVcs, cfg.vcDepth,
                                 terminalRngs.split(n), this);
         Terminal &term = terminals_.back();
+        if (cfg.trace != nullptr) {
+            term.setTrace(
+                cfg.trace,
+                cfg.trace->addTrack("node " + std::to_string(n),
+                                    TrackKind::kTerminal));
+        }
 
         channels_.emplace_back(cfg.terminalLatency, Cycle{1});
         Channel *inj = &channels_.back();
@@ -525,6 +547,15 @@ Network::linkStats() const
     LinkStats total;
     for (std::size_t i = 0; i < numArcs_; ++i)
         total += channels_[i].linkStats();
+    return total;
+}
+
+std::int64_t
+Network::bufferedFlitsOnVc(VcId vc) const
+{
+    std::int64_t total = 0;
+    for (const auto &r : routers_)
+        total += r.bufferedFlitsOnVc(vc);
     return total;
 }
 

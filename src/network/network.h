@@ -33,6 +33,7 @@ class TrafficPattern;
 class FaultModel;
 class ErrorModel;
 class DeliveryOracle;
+class TraceSink;
 
 /**
  * Simulator configuration knobs.
@@ -99,6 +100,14 @@ struct NetworkConfig
      *  panic on violation.  0 disables (default: invariants are cheap
      *  to state but O(network) to check). */
     Cycle invariantCheckInterval = 0;
+
+    /**
+     * Flit-lifecycle trace sink (nullptr: tracing off — one dead
+     * branch per record site; see obs/trace.h).  Must outlive the
+     * network.  The network registers one track per router, arc and
+     * terminal, in that order, at construction.
+     */
+    TraceSink *trace = nullptr;
 };
 
 /**
@@ -118,6 +127,12 @@ struct NetworkStats
 
     std::uint64_t flitsInjected = 0;
     std::uint64_t flitsEjected = 0;
+    /** Sum of channel traversals (hops) over every ejected flit —
+     *  exact (integer), unlike the Welford `hops` which covers only
+     *  measured packets.  The conservation property test reconciles
+     *  this against per-channel flit counts
+     *  (tests/test_conservation.cc). */
+    std::uint64_t hopsEjected = 0;
     std::uint64_t packetsEjected = 0;
     std::uint64_t measuredCreated = 0;
     std::uint64_t measuredEjected = 0;
@@ -269,6 +284,32 @@ class Network
     /** The delivery oracle this network reports to (may be null). */
     DeliveryOracle *oracle() const { return cfg_.oracle; }
 
+    /** @name Observability (docs/OBSERVABILITY.md) @{ */
+
+    /** The trace sink events go to (may be null). */
+    TraceSink *traceSink() const { return cfg_.trace; }
+
+    /** Virtual channels per port. */
+    int numVcs() const { return cfg_.numVcs; }
+
+    /** Inter-router channel count (== Topology::arcs().size()). */
+    std::size_t numArcs() const { return numArcs_; }
+
+    /** Trace track id of inter-router channel @p arc, or -1 when no
+     *  trace sink is attached. */
+    std::int32_t arcTrack(std::size_t arc) const
+    {
+        return cfg_.trace != nullptr
+                   ? arcTracks_[arc]
+                   : std::int32_t{-1};
+    }
+
+    /** Flits buffered network-wide on virtual channel @p vc
+     *  (occupancy sampling, obs/obs_sampler.h). */
+    std::int64_t bufferedFlitsOnVc(VcId vc) const;
+
+    /** @} */
+
     /** @name Services used by terminals @{ */
     NodeId drawDest(NodeId src, Rng &rng) const;
     int packetSize() const { return cfg_.packetSize; }
@@ -314,6 +355,10 @@ class Network
 
     /** Forward-progress watermark. */
     Cycle lastProgress_ = 0;
+
+    /** Trace track ids of inter-router channels (empty when
+     *  cfg_.trace is null). */
+    std::vector<std::int32_t> arcTracks_;
 
     NetworkStats stats_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace fbfly
 {
@@ -122,6 +123,7 @@ Router::routeAndTraverse(Cycle now, RoutingAlgorithm &algo)
 void
 Router::accountDrop(const Flit &f, int unit, Cycle now)
 {
+    FBFLY_TRACE(trace_, TraceEventType::kDrop, now, traceTrack_, f);
     --bufferedFlits_;
     ++droppedFlits_;
     if (f.tail) {
@@ -217,6 +219,8 @@ Router::routePass(Cycle now, RoutingAlgorithm &algo)
             deferredCommits_.emplace_back(d.outPort,
                                           head.packetSize);
         }
+        FBFLY_TRACE(trace_, TraceEventType::kVcAlloc, now,
+                    traceTrack_, head, d.outPort, d.outVc);
         return d;
     };
 
@@ -399,6 +403,8 @@ Router::allocatePass(Cycle now)
             --ou.credits[out_vc];
         if (ou.committed > 0)
             --ou.committed;
+        FBFLY_TRACE(trace_, TraceEventType::kSwAlloc, now,
+                    traceTrack_, f, g.port, out_vc);
         ou.channel->sendFlit(f, now);
 
         // Return a credit for the freed input-buffer slot.
@@ -483,6 +489,16 @@ Router::credits(PortId port, VcId vc) const
                  vc < numVcs_, "credit query range");
     return outputs_[port].credits.empty()
         ? 0 : outputs_[port].credits[vc];
+}
+
+int
+Router::bufferedFlitsOnVc(VcId vc) const
+{
+    FBFLY_ASSERT(vc >= 0 && vc < numVcs_, "VC occupancy query range");
+    int total = 0;
+    for (PortId p = 0; p < numPorts_; ++p)
+        total += inputs_[unitIndex(p, vc)].buf.size();
+    return total;
 }
 
 const InputUnit &

@@ -36,6 +36,8 @@
 namespace fbfly
 {
 
+class TraceSink;
+
 /**
  * One router of the simulated network.
  */
@@ -154,8 +156,20 @@ class Router
     /** Total flits buffered in this router's input units. */
     int bufferedFlits() const { return bufferedFlits_; }
 
+    /** Flits buffered on virtual channel @p vc across all input
+     *  ports (per-VC occupancy sampling, docs/OBSERVABILITY.md). */
+    int bufferedFlitsOnVc(VcId vc) const;
+
     /** Input unit accessor for tests. */
     const InputUnit &inputUnit(PortId port, VcId vc) const;
+
+    /** Attach a trace sink (nullptr disables; see obs/trace.h).
+     *  @p track is this router's timeline row. */
+    void setTrace(TraceSink *sink, std::int32_t track)
+    {
+        trace_ = sink;
+        traceTrack_ = track;
+    }
 
   private:
     struct OutputUnit
@@ -240,6 +254,11 @@ class Router
     std::uint64_t droppedFlits_ = 0;
     std::uint64_t droppedPackets_ = 0;
     std::uint64_t droppedMeasured_ = 0;
+
+    /** Observability (nullptr: tracing off — one dead branch per
+     *  record site). */
+    TraceSink *trace_ = nullptr;
+    std::int32_t traceTrack_ = -1;
 };
 
 } // namespace fbfly

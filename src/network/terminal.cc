@@ -3,6 +3,7 @@
 #include "common/log.h"
 #include "network/flit.h"
 #include "network/network.h"
+#include "obs/trace.h"
 #include "sim/delivery_oracle.h"
 
 namespace fbfly
@@ -42,6 +43,9 @@ Terminal::receive(Cycle now)
                      " ejected at node ", id_);
         NetworkStats &st = parent_->stats();
         ++st.flitsEjected;
+        st.hopsEjected += static_cast<std::uint64_t>(f->hops);
+        FBFLY_TRACE(trace_, TraceEventType::kEject, now, traceTrack_,
+                    *f, f->vc);
         if (f->tail) {
             ++st.packetsEjected;
             if (f->measured) {
@@ -115,6 +119,8 @@ Terminal::inject(Cycle now)
         if (DeliveryOracle *oracle = parent_->oracle())
             oracle->onInject(f);
     }
+    FBFLY_TRACE(trace_, TraceEventType::kInject, now, traceTrack_, f,
+                currentVc_);
     toRouter_->sendFlit(f, now);
     ++parent_->stats().flitsInjected;
 

@@ -27,6 +27,7 @@ namespace fbfly
 {
 
 class Network;
+class TraceSink;
 class TrafficPattern;
 
 /**
@@ -84,6 +85,14 @@ class Terminal
 
     Rng &rng() { return rng_; }
 
+    /** Attach a trace sink (nullptr disables; see obs/trace.h).
+     *  @p track is this terminal's timeline row. */
+    void setTrace(TraceSink *sink, std::int32_t track)
+    {
+        trace_ = sink;
+        traceTrack_ = track;
+    }
+
   private:
     struct Pending
     {
@@ -110,6 +119,11 @@ class Terminal
     VcId currentVc_ = kInvalid;
     Pending current_{};
     PacketId currentPacket_ = 0;
+
+    /** Observability (nullptr: tracing off — one dead branch per
+     *  record site). */
+    TraceSink *trace_ = nullptr;
+    std::int32_t traceTrack_ = -1;
 };
 
 } // namespace fbfly

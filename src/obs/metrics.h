@@ -1,0 +1,133 @@
+/**
+ * @file
+ * MetricsRegistry — named counters, gauges and time series
+ * (docs/OBSERVABILITY.md).
+ *
+ * A registry is a deterministic, insertion-ordered bag of
+ *
+ *  - **counters**: monotonic uint64 totals (flits injected, wire
+ *    attempts, trace events per type, ...);
+ *  - **gauges**: instantaneous doubles (latency summary statistics,
+ *    utilization means, ...);
+ *  - **series**: fixed-cadence double time series (per-window channel
+ *    utilization, per-VC buffer occupancy, ...) with their window
+ *    width recorded alongside.
+ *
+ * One registry belongs to one simulation point; the sweep engine
+ * snapshots a registry per point and the result writer embeds it in
+ * the per-point JSON ("metrics" object).  Equality is exact —
+ * bit-identical doubles — which is what the `--threads 1` vs
+ * `--threads N` determinism test compares.
+ */
+
+#ifndef FBFLY_OBS_METRICS_H
+#define FBFLY_OBS_METRICS_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fbfly
+{
+
+/**
+ * Insertion-ordered counters / gauges / series.
+ */
+class MetricsRegistry
+{
+  public:
+    struct Series
+    {
+        /** Window width in cycles (sampling cadence). */
+        std::uint64_t windowCycles = 0;
+        /** First cycle covered by values[0]. */
+        std::uint64_t startCycle = 0;
+        std::vector<double> values;
+
+        bool operator==(const Series &o) const = default;
+    };
+
+    /** @name Writing @{ */
+
+    /** Set (or create) counter @p name. */
+    void setCounter(const std::string &name, std::uint64_t value);
+
+    /** Add @p delta to counter @p name (created at 0). */
+    void addCounter(const std::string &name, std::uint64_t delta);
+
+    /** Set (or create) gauge @p name. */
+    void setGauge(const std::string &name, double value);
+
+    /** Get-or-create series @p name (window set on creation). */
+    Series &series(const std::string &name,
+                   std::uint64_t window_cycles,
+                   std::uint64_t start_cycle);
+
+    /** @} */
+
+    /** @name Reading @{ */
+
+    /** Counter value, or 0 when absent. */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** True when counter @p name exists. */
+    bool hasCounter(const std::string &name) const;
+
+    /** Gauge value, or NaN when absent. */
+    double gauge(const std::string &name) const;
+
+    /** Series lookup; nullptr when absent. */
+    const Series *findSeries(const std::string &name) const;
+
+    /** Insertion-ordered views. */
+    const std::vector<std::pair<std::string, std::uint64_t>> &
+    counters() const
+    {
+        return counters_;
+    }
+    const std::vector<std::pair<std::string, double>> &gauges() const
+    {
+        return gauges_;
+    }
+    const std::vector<std::pair<std::string, Series>> &
+    allSeries() const
+    {
+        return series_;
+    }
+
+    bool empty() const
+    {
+        return counters_.empty() && gauges_.empty() &&
+               series_.empty();
+    }
+
+    /** @} */
+
+    /**
+     * Exact (bit-identical doubles) equality, used by the
+     * thread-count determinism contract.
+     */
+    bool operator==(const MetricsRegistry &o) const;
+
+    /**
+     * Append this registry as a JSON object:
+     * `{"counters": {...}, "gauges": {...}, "series": {...}}` with
+     * NaN/inf rendered as null and doubles in shortest round-trip
+     * form (the fbfly-sweep-v1 conventions).
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    std::vector<std::pair<std::string, std::uint64_t>> counters_;
+    std::vector<std::pair<std::string, double>> gauges_;
+    std::vector<std::pair<std::string, Series>> series_;
+    std::unordered_map<std::string, std::size_t> counterIndex_;
+    std::unordered_map<std::string, std::size_t> gaugeIndex_;
+    std::unordered_map<std::string, std::size_t> seriesIndex_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_OBS_METRICS_H

@@ -1,0 +1,174 @@
+#include "obs/trace_export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+namespace
+{
+
+void
+jsonString(std::ostringstream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\r':
+            os << "\\r";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+jsonNumber(std::ostringstream &os, double x)
+{
+    if (!std::isfinite(x)) {
+        os << "null";
+        return;
+    }
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, x);
+        if (std::strtod(buf, nullptr) == x)
+            break;
+    }
+    os << buf;
+}
+
+/** Emit a metadata event naming a process or thread. */
+void
+writeMeta(std::ostringstream &os, bool &first, const char *what,
+          std::size_t pid, std::int64_t tid, const std::string &name)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "    {\"ph\": \"M\", \"pid\": " << pid;
+    if (tid >= 0)
+        os << ", \"tid\": " << tid;
+    os << ", \"name\": \"" << what << "\", \"args\": {\"name\": ";
+    jsonString(os, name);
+    os << "}}";
+}
+
+} // namespace
+
+std::string
+tracesToChromeJson(const std::vector<TracePoint> &points)
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\": [\n";
+    bool first = true;
+    for (std::size_t pid = 0; pid < points.size(); ++pid) {
+        const TracePoint &pt = points[pid];
+        if (pt.trace == nullptr)
+            continue;
+        const TraceSink &sink = *pt.trace;
+
+        writeMeta(os, first, "process_name", pid, -1,
+                  pt.label.empty()
+                      ? "point " + std::to_string(pid)
+                      : pt.label);
+        const auto &tracks = sink.tracks();
+        for (std::size_t t = 0; t < tracks.size(); ++t) {
+            writeMeta(os, first, "thread_name", pid,
+                      static_cast<std::int64_t>(t), tracks[t].name);
+        }
+
+        char buf[256];
+        for (std::size_t i = 0; i < sink.size(); ++i) {
+            const TraceRecord &r = sink.at(i);
+            if (!first)
+                os << ",\n";
+            first = false;
+            // One cycle = 1 us of trace time.
+            std::snprintf(
+                buf, sizeof buf,
+                "    {\"ph\": \"i\", \"s\": \"t\", \"pid\": %zu, "
+                "\"tid\": %d, \"ts\": %" PRIu64 ", \"name\": "
+                "\"%s\", \"args\": {\"flit\": %" PRIu64
+                ", \"packet\": %" PRIu64
+                ", \"src\": %d, \"dst\": %d, \"a\": %d, \"b\": %d}}",
+                pid, r.track, static_cast<std::uint64_t>(r.cycle),
+                toString(r.type), static_cast<std::uint64_t>(r.flit),
+                static_cast<std::uint64_t>(r.packet), r.src, r.dst,
+                r.a, r.b);
+            os << buf;
+        }
+
+        for (const TraceSink::CounterSample &c :
+             sink.counterSamples()) {
+            if (!first)
+                os << ",\n";
+            first = false;
+            os << "    {\"ph\": \"C\", \"pid\": " << pid
+               << ", \"tid\": " << c.track << ", \"ts\": "
+               << static_cast<std::uint64_t>(c.cycle)
+               << ", \"name\": ";
+            const std::string &track_name =
+                c.track >= 0 && static_cast<std::size_t>(c.track) <
+                                     sink.tracks().size()
+                    ? sink.tracks()[static_cast<std::size_t>(c.track)]
+                          .name
+                    : std::string("counter");
+            jsonString(os, track_name + " util");
+            os << ", \"args\": {\"value\": ";
+            jsonNumber(os, c.value);
+            os << "}}";
+        }
+    }
+    os << "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}";
+    return os.str();
+}
+
+bool
+writeChromeTrace(const std::string &path,
+                 const std::vector<TracePoint> &points)
+{
+    std::ofstream out(path);
+    if (!out) {
+        FBFLY_WARN("cannot open '", path, "' for trace output");
+        return false;
+    }
+    out << tracesToChromeJson(points) << "\n";
+    out.flush();
+    if (!out) {
+        FBFLY_WARN("short write of trace JSON to '", path, "'");
+        return false;
+    }
+    return true;
+}
+
+} // namespace fbfly

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Chrome trace_event-format exporter (docs/OBSERVABILITY.md).
+ *
+ * Serializes one or more TraceSinks into the legacy Chrome
+ * `trace_event` JSON array format, which Perfetto
+ * (https://ui.perfetto.dev) loads directly:
+ *
+ *  - each *point* (one simulation / TraceSink) becomes one process
+ *    (`pid` = point index, named by a process_name metadata event);
+ *  - each *track* (router / channel / terminal) becomes one thread
+ *    (`tid` = track id, named by a thread_name metadata event);
+ *  - flit-lifecycle events become thread-scoped instant events
+ *    (`"ph": "i"`, `"s": "t"`) carrying flit/packet/src/dst/port/vc
+ *    args;
+ *  - counter samples (per-channel utilization, per-VC occupancy)
+ *    become counter events (`"ph": "C"`).
+ *
+ * Timebase: one simulated cycle = 1 µs of trace time (`ts` is in
+ * microseconds in the trace_event format), so the Perfetto timeline
+ * reads directly in cycles.
+ *
+ * Multiple points are merged strictly in the order given — for sweep
+ * runs that is point-index order, independent of the thread count
+ * that executed them (the determinism contract).
+ */
+
+#ifndef FBFLY_OBS_TRACE_EXPORT_H
+#define FBFLY_OBS_TRACE_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace fbfly
+{
+
+/** One simulation's trace, labeled for the process row. */
+struct TracePoint
+{
+    /** Process label, e.g. "point 3: fig4a MIN AD / UR @ 0.4". */
+    std::string label;
+    /** The events (may be null — the point is skipped). */
+    const TraceSink *trace = nullptr;
+};
+
+/**
+ * Render @p points as a Chrome trace_event JSON document
+ * (`{"traceEvents": [...], "displayTimeUnit": "ms"}`).
+ */
+std::string tracesToChromeJson(const std::vector<TracePoint> &points);
+
+/**
+ * Write tracesToChromeJson() + '\n' to @p path.
+ *
+ * @return true on success; false (with a warning) on I/O failure.
+ */
+bool writeChromeTrace(const std::string &path,
+                      const std::vector<TracePoint> &points);
+
+} // namespace fbfly
+
+#endif // FBFLY_OBS_TRACE_EXPORT_H

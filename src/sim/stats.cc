@@ -125,4 +125,22 @@ Histogram::percentile(double p) const
     return maxSample_;
 }
 
+DistSummary
+summarize(const RunningStats &rs, const Histogram &hist)
+{
+    DistSummary s;
+    s.count = rs.count();
+    if (rs.count() > 0) {
+        s.mean = rs.mean();
+        s.stddev = rs.stddev();
+        s.min = rs.min();
+        s.max = rs.max();
+    }
+    if (hist.count() > 0) {
+        s.p50 = static_cast<double>(hist.percentile(0.50));
+        s.p99 = static_cast<double>(hist.percentile(0.99));
+    }
+    return s;
+}
+
 } // namespace fbfly

@@ -145,6 +145,30 @@ class Histogram
     std::uint64_t maxSample_ = 0;
 };
 
+/**
+ * Flat summary of one distribution — the shape the observability
+ * layer publishes as MetricsRegistry gauges (docs/OBSERVABILITY.md).
+ * NaN fields follow the empty-accumulator convention above (and
+ * serialize as null in the fbfly-sweep-v1 JSON).
+ */
+struct DistSummary
+{
+    std::uint64_t count = 0;
+    double mean = std::numeric_limits<double>::quiet_NaN();
+    double stddev = std::numeric_limits<double>::quiet_NaN();
+    double min = std::numeric_limits<double>::quiet_NaN();
+    double max = std::numeric_limits<double>::quiet_NaN();
+    double p50 = std::numeric_limits<double>::quiet_NaN();
+    double p99 = std::numeric_limits<double>::quiet_NaN();
+};
+
+/**
+ * Summarize a Welford accumulator (moments/extrema) together with its
+ * matching histogram (percentiles).  Either source may be empty; an
+ * empty source leaves its fields NaN (count comes from @p rs).
+ */
+DistSummary summarize(const RunningStats &rs, const Histogram &hist);
+
 } // namespace fbfly
 
 #endif // FBFLY_SIM_STATS_H

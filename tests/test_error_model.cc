@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 
+#include "common/rng.h"
 #include "fault/error_model.h"
+#include "network/channel.h"
+#include "network/flit.h"
 #include "topology/flattened_butterfly.h"
 
 namespace fbfly
@@ -175,6 +179,113 @@ TEST(ErrorModel, MetadataRoundTripsRatesAndSeed)
     EXPECT_EQ(std::strtod(find("error_burst_factor").c_str(), nullptr),
               20.0);
     EXPECT_EQ(find("error_seed"), "424242");
+}
+
+// ---------------------------------------------------------------------
+// Gilbert-Elliott long-run statistics
+// ---------------------------------------------------------------------
+
+/**
+ * Drive one reliable channel until ~@p to_send flits are delivered,
+ * returning its LinkStats.  Per cycle: tick, drain receiver, send
+ * when the window allows (the routers' relative order).
+ */
+LinkStats
+pumpReliable(const LinkErrorRates &rates, int to_send,
+             std::uint64_t seed)
+{
+    Channel ch(1);
+    LinkReliabilityConfig rel;
+    rel.enabled = true;
+    ch.enableReliability(rel, rates, Rng(seed));
+
+    FlitId next = 0;
+    int got = 0;
+    for (Cycle t = 0; got < to_send && t < 50u * to_send; ++t) {
+        ch.tick(t);
+        while (ch.receiveFlit(t).has_value())
+            ++got;
+        if (next < static_cast<FlitId>(to_send) &&
+            ch.canSendFlit(t)) {
+            Flit f;
+            f.id = next;
+            f.packet = next;
+            f.src = 1;
+            f.dst = 2;
+            f.head = f.tail = true;
+            ch.sendFlit(f, t);
+            ++next;
+        }
+    }
+    EXPECT_EQ(got, to_send) << "channel wedged before delivering "
+                               "the statistical sample";
+    return ch.linkStats();
+}
+
+/**
+ * The Gilbert-Elliott chain applies transitions per wire attempt in
+ * the order enter(p = burstStart) -> draw -> leave(q = burstStop),
+ * so the stationary probability of drawing in the bad state is
+ *
+ *     b = p / (p + q - p*q)
+ *
+ * and with erase = 0 the long-run per-attempt corruption rate is
+ *
+ *     E[corrupt] = c * ((1 - b) + b * f)
+ *
+ * for base rate c and burst factor f.  A long run must land within a
+ * few standard errors of that expectation — the statistical check
+ * that the burst process actually amplifies the base rate, not just
+ * the unit checks of its knobs.
+ */
+TEST(GilbertElliott, LongRunCorruptionRateMatchesStationaryChain)
+{
+    LinkErrorRates rates;
+    rates.corrupt = 0.02;
+    rates.erase = 0.0;
+    rates.burstStart = 0.05;
+    rates.burstStop = 0.20;
+    rates.burstFactor = 10.0;
+
+    const double p = rates.burstStart;
+    const double q = rates.burstStop;
+    const double b = p / (p + q - p * q);
+    const double expected =
+        rates.corrupt * ((1.0 - b) + b * rates.burstFactor);
+
+    const LinkStats st = pumpReliable(rates, 12000, 0x6E0b5);
+    ASSERT_GT(st.attempts, 12000u);
+    EXPECT_EQ(st.eraseInjected, 0u);
+    const double observed =
+        static_cast<double>(st.corruptInjected) /
+        static_cast<double>(st.attempts);
+
+    // 5-sigma band on a Bernoulli mean over >= attempts draws.
+    const double sigma = std::sqrt(expected * (1.0 - expected) /
+                                   static_cast<double>(st.attempts));
+    EXPECT_NEAR(observed, expected, 5.0 * sigma)
+        << "observed " << observed << " vs stationary " << expected
+        << " over " << st.attempts << " attempts";
+
+    // Every corruption was caught by the receiver's CRC (nothing
+    // corrupt leaked, nothing clean was rejected).
+    EXPECT_EQ(st.crcRejected, st.corruptInjected);
+}
+
+/** Without a burst process the long-run rate is the base rate. */
+TEST(GilbertElliott, NoBurstMatchesBaseRate)
+{
+    LinkErrorRates rates;
+    rates.corrupt = 0.03;
+
+    const LinkStats st = pumpReliable(rates, 12000, 99);
+    const double observed =
+        static_cast<double>(st.corruptInjected) /
+        static_cast<double>(st.attempts);
+    const double sigma =
+        std::sqrt(0.03 * 0.97 /
+                  static_cast<double>(st.attempts));
+    EXPECT_NEAR(observed, 0.03, 5.0 * sigma);
 }
 
 } // namespace

@@ -1,0 +1,569 @@
+/**
+ * @file
+ * Schema validation of the fbfly-sweep-v1 JSON document
+ * (harness/result_writer.h) against the checked-in schema
+ * tests/data/fbfly-sweep-v1.schema.json.
+ *
+ * The test carries its own minimal recursive-descent JSON parser and
+ * a validator for the JSON-Schema subset the schema file uses (type /
+ * required / const / enum / properties / items) — no external
+ * dependency, and parsing the writer's output from scratch is itself
+ * the test that the writer emits well-formed JSON (balanced
+ * structure, escaped strings, no bare NaN).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/result_writer.h"
+#include "routing/min_adaptive.h"
+#include "topology/flattened_butterfly.h"
+#include "traffic/traffic_pattern.h"
+
+namespace fbfly
+{
+namespace
+{
+
+#ifndef FBFLY_TEST_DATA_DIR
+#error "FBFLY_TEST_DATA_DIR must be defined by the build"
+#endif
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + parser
+// ---------------------------------------------------------------------
+
+struct Json
+{
+    enum class Type
+    {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject
+    };
+    Type type = Type::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Json> elems;
+    std::vector<std::pair<std::string, Json>> members;
+
+    const Json *find(const std::string &key) const
+    {
+        for (const auto &[k, v] : members) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+    const char *typeName() const
+    {
+        switch (type) {
+        case Type::kNull:
+            return "null";
+        case Type::kBool:
+            return "boolean";
+        case Type::kNumber:
+            return "number";
+        case Type::kString:
+            return "string";
+        case Type::kArray:
+            return "array";
+        case Type::kObject:
+            return "object";
+        }
+        return "?";
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    /** Parse one document; fails the test on malformed input. */
+    Json parse()
+    {
+        Json v = value();
+        skipWs();
+        EXPECT_EQ(pos_, s_.size()) << "trailing garbage at " << pos_;
+        return v;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= s_.size()) {
+            ADD_FAILURE() << "unexpected end of JSON";
+            return '\0';
+        }
+        return s_[pos_];
+    }
+    void expect(char c)
+    {
+        if (peek() != c) {
+            ADD_FAILURE() << "expected '" << c << "' at " << pos_
+                          << ", got '" << s_[pos_] << "'";
+        }
+        ++pos_;
+    }
+    bool consume(const char *lit)
+    {
+        const std::size_t n = std::strlen(lit);
+        if (s_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Json value()
+    {
+        switch (peek()) {
+        case '{':
+            return object();
+        case '[':
+            return array();
+        case '"': {
+            Json v;
+            v.type = Json::Type::kString;
+            v.str = string();
+            return v;
+        }
+        case 't':
+        case 'f': {
+            Json v;
+            v.type = Json::Type::kBool;
+            v.boolean = consume("true");
+            if (!v.boolean && !consume("false"))
+                ADD_FAILURE() << "bad literal at " << pos_;
+            return v;
+        }
+        case 'n': {
+            Json v;
+            if (!consume("null"))
+                ADD_FAILURE() << "bad literal at " << pos_;
+            return v;
+        }
+        default:
+            return number();
+        }
+    }
+
+    Json object()
+    {
+        Json v;
+        v.type = Json::Type::kObject;
+        expect('{');
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            std::string key = string();
+            expect(':');
+            v.members.emplace_back(std::move(key), value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Json array()
+    {
+        Json v;
+        v.type = Json::Type::kArray;
+        expect('[');
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.elems.push_back(value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string string()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                break;
+            const char e = s_[pos_++];
+            switch (e) {
+            case '"':
+            case '\\':
+            case '/':
+                out += e;
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'u': {
+                // ASCII-only decode (all the writer ever emits).
+                if (pos_ + 4 <= s_.size()) {
+                    out += static_cast<char>(std::strtol(
+                        s_.substr(pos_, 4).c_str(), nullptr, 16));
+                    pos_ += 4;
+                }
+                break;
+            }
+            default:
+                ADD_FAILURE()
+                    << "bad escape '\\" << e << "' at " << pos_;
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    Json number()
+    {
+        const char *start = s_.c_str() + pos_;
+        char *end = nullptr;
+        const double x = std::strtod(start, &end);
+        if (end == start) {
+            ADD_FAILURE() << "bad JSON value at " << pos_;
+            ++pos_; // avoid an infinite loop on garbage
+        } else {
+            pos_ += static_cast<std::size_t>(end - start);
+        }
+        Json v;
+        v.type = Json::Type::kNumber;
+        v.number = x;
+        return v;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Schema validator (the subset the schema file uses)
+// ---------------------------------------------------------------------
+
+bool
+typeMatches(const Json &v, const std::string &name)
+{
+    if (name == "null")
+        return v.type == Json::Type::kNull;
+    if (name == "boolean")
+        return v.type == Json::Type::kBool;
+    if (name == "number")
+        return v.type == Json::Type::kNumber;
+    if (name == "string")
+        return v.type == Json::Type::kString;
+    if (name == "array")
+        return v.type == Json::Type::kArray;
+    if (name == "object")
+        return v.type == Json::Type::kObject;
+    ADD_FAILURE() << "schema names unknown type " << name;
+    return false;
+}
+
+bool
+literalEquals(const Json &a, const Json &b)
+{
+    if (a.type != b.type)
+        return false;
+    switch (a.type) {
+    case Json::Type::kNull:
+        return true;
+    case Json::Type::kBool:
+        return a.boolean == b.boolean;
+    case Json::Type::kNumber:
+        return a.number == b.number;
+    case Json::Type::kString:
+        return a.str == b.str;
+    default:
+        return false; // not needed for const/enum literals
+    }
+}
+
+void
+validate(const Json &v, const Json &schema, const std::string &path)
+{
+    // "type": a name or a list of alternatives.
+    if (const Json *t = schema.find("type")) {
+        bool ok = false;
+        if (t->type == Json::Type::kString) {
+            ok = typeMatches(v, t->str);
+        } else {
+            for (const Json &alt : t->elems)
+                ok = ok || typeMatches(v, alt.str);
+        }
+        EXPECT_TRUE(ok) << path << ": has type " << v.typeName()
+                        << ", schema disallows it";
+        if (!ok)
+            return;
+    }
+    if (const Json *c = schema.find("const")) {
+        EXPECT_TRUE(literalEquals(v, *c))
+            << path << ": const mismatch";
+    }
+    if (const Json *e = schema.find("enum")) {
+        bool ok = false;
+        for (const Json &alt : e->elems)
+            ok = ok || literalEquals(v, alt);
+        EXPECT_TRUE(ok) << path << ": value not in enum";
+    }
+    if (v.type == Json::Type::kObject) {
+        if (const Json *req = schema.find("required")) {
+            for (const Json &key : req->elems) {
+                EXPECT_NE(v.find(key.str), nullptr)
+                    << path << ": missing required key \"" << key.str
+                    << "\"";
+            }
+        }
+        if (const Json *props = schema.find("properties")) {
+            for (const auto &[key, sub] : props->members) {
+                if (const Json *child = v.find(key))
+                    validate(*child, sub, path + "." + key);
+            }
+        }
+    }
+    if (v.type == Json::Type::kArray) {
+        if (const Json *items = schema.find("items")) {
+            for (std::size_t i = 0; i < v.elems.size(); ++i) {
+                validate(v.elems[i], *items,
+                         path + "[" + std::to_string(i) + "]");
+            }
+        }
+    }
+}
+
+Json
+loadSchema()
+{
+    const std::string path =
+        std::string(FBFLY_TEST_DATA_DIR) +
+        "/fbfly-sweep-v1.schema.json";
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "missing schema file " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    JsonParser parser(text);
+    return parser.parse();
+}
+
+// ---------------------------------------------------------------------
+// Document generation
+// ---------------------------------------------------------------------
+
+/** A document with one real (obs-enabled) load point, one never-ran
+ *  NaN point, and one batch point — covering every branch of the
+ *  writer. */
+std::string
+makeDocument(const std::string &trace_file)
+{
+    FlattenedButterfly topo(4, 2);
+    MinAdaptive algo(topo);
+    UniformRandom pattern(topo.numNodes());
+    NetworkConfig netcfg;
+    netcfg.vcDepth = 8;
+    ExperimentConfig expcfg;
+    expcfg.warmupCycles = 50;
+    expcfg.measureCycles = 100;
+    expcfg.drainCycles = 1000;
+    expcfg.obs.metricsEnabled = true;
+    expcfg.obs.metricsWindowCycles = 50;
+
+    std::vector<SweepPointRecord> records;
+
+    SweepPointRecord real;
+    real.index = 0;
+    real.series = "schema \"quoted\" series\n";
+    real.topology = topo.name();
+    real.routing = algo.name();
+    real.traffic = pattern.name();
+    real.seed = 42;
+    real.wallSeconds = 0.25;
+    real.load = runLoadPoint(topo, algo, pattern, netcfg, expcfg,
+                             0.2);
+    records.push_back(real);
+
+    SweepPointRecord nan_point;
+    nan_point.index = 1;
+    nan_point.series = "never ran";
+    nan_point.load.offered = 0.3;
+    nan_point.load.status = LoadPointStatus::kInvalidConfig;
+    records.push_back(nan_point); // all statistics still NaN
+
+    SweepPointRecord batch;
+    batch.index = 2;
+    batch.kind = SweepPointKind::kBatch;
+    batch.series = "batch";
+    batch.batch.batchSize = 10;
+    batch.batch.completionTime = 123;
+    batch.batch.normalizedLatency = 12.3;
+    records.push_back(batch);
+
+    SweepRunMeta meta;
+    meta.bench = "schema_test";
+    meta.description = "document for schema validation";
+    meta.extra.emplace_back("key", "value");
+    meta.traceFile = trace_file;
+    return sweepResultsToJson(meta, records, 2007, 3, 1.5);
+}
+
+// ---------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------
+
+TEST(SweepSchema, DocumentValidatesAgainstCheckedInSchema)
+{
+    const std::string doc = makeDocument("");
+    JsonParser parser(doc);
+    const Json root = parser.parse();
+    const Json schema = loadSchema();
+    ASSERT_EQ(schema.type, Json::Type::kObject);
+    validate(root, schema, "$");
+}
+
+TEST(SweepSchema, RequiredKeysAndValues)
+{
+    const std::string doc = makeDocument("out.trace.json");
+    JsonParser parser(doc);
+    const Json root = parser.parse();
+
+    ASSERT_EQ(root.type, Json::Type::kObject);
+    const Json *schema_tag = root.find("schema");
+    ASSERT_NE(schema_tag, nullptr);
+    EXPECT_EQ(schema_tag->str, kSweepJsonSchema);
+    EXPECT_EQ(root.find("seed")->number, 2007.0);
+    EXPECT_EQ(root.find("threads")->number, 3.0);
+
+    // trace_file round-trips as a string when set...
+    const Json *tf = root.find("trace_file");
+    ASSERT_NE(tf, nullptr);
+    EXPECT_EQ(tf->type, Json::Type::kString);
+    EXPECT_EQ(tf->str, "out.trace.json");
+
+    const Json *points = root.find("points");
+    ASSERT_NE(points, nullptr);
+    ASSERT_EQ(points->elems.size(), 3u);
+
+    // ... and as null when unset.
+    const std::string doc2 = makeDocument("");
+    JsonParser p2(doc2);
+    const Json root2 = p2.parse();
+    EXPECT_EQ(root2.find("trace_file")->type, Json::Type::kNull);
+}
+
+TEST(SweepSchema, NaNSerializesAsNullNeverAsNumber)
+{
+    const std::string doc = makeDocument("");
+    EXPECT_EQ(doc.find("nan"), std::string::npos);
+    EXPECT_EQ(doc.find("inf"), std::string::npos);
+
+    JsonParser parser(doc);
+    const Json root = parser.parse();
+    const Json &nan_point = root.find("points")->elems[1];
+
+    // The never-ran point: every derived statistic is null, the
+    // counters are real zeros, the status string survives.
+    for (const char *key :
+         {"accepted", "avg_latency", "avg_network_latency",
+          "avg_hops", "p99_latency", "retransmit_rate"}) {
+        const Json *v = nan_point.find(key);
+        ASSERT_NE(v, nullptr) << key;
+        EXPECT_EQ(v->type, Json::Type::kNull)
+            << key << " should be null for a never-ran point";
+    }
+    EXPECT_EQ(nan_point.find("offered")->number, 0.3);
+    EXPECT_EQ(nan_point.find("status")->str, "invalid-config");
+    EXPECT_EQ(nan_point.find("valid")->type, Json::Type::kBool);
+    EXPECT_FALSE(nan_point.find("valid")->boolean);
+
+    // The real point's statistics are finite numbers.
+    const Json &real = root.find("points")->elems[0];
+    EXPECT_EQ(real.find("accepted")->type, Json::Type::kNumber);
+    EXPECT_TRUE(std::isfinite(real.find("accepted")->number));
+    // The escaped series label round-trips.
+    EXPECT_EQ(real.find("series")->str, "schema \"quoted\" series\n");
+}
+
+TEST(SweepSchema, MetricsObjectShape)
+{
+    const std::string doc = makeDocument("");
+    JsonParser parser(doc);
+    const Json root = parser.parse();
+    const Json &real = root.find("points")->elems[0];
+
+    const Json *metrics = real.find("metrics");
+    ASSERT_NE(metrics, nullptr)
+        << "obs-enabled point must carry a metrics object";
+    ASSERT_EQ(metrics->type, Json::Type::kObject);
+    const Json *counters = metrics->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_NE(counters->find("net.flits_injected"), nullptr);
+    const Json *series = metrics->find("series");
+    ASSERT_NE(series, nullptr);
+    const Json *util = series->find("obs.channel_util.mean");
+    ASSERT_NE(util, nullptr);
+    EXPECT_NE(util->find("window_cycles"), nullptr);
+    EXPECT_NE(util->find("values"), nullptr);
+
+    // The never-ran point carries no metrics at all.
+    EXPECT_EQ(root.find("points")->elems[1].find("metrics"),
+              nullptr);
+
+    // Batch points carry the batch fields.
+    const Json &batch = root.find("points")->elems[2];
+    EXPECT_EQ(batch.find("kind")->str, "batch");
+    EXPECT_EQ(batch.find("batch_size")->number, 10.0);
+    EXPECT_EQ(batch.find("completion_cycles")->number, 123.0);
+}
+
+} // namespace
+} // namespace fbfly
