@@ -16,7 +16,11 @@
  *  - a failed router fails every arc incident to it, in both
  *    directions, plus the injection/ejection channels of its
  *    terminals;
- *  - faults are permanent (no repair model);
+ *  - a FaultModel's faults are permanent — the entity never comes
+ *    back for the rest of the run.  Repairable outages are a separate
+ *    model: fault/churn_model.h generates MTBF/MTTR renewal schedules
+ *    whose downs are matched by repairs (docs/FAULTS.md, "Churn and
+ *    repair");
  *  - everything is deterministic: random fault sets are drawn from the
  *    library's own Rng, so a (topology, seed, count) triple always
  *    produces the same fault set.

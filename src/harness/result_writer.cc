@@ -88,6 +88,8 @@ kindName(SweepPointKind k)
         return "load";
     case SweepPointKind::kBatch:
         return "batch";
+    case SweepPointKind::kChurn:
+        return "churn";
     }
     return "?";
 }
@@ -168,6 +170,10 @@ writePoint(std::ostringstream &os, const SweepPointRecord &rec)
         os << ", \"metrics\": ";
         r.metrics->writeJson(os);
     }
+    // Kind-specific extension block (e.g. the churn object of a
+    // dynamic-service point) — pre-serialized by the harness.
+    if (!rec.extraJson.empty())
+        os << ", " << rec.extraJson;
     os << "}";
 }
 

@@ -114,6 +114,7 @@ enum class SweepPointKind
 {
     kLoadPoint, ///< open-loop offered-load point (runLoadPoint)
     kBatch,     ///< fixed-batch delivery run (runBatch)
+    kChurn,     ///< dynamic-service run (runChurnPoint, harness/churn.h)
 };
 
 /**
@@ -135,10 +136,17 @@ struct SweepPointRecord
     /** Wall-clock seconds this point took on its worker. */
     double wallSeconds = 0.0;
 
-    /** Valid when kind == kLoadPoint. */
+    /** Valid when kind == kLoadPoint or kChurn (churn points reuse
+     *  the load-point result shape for their steady-state fields). */
     LoadPointResult load;
     /** Valid when kind == kBatch. */
     BatchResult batch;
+
+    /** Extra kind-specific JSON, spliced verbatim into this point's
+     *  object right before its closing brace ("" for none).  Must be
+     *  a comma-free-prefix fragment like `"churn": {...}`.  Used by
+     *  the fbfly-sweep-v1 churn extension (docs/SWEEPS.md). */
+    std::string extraJson;
 };
 
 /**

@@ -438,4 +438,56 @@ Channel::kill()
     dead_ = true;
 }
 
+Channel::ReviveLoss
+Channel::revive()
+{
+    FBFLY_ASSERT(dead_, "revive on a live channel");
+    dead_ = false;
+    ReviveLoss loss;
+    if (rel_ == nullptr) {
+        // A dead plain channel refused every new send, so nothing
+        // was stranded: whatever is still on the wire keeps flying
+        // and will be delivered (and credited) normally.
+        return loss;
+    }
+
+    Reliability &r = *rel_;
+    // Replay flits the receiver never accepted (seq >= expectedSeq)
+    // are logically in flight and unrecoverable once both sides
+    // reset; flits below expectedSeq were accepted downstream and
+    // only their acks died with the link.
+    for (const Flit &f : r.replay) {
+        if (f.linkSeq < r.expectedSeq)
+            continue;
+        ++loss.flits;
+        if (f.tail) {
+            ++loss.packets;
+            if (f.measured)
+                ++loss.measuredPackets;
+        }
+    }
+    // Clean go-back-N reset: both sides restart at sequence zero
+    // with an empty window, no retransmission round, no pending
+    // nack, fresh backoff and a good-state wire.  Cumulative
+    // LinkStats counters survive (they describe the link's history).
+    r.replay.clear();
+    r.nextSeq = 0;
+    r.baseSeq = 0;
+    r.resendPos = kNoResend;
+    r.timeout = 0;
+    r.deadline = 0;
+    r.expectedSeq = 0;
+    r.nackPending = false;
+    r.inBurst = false;
+    r.acks.clear();
+    // Stale wire contents carry pre-outage sequence numbers that
+    // would confuse the reset receiver; flush them (every such flit
+    // is part of the replay loss counted above).
+    flits_.clear();
+    credits_.clear();
+    logicalInFlight_ = 0;
+    inFlightVc_.assign(inFlightVc_.size(), 0);
+    return loss;
+}
+
 } // namespace fbfly

@@ -210,11 +210,45 @@ class Channel
 
     /**
      * Fail the channel (fail-stop transmitter): it refuses new flits
-     * (`canSendFlit` is false forever) and drops future credits and
-     * acks on its return lane.  Flits and credits already in flight
-     * are still delivered.  Irreversible.
+     * (`canSendFlit` is false) and drops future credits and acks on
+     * its return lane.  Flits and credits already in flight are
+     * still delivered.  Reversible via revive() (churn/repair
+     * studies); a plain FaultModel never revives.
      */
     void kill();
+
+    /** Flits discarded by a revive() (they were logically in flight
+     *  on the dead channel and can never be delivered). */
+    struct ReviveLoss
+    {
+        std::uint64_t flits = 0;
+        /** Packets lost (counted at their tail flit). */
+        std::uint64_t packets = 0;
+        /** Lost packets that belonged to the measurement sample. */
+        std::uint64_t measuredPackets = 0;
+    };
+
+    /**
+     * Repair a dead channel (must be dead).
+     *
+     * A plain channel simply starts accepting flits again: anything
+     * still on the wire from before the failure keeps flying and is
+     * delivered normally (nothing is lost — a dead plain channel
+     * refuses new sends, so no flit was ever stranded).
+     *
+     * A reliable channel resets its go-back-N state cleanly: flits
+     * still unacked in the replay buffer that the receiver never
+     * accepted are *lost* (the outage outlived their retransmission
+     * window) and returned in the ReviveLoss for drop accounting;
+     * the wire and ack lanes are flushed, sequence numbers restart
+     * at zero on both sides, and the burst/backoff state is cleared.
+     * Cumulative reliability counters (LinkStats) are retained.
+     *
+     * The caller (Network) must restore upstream credit levels to
+     * match downstream buffer occupancy afterwards, so the per-lane
+     * conservation invariant holds from the revival cycle on.
+     */
+    ReviveLoss revive();
 
     /** True once kill() has been called. */
     bool dead() const { return dead_; }

@@ -88,6 +88,7 @@ flitCrc(const Flit &f)
     s.put8(static_cast<std::uint8_t>(f.ancestorDim));
     s.put32(static_cast<std::uint32_t>(f.intermediate));
     s.put8(static_cast<std::uint8_t>(f.misroutes));
+    s.put8(static_cast<std::uint8_t>(f.routeAlgo));
     s.put32(static_cast<std::uint32_t>(f.vc));
     s.put8(f.routed ? 1 : 0);
     s.put32(static_cast<std::uint32_t>(f.outPort));

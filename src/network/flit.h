@@ -75,6 +75,11 @@ struct Flit
      *  by the routing algorithm's misroute budget, after which the
      *  packet is dropped as unreachable. */
     std::int8_t misroutes = 0;
+    /** Algorithm a SwitchableRouting pinned this packet to at its
+     *  first routing decision (-1: unpinned).  Pinning keeps every
+     *  packet on one coherent algorithm even when the online adaptor
+     *  switches the network-wide policy mid-flight. */
+    std::int8_t routeAlgo = -1;
     /** @} */
 
     /** Virtual channel currently occupied (set when buffered). */

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "fault/churn_model.h"
 #include "fault/error_model.h"
 #include "fault/fault_model.h"
 #include "obs/trace.h"
@@ -128,6 +129,18 @@ Network::validate(const Topology &topo, const RoutingAlgorithm &algo,
             add("linkRetry.maxTimeout must be >= retryTimeout");
     }
 
+    // --- Churn (dynamic service) model -----------------------------
+    if (cfg.churn != nullptr) {
+        const ChurnModel &cm = *cfg.churn;
+        if (&cm.topology() != &topo || cm.numArcs() != arcs.size()) {
+            add("churn model was built over a different topology");
+        } else {
+            const std::string bad = cm.validateConfig();
+            if (!bad.empty())
+                add("churn model config invalid: ", bad);
+        }
+    }
+
     // --- Fault set -------------------------------------------------
     if (cfg.faults != nullptr) {
         const FaultModel &fm = *cfg.faults;
@@ -168,10 +181,11 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
                               cfg.vcDepth, routerRngs.split(r),
                               bypass);
         if (cfg.trace != nullptr) {
-            routers_.back().setTrace(
-                cfg.trace,
+            const std::int32_t track =
                 cfg.trace->addTrack("router " + std::to_string(r),
-                                    TrackKind::kRouter));
+                                    TrackKind::kRouter);
+            routers_.back().setTrace(cfg.trace, track);
+            routerTracks_.push_back(track);
         }
     }
 
@@ -295,8 +309,29 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
                   [](const FaultEvent &a, const FaultEvent &b) {
                       return a.at < b.at;
                   });
-        applyFaults(0);
     }
+
+    // Dynamic-service (churn) schedule.
+    if (cfg.churn != nullptr) {
+        const ChurnModel &cm = *cfg.churn;
+        FBFLY_ASSERT(&cm.topology() == &topo_ &&
+                     cm.numArcs() == numArcs_,
+                     "churn model topology mismatch (", cm.numArcs(),
+                     " arcs vs ", numArcs_, ")");
+        const std::string bad = cm.validateConfig();
+        FBFLY_ASSERT(bad.empty(), "churn model config invalid: ",
+                     bad);
+        arcDownCauses_.assign(numArcs_, 0);
+    }
+    if (cfg.faults != nullptr || cfg.churn != nullptr) {
+        arcPermDead_.assign(numArcs_, 0);
+        routerPermDead_.assign(
+            static_cast<std::size_t>(num_routers), 0);
+    }
+    if (cfg.faults != nullptr)
+        applyFaults(0);
+    if (cfg.churn != nullptr)
+        applyChurn(0);
 }
 
 void
@@ -306,13 +341,19 @@ Network::applyFaults(Cycle now)
            faultSchedule_[nextFault_].at <= now) {
         const FaultEvent &ev = faultSchedule_[nextFault_++];
         if (ev.arc != kInvalid) {
-            const auto &arc = arcs_[static_cast<std::size_t>(ev.arc)];
-            channels_[static_cast<std::size_t>(ev.arc)].kill();
+            const auto idx = static_cast<std::size_t>(ev.arc);
+            const auto &arc = arcs_[idx];
+            if (!arcPermDead_.empty())
+                arcPermDead_[idx] = 1; // churn never revives this
+            channels_[idx].kill();
             routers_[arc.src].killOutput(arc.srcPort);
         } else {
             // Router failure: incident arcs are scheduled separately
             // (FaultModel::arcFailCycle folds router failures in);
             // here we sever the router's terminals.
+            if (!routerPermDead_.empty())
+                routerPermDead_[static_cast<std::size_t>(
+                    ev.router)] = 1;
             for (NodeId n = 0; n < topo_.numNodes(); ++n) {
                 if (topo_.injectionRouter(n) == ev.router)
                     injChannels_[n]->kill();
@@ -327,6 +368,207 @@ Network::applyFaults(Cycle now)
 }
 
 void
+Network::churnKillArc(std::size_t i)
+{
+    if (++arcDownCauses_[i] != 1)
+        return; // already down via another active episode
+    if (arcPermDead_[i] != 0)
+        return; // permanently failed; churn leaves it alone
+    Channel &ch = channels_[i];
+    if (ch.dead())
+        return;
+    ch.kill();
+    routers_[arcs_[i].src].killOutput(arcs_[i].srcPort);
+}
+
+void
+Network::churnReviveArc(std::size_t i)
+{
+    FBFLY_ASSERT(arcDownCauses_[i] > 0,
+                 "unbalanced churn repair on arc ", i);
+    if (--arcDownCauses_[i] != 0)
+        return; // still held down by another active episode
+    if (arcPermDead_[i] != 0)
+        return; // permanently failed; never revived
+    Channel &ch = channels_[i];
+    if (!ch.dead())
+        return;
+    const Channel::ReviveLoss loss = ch.revive();
+    stats_.churnFlitsLost += loss.flits;
+    stats_.churnPacketsLost += loss.packets;
+    stats_.churnMeasuredLost += loss.measuredPackets;
+
+    // Recompute the upstream credit levels from ground truth so the
+    // per-lane conservation invariant (credits + occupancy +
+    // in-flight flits + in-flight credits == vcDepth) holds from
+    // this cycle on.  A plain channel kept its wire contents across
+    // the outage; a reliable one just zeroed them.
+    const auto &arc = arcs_[i];
+    const Router &down = routers_[arc.dst];
+    std::vector<int> cr(static_cast<std::size_t>(cfg_.numVcs));
+    for (VcId v = 0; v < cfg_.numVcs; ++v) {
+        const int occ = static_cast<int>(
+            down.inputUnit(arc.dstPort, v).buf.size());
+        const int level = cfg_.vcDepth - occ -
+                          ch.flitsInFlightOnVc(v) -
+                          ch.creditsInFlightOnVc(v);
+        FBFLY_ASSERT(level >= 0 && level <= cfg_.vcDepth,
+                     "revive credit level out of range on arc ", i,
+                     " vc ", v, ": ", level);
+        cr[static_cast<std::size_t>(v)] = level;
+    }
+    routers_[arc.src].reviveOutput(arc.srcPort, cr);
+}
+
+void
+Network::applyServiceEvent(const ServiceEvent &ev, Cycle now)
+{
+    const ChurnModel &cm = *cfg_.churn;
+    switch (ev.kind) {
+    case ServiceEvent::Kind::kLinkDown: {
+        churnKillArc(ev.link);
+        const std::size_t rev = cm.reverseArc(ev.link);
+        if (rev != ChurnModel::kNoPair)
+            churnKillArc(rev);
+        ++stats_.churnDownEvents;
+        if (cfg_.trace != nullptr) {
+            cfg_.trace->record(TraceEventType::kChurn, now,
+                               arcTracks_[ev.link], Flit{},
+                               static_cast<std::int32_t>(ev.link),
+                               static_cast<std::int32_t>(ev.episode));
+        }
+        break;
+    }
+    case ServiceEvent::Kind::kLinkUp: {
+        churnReviveArc(ev.link);
+        const std::size_t rev = cm.reverseArc(ev.link);
+        if (rev != ChurnModel::kNoPair)
+            churnReviveArc(rev);
+        ++stats_.churnRepairEvents;
+        if (cfg_.trace != nullptr) {
+            cfg_.trace->record(TraceEventType::kRepair, now,
+                               arcTracks_[ev.link], Flit{},
+                               static_cast<std::int32_t>(ev.link),
+                               static_cast<std::int32_t>(ev.episode));
+        }
+        break;
+    }
+    case ServiceEvent::Kind::kRouterDown: {
+        const auto r = static_cast<std::size_t>(ev.router);
+        if (routerPermDead_[r] != 0)
+            break; // fail-stopped for good; nothing left to churn
+        for (std::size_t i = 0; i < numArcs_; ++i) {
+            if (arcs_[i].src == ev.router ||
+                arcs_[i].dst == ev.router)
+                churnKillArc(i);
+        }
+        for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+            if (topo_.injectionRouter(n) == ev.router &&
+                !injChannels_[n]->dead())
+                injChannels_[n]->kill();
+            if (topo_.ejectionRouter(n) == ev.router) {
+                if (!ejChannels_[n]->dead())
+                    ejChannels_[n]->kill();
+                routers_[ev.router].killOutput(
+                    topo_.ejectionPort(n));
+            }
+        }
+        ++stats_.churnDownEvents;
+        if (cfg_.trace != nullptr) {
+            cfg_.trace->record(TraceEventType::kChurn, now,
+                               routerTracks_[r], Flit{},
+                               ev.router,
+                               static_cast<std::int32_t>(ev.episode));
+        }
+        break;
+    }
+    case ServiceEvent::Kind::kRouterUp: {
+        const auto r = static_cast<std::size_t>(ev.router);
+        if (routerPermDead_[r] != 0)
+            break;
+        for (std::size_t i = 0; i < numArcs_; ++i) {
+            if (arcs_[i].src == ev.router ||
+                arcs_[i].dst == ev.router)
+                churnReviveArc(i);
+        }
+        for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+            if (topo_.injectionRouter(n) == ev.router &&
+                injChannels_[n]->dead()) {
+                // Terminal channels are plain wires: revival is
+                // lossless; restore the terminal's credit view from
+                // ground truth (mirrors churnReviveArc).
+                Channel &ch = *injChannels_[n];
+                ch.revive();
+                const Router &down =
+                    routers_[topo_.injectionRouter(n)];
+                const PortId port = topo_.injectionPort(n);
+                std::vector<int> cr(
+                    static_cast<std::size_t>(cfg_.numVcs));
+                for (VcId v = 0; v < cfg_.numVcs; ++v) {
+                    const int occ = static_cast<int>(
+                        down.inputUnit(port, v).buf.size());
+                    const int level = cfg_.vcDepth - occ -
+                                      ch.flitsInFlightOnVc(v) -
+                                      ch.creditsInFlightOnVc(v);
+                    FBFLY_ASSERT(level >= 0 &&
+                                 level <= cfg_.vcDepth,
+                                 "revive credit level out of range "
+                                 "on injection lane of node ", n,
+                                 " vc ", v, ": ", level);
+                    cr[static_cast<std::size_t>(v)] = level;
+                }
+                terminals_[n].setCredits(cr);
+            }
+            if (topo_.ejectionRouter(n) == ev.router) {
+                if (ejChannels_[n]->dead())
+                    ejChannels_[n]->revive();
+                // Terminals never return ejection credits, so the
+                // sink's budget is simply restored to "infinite".
+                routers_[ev.router].reviveOutput(
+                    topo_.ejectionPort(n),
+                    std::vector<int>(
+                        static_cast<std::size_t>(cfg_.numVcs),
+                        Router::kInfiniteCredits));
+            }
+        }
+        ++stats_.churnRepairEvents;
+        if (cfg_.trace != nullptr) {
+            cfg_.trace->record(TraceEventType::kRepair, now,
+                               routerTracks_[r], Flit{},
+                               ev.router,
+                               static_cast<std::int32_t>(ev.episode));
+        }
+        break;
+    }
+    }
+
+    // Repair invalidates stale route decisions everywhere: escape
+    // detours chosen while the entity was down are re-decided against
+    // the restored topology.  Beyond steering traffic back onto the
+    // repaired capacity, this breaks frozen rings of lateral (hot-
+    // potato) decisions that can hold a credit cycle closed after
+    // every repair has landed.
+    if (!ev.isDown()) {
+        for (auto &r : routers_)
+            r.invalidateRoutes();
+    }
+}
+
+void
+Network::applyChurn(Cycle now)
+{
+    const auto &events = cfg_.churn->events();
+    while (nextService_ < events.size() &&
+           events[nextService_].at <= now) {
+        applyServiceEvent(events[nextService_++], now);
+        // Reconfiguration counts as forward progress: an epoch
+        // transition or mass-repair burst must not trip the
+        // watchdog while the network re-converges.
+        lastProgress_ = now;
+    }
+}
+
+void
 Network::syncDropStats()
 {
     std::uint64_t flits = 0, packets = 0, measured = 0;
@@ -335,9 +577,9 @@ Network::syncDropStats()
         packets += r.droppedPackets();
         measured += r.droppedMeasured();
     }
-    stats_.flitsDropped = flits;
-    stats_.packetsUnreachable = packets;
-    stats_.measuredDropped = measured;
+    stats_.flitsDropped = flits + stats_.churnFlitsLost;
+    stats_.packetsUnreachable = packets + stats_.churnPacketsLost;
+    stats_.measuredDropped = measured + stats_.churnMeasuredLost;
 }
 
 void
@@ -345,6 +587,8 @@ Network::step()
 {
     if (nextFault_ < faultSchedule_.size())
         applyFaults(now_);
+    if (cfg_.churn != nullptr)
+        applyChurn(now_);
 
     const Cycle t = now_;
     const std::uint64_t ejected0 = stats_.flitsEjected;

@@ -32,6 +32,8 @@ class RoutingAlgorithm;
 class TrafficPattern;
 class FaultModel;
 class ErrorModel;
+class ChurnModel;
+struct ServiceEvent;
 class DeliveryOracle;
 class TraceSink;
 
@@ -84,6 +86,19 @@ struct NetworkConfig
      * wires.
      */
     LinkReliabilityConfig linkRetry;
+
+    /**
+     * Dynamic-service (churn) model: a deterministic schedule of
+     * link/router down/up events with full repair semantics
+     * (nullptr: no churn).  Must be built over the same topology and
+     * outlive the network.  A revived channel has its link-layer
+     * retry state reset (unacked flits are counted as churn losses),
+     * dead-port masks re-open and credit levels are recomputed so
+     * every conservation invariant holds across the transition.
+     * Entities failed permanently via `faults` are never revived.
+     * See docs/FAULTS.md ("Churn and repair").
+     */
+    const ChurnModel *churn = nullptr;
 
     /** End-to-end delivery oracle to notify at measured-packet
      *  injection/ejection (nullptr: no auditing).  Must outlive the
@@ -149,6 +164,23 @@ struct NetworkStats
     std::int64_t pendingPackets = 0;
     /** Terminals currently mid-packet (wormhole injection). */
     int midPacketTerminals = 0;
+
+    /** @name Dynamic-service (churn) accounting @{ */
+    /** Down (link/router) service events applied so far. */
+    std::uint64_t churnDownEvents = 0;
+    /** Repair (link/router) service events applied so far. */
+    std::uint64_t churnRepairEvents = 0;
+    /** Flits lost at link repair: unacked go-back-N replay state of
+     *  a revived reliable channel (folded into flitsDropped). */
+    std::uint64_t churnFlitsLost = 0;
+    /** Packets lost at link repair (folded into
+     *  packetsUnreachable). */
+    std::uint64_t churnPacketsLost = 0;
+    /** Churn-lost packets belonging to the measurement sample
+     *  (folded into measuredDropped — the delivery oracle treats
+     *  them as expected drops). */
+    std::uint64_t churnMeasuredLost = 0;
+    /** @} */
 };
 
 /**
@@ -321,6 +353,24 @@ class Network
     /** Activate every fault whose cycle is <= @p now. */
     void applyFaults(Cycle now);
 
+    /** @name Dynamic service (churn/repair) @{ */
+
+    /** Apply every churn event whose cycle is <= @p now. */
+    void applyChurn(Cycle now);
+
+    /** Apply one service event (kill or repair). */
+    void applyServiceEvent(const ServiceEvent &ev, Cycle now);
+
+    /** Register one more down-cause on arc @p i (link episode or
+     *  incident-router episode); kills the channel on 0 -> 1. */
+    void churnKillArc(std::size_t i);
+
+    /** Drop one down-cause on arc @p i; revives the channel (and
+     *  recomputes upstream credits) when the count reaches zero. */
+    void churnReviveArc(std::size_t i);
+
+    /** @} */
+
     /** Fold router drop counters into stats_. */
     void syncDropStats();
 
@@ -353,12 +403,27 @@ class Network
     std::vector<FaultEvent> faultSchedule_;
     std::size_t nextFault_ = 0;
 
+    /** @name Dynamic-service (churn) state @{ */
+    /** Next unapplied event in cfg_.churn->events(). */
+    std::size_t nextService_ = 0;
+    /** Per-arc count of active down-causes (its own link episode
+     *  plus any incident-router episode); the channel is dead while
+     *  the count is nonzero.  Empty when cfg_.churn is null. */
+    std::vector<int> arcDownCauses_;
+    /** Arcs/routers failed permanently by cfg_.faults — churn never
+     *  kills or revives these. */
+    std::vector<char> arcPermDead_;
+    std::vector<char> routerPermDead_;
+    /** @} */
+
     /** Forward-progress watermark. */
     Cycle lastProgress_ = 0;
 
     /** Trace track ids of inter-router channels (empty when
      *  cfg_.trace is null). */
     std::vector<std::int32_t> arcTracks_;
+    /** Trace track ids of routers (empty when cfg_.trace is null). */
+    std::vector<std::int32_t> routerTracks_;
 
     NetworkStats stats_;
 };

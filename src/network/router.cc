@@ -469,6 +469,72 @@ Router::killOutput(PortId port)
         owner = -1;
 }
 
+void
+Router::reviveOutput(PortId port, const std::vector<int> &credits)
+{
+    FBFLY_ASSERT(port >= 0 && port < numPorts_,
+                 "reviveOutput port range on router ", id_);
+    if (aliveOut_[port])
+        return; // already alive
+    OutputUnit &ou = outputs_[port];
+    FBFLY_ASSERT(ou.channel != nullptr,
+                 "reviveOutput on unwired port ", port, " of router ",
+                 id_);
+    FBFLY_ASSERT(credits.size() ==
+                     static_cast<std::size_t>(numVcs_),
+                 "reviveOutput credit vector size");
+    aliveOut_[port] = 1;
+    --deadOutputs_;
+    for (VcId v = 0; v < numVcs_; ++v) {
+        FBFLY_ASSERT(credits[v] >= 0 &&
+                         credits[v] <= ou.downstreamDepth,
+                     "reviveOutput credit level out of range on "
+                     "router ", id_, " port ", port, " vc ", v);
+        ou.credits[v] = credits[v];
+    }
+    // killOutput already zeroed committed/vcOwner; the port starts
+    // its second life with no allocation state, like at wiring time.
+    ou.committed = 0;
+    for (auto &owner : ou.vcOwner)
+        owner = -1;
+}
+
+void
+Router::invalidateRoutes()
+{
+    for (std::size_t u = 0; u < inputs_.size(); ++u) {
+        InputUnit &in = inputs_[u];
+        if (bypass_) {
+            for (int j = 0; j < in.buf.size(); ++j) {
+                Flit &f = in.buf.at(j);
+                if (!f.routed)
+                    continue;
+                OutputUnit &ou = outputs_[f.outPort];
+                if (ou.committed > 0)
+                    --ou.committed;
+                f.routed = false;
+                f.outPort = kInvalid;
+                f.outVc = kInvalid;
+                ++unroutedFlits_;
+                ++in.unrouted;
+                markOccupied(static_cast<int>(u));
+            }
+        } else {
+            // A unit whose front flit is a body is mid-traversal
+            // (its head already departed): the path is committed.
+            if (!in.routed || in.buf.empty() ||
+                !in.buf.front().head)
+                continue;
+            OutputUnit &ou = outputs_[in.outPort];
+            ou.committed = std::max(
+                0, ou.committed - in.buf.front().packetSize);
+            in.routed = false;
+            in.outPort = kInvalid;
+            in.outVc = kInvalid;
+        }
+    }
+}
+
 int
 Router::estimatedQueue(PortId port) const
 {

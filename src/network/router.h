@@ -118,6 +118,28 @@ class Router
      */
     void killOutput(PortId port);
 
+    /**
+     * Re-open output @p port after a repair (churn studies).  The
+     * caller supplies the per-VC credit levels to restore — the
+     * Network computes them from the downstream buffer occupancy (and
+     * any in-flight flits/credits the revived channel retained) so
+     * the credit-conservation invariant holds from this cycle on.
+     * No-op when the port is already alive.
+     */
+    void reviveOutput(PortId port, const std::vector<int> &credits);
+
+    /**
+     * Invalidate every route decision whose packet has not started
+     * traversing, so the next routing pass re-decides against the
+     * current topology.  Called by Network after a repair event:
+     * decisions made while an entity was down (escape detours,
+     * hot-potato laterals around the failure) are stale once the
+     * capacity returns — and a frozen ring of lateral decisions can
+     * otherwise hold a credit cycle closed forever, wedging the
+     * network long after every repair landed.
+     */
+    void invalidateRoutes();
+
     /** True while output @p port is alive (routing candidate mask). */
     bool outputAlive(PortId port) const
     {

@@ -83,6 +83,14 @@ class Terminal
         return credits_[static_cast<std::size_t>(vc)];
     }
 
+    /** Restore per-VC credit levels after an injection-channel
+     *  repair (called by Network, which computes them from the
+     *  router-side buffer occupancy; see Router::reviveOutput). */
+    void setCredits(const std::vector<int> &credits)
+    {
+        credits_ = credits;
+    }
+
     Rng &rng() { return rng_; }
 
     /** Attach a trace sink (nullptr disables; see obs/trace.h).

@@ -30,6 +30,10 @@ toString(TraceEventType t)
         return "drop";
     case TraceEventType::kEject:
         return "eject";
+    case TraceEventType::kChurn:
+        return "churn";
+    case TraceEventType::kRepair:
+        return "repair";
     }
     return "?";
 }
@@ -46,7 +50,9 @@ levelMask(TraceLevel level)
     case TraceLevel::kPackets:
         return (1u << static_cast<unsigned>(TraceEventType::kInject)) |
                (1u << static_cast<unsigned>(TraceEventType::kDrop)) |
-               (1u << static_cast<unsigned>(TraceEventType::kEject));
+               (1u << static_cast<unsigned>(TraceEventType::kEject)) |
+               (1u << static_cast<unsigned>(TraceEventType::kChurn)) |
+               (1u << static_cast<unsigned>(TraceEventType::kRepair));
     case TraceLevel::kFull:
         break;
     }

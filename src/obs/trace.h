@@ -70,10 +70,16 @@ enum class TraceEventType : std::uint8_t
     kDrop = 6,
     /** Flit ejected at its destination terminal (terminal track). */
     kEject = 7,
+    /** Service event: a channel or router went down (churn model;
+     *  channel/router track; a = entity index, b = churn episode). */
+    kChurn = 8,
+    /** Service event: a channel or router came back up after repair
+     *  (channel/router track; a = entity index, b = churn episode). */
+    kRepair = 9,
 };
 
 /** Number of TraceEventType values (for per-type counters). */
-inline constexpr int kNumTraceEventTypes = 8;
+inline constexpr int kNumTraceEventTypes = 10;
 
 /** Short lowercase name of an event type ("inject", ...). */
 const char *toString(TraceEventType t);
@@ -86,7 +92,9 @@ enum class TraceLevel : std::uint8_t
     /** Record nothing (mask 0); prefer a null sink pointer when the
      *  decision is static. */
     kOff = 0,
-    /** Packet-boundary events only: inject, eject, drop. */
+    /** Packet-boundary events only: inject, eject, drop — plus the
+     *  (rare) churn/repair service events, which reconfigure the
+     *  network and so belong in even the coarsest timeline. */
     kPackets = 1,
     /** Everything (the default). */
     kFull = 2,

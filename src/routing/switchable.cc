@@ -1,0 +1,72 @@
+#include "routing/switchable.h"
+
+#include "common/log.h"
+#include "network/flit.h"
+
+namespace fbfly
+{
+
+const char *
+toString(RouteAlgoId id)
+{
+    switch (id) {
+    case RouteAlgoId::kMinAdaptive:
+        return "MIN AD";
+    case RouteAlgoId::kUgal:
+        return "UGAL";
+    case RouteAlgoId::kValiant:
+        return "VAL";
+    }
+    return "?";
+}
+
+SwitchableRouting::SwitchableRouting(const FlattenedButterfly &topo,
+                                     RouteAlgoId initial)
+    : min_(topo), ugal_(topo, /*sequential_alloc=*/false), val_(topo),
+      current_(initial)
+{
+}
+
+RoutingAlgorithm &
+SwitchableRouting::impl(RouteAlgoId id)
+{
+    switch (id) {
+    case RouteAlgoId::kMinAdaptive:
+        return min_;
+    case RouteAlgoId::kUgal:
+        return ugal_;
+    case RouteAlgoId::kValiant:
+        return val_;
+    }
+    FBFLY_ASSERT(false, "invalid RouteAlgoId ",
+                 static_cast<int>(id));
+    return min_;
+}
+
+RouteDecision
+SwitchableRouting::route(Router &router, Flit &flit)
+{
+    if (flit.routeAlgo < 0) {
+        // First decision for this packet: pin it to the policy in
+        // force now, so a later switch cannot mix two algorithms'
+        // scratch-state machines within one route.
+        flit.routeAlgo = static_cast<std::int8_t>(current_);
+        ++pinned_[static_cast<std::size_t>(current_)];
+    }
+    FBFLY_ASSERT(flit.routeAlgo >= 0 && flit.routeAlgo < 3,
+                 "corrupt routeAlgo pin ",
+                 static_cast<int>(flit.routeAlgo));
+    return impl(static_cast<RouteAlgoId>(flit.routeAlgo))
+        .route(router, flit);
+}
+
+void
+SwitchableRouting::select(RouteAlgoId id)
+{
+    if (id == current_)
+        return;
+    current_ = id;
+    ++switches_;
+}
+
+} // namespace fbfly

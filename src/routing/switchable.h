@@ -1,0 +1,118 @@
+/**
+ * @file
+ * SWITCHABLE — an online routing adaptor over MIN AD / UGAL / VAL.
+ *
+ * The dynamic-service harness (src/harness/churn.h) re-evaluates the
+ * routing policy at every epoch boundary from ObsSampler
+ * channel-utilization telemetry: balanced low load routes minimally,
+ * imbalanced load flips to UGAL, and pathological imbalance under
+ * headroom flips to fully randomized VAL.  This class makes that
+ * switch safe mid-flight:
+ *
+ *  - **per-packet pinning** — a packet is stamped with the policy in
+ *    force at its *first* routing decision (Flit::routeAlgo) and
+ *    follows that one algorithm to its destination, so a mid-flight
+ *    switch never mixes two algorithms' route/VC state machines
+ *    within one packet;
+ *  - **shared VC budget** — numVcs() is the maximum requirement of
+ *    the member algorithms (2n'), and every member's VC usage is a
+ *    subset of [0, 2n'), so a single network configuration serves
+ *    all three.  Packets pinned to different algorithms do share VC
+ *    lanes, which voids the per-algorithm analytic deadlock-freedom
+ *    arguments during the (transient) mixing window — churn runs are
+ *    therefore always backed by the forward-progress watchdog, like
+ *    faulty runs (docs/FAULTS.md).
+ *
+ * Determinism: switching is driven only by simulation state (epoch
+ * schedule + telemetry), and route draws use the routers' own RNG
+ * streams, so churn sweeps remain bit-identical at any --threads N.
+ */
+
+#ifndef FBFLY_ROUTING_SWITCHABLE_H
+#define FBFLY_ROUTING_SWITCHABLE_H
+
+#include <cstdint>
+
+#include "routing/min_adaptive.h"
+#include "routing/ugal.h"
+#include "routing/valiant.h"
+
+namespace fbfly
+{
+
+/** The member algorithms a SwitchableRouting can pin packets to. */
+enum class RouteAlgoId : std::int8_t
+{
+    kMinAdaptive = 0,
+    kUgal = 1,
+    kValiant = 2,
+};
+
+/** Short stable name ("MIN AD", "UGAL", "VAL"). */
+const char *toString(RouteAlgoId id);
+
+/**
+ * Routing adaptor that dispatches per packet to one of MIN AD, UGAL
+ * (greedy) or VAL, selectable between cycles.
+ *
+ * Not shared across concurrent simulations: select() mutates the
+ * policy, so every sweep point builds its own instance (unlike the
+ * stateless paper algorithms, which sweeps may share).
+ */
+class SwitchableRouting : public RoutingAlgorithm
+{
+  public:
+    explicit SwitchableRouting(
+        const FlattenedButterfly &topo,
+        RouteAlgoId initial = RouteAlgoId::kMinAdaptive);
+
+    std::string name() const override { return "SWITCHABLE"; }
+
+    /** Max over the members: UGAL's 2n'. */
+    int numVcs() const override { return ugal_.numVcs(); }
+
+    /** All members use the greedy routing-decision allocator. */
+    bool sequential() const override { return false; }
+
+    /** Multipath in general (VAL/UGAL phases, adaptive choices). */
+    bool preservesFlowOrder() const override { return false; }
+
+    /**
+     * Dispatch to the pinned member, pinning the packet to the
+     * currently selected policy at its first decision.
+     */
+    RouteDecision route(Router &router, Flit &flit) override;
+
+    /** @name Online policy control (between cycles) @{ */
+
+    /** Switch the policy applied to packets not yet pinned.  No-op
+     *  (not counted) when @p id is already selected. */
+    void select(RouteAlgoId id);
+
+    RouteAlgoId selected() const { return current_; }
+
+    /** Policy changes applied so far (excludes no-op selects). */
+    std::uint64_t switches() const { return switches_; }
+
+    /** Packets routed under each policy (pinned at first hop). */
+    std::uint64_t packetsPinned(RouteAlgoId id) const
+    {
+        return pinned_[static_cast<std::size_t>(id)];
+    }
+
+    /** @} */
+
+  private:
+    RoutingAlgorithm &impl(RouteAlgoId id);
+
+    MinAdaptive min_;
+    Ugal ugal_;
+    Valiant val_;
+    RouteAlgoId current_;
+    std::uint64_t switches_ = 0;
+    std::uint64_t pinned_[3] = {};
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_ROUTING_SWITCHABLE_H

@@ -17,6 +17,14 @@ BernoulliInjection::BernoulliInjection(double offered_load,
 }
 
 void
+BernoulliInjection::setOfferedLoad(double offered_load)
+{
+    rate_ = offered_load / packetSize_;
+    FBFLY_ASSERT(offered_load >= 0.0 && rate_ <= 1.0,
+                 "offered load out of range: ", offered_load);
+}
+
+void
 BernoulliInjection::tick(Network &net, bool measured)
 {
     const std::int64_t n = net.numNodes();

@@ -49,6 +49,14 @@ class BernoulliInjection
 
     double offeredLoad() const { return rate_ * packetSize_; }
 
+    /**
+     * Retarget the offered load (flits per node per cycle, in
+     * [0, 1]) without disturbing the RNG stream — the diurnal /
+     * batch-phase load shapes of the dynamic-service harness
+     * (src/harness/churn.h) ramp this every cycle.
+     */
+    void setOfferedLoad(double offered_load);
+
   private:
     double rate_; // packets per node per cycle
     int packetSize_;
