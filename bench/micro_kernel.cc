@@ -100,9 +100,9 @@ main(int argc, char **argv)
     // Serial hot-path kernels (regression guard for the step loop).
     std::printf("\n# step-loop kernels (serial)\n");
     std::vector<std::pair<std::string, std::string>> extra;
-    for (const double load : {0.1, 0.5, 0.9}) {
+    for (const double load : {0.02, 0.1, 0.5, 0.9}) {
         const double rate = stepRate(load);
-        std::printf("step rate @ load %.1f: %.0f cycles/s\n", load,
+        std::printf("step rate @ load %.2f: %.0f cycles/s\n", load,
                     rate);
         char key[48];
         char value[32];
