@@ -1,0 +1,143 @@
+/**
+ * @file
+ * RingQueue — a flat circular FIFO replacing std::deque on the
+ * simulator's hot paths (channel wires, ack lanes, replay windows,
+ * VC buffers).
+ *
+ * std::deque allocates and frees fixed-size blocks as elements churn
+ * through it; on paths that push and pop a handful of flits per
+ * cycle that is a steady stream of allocator traffic and pointer
+ * chasing.  A RingQueue keeps one contiguous power-of-two array and
+ * wraps indices, so steady-state push/pop touches no allocator and
+ * the common front()/operator[] reads are a base + mask.
+ *
+ * Capacity grows geometrically (relinearizing the ring) when a push
+ * exceeds it, so it is still safe for unbounded queues; shrink never
+ * happens automatically.
+ */
+
+#ifndef FBFLY_COMMON_RING_QUEUE_H
+#define FBFLY_COMMON_RING_QUEUE_H
+
+#include <bit>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+/**
+ * Contiguous circular FIFO with indexed access.
+ */
+template <typename T>
+class RingQueue
+{
+  public:
+    RingQueue() = default;
+
+    /** @param initial_capacity first allocation size (rounded up to
+     *         a power of two; 0 defers allocation to the first
+     *         push). */
+    explicit RingQueue(std::size_t initial_capacity)
+    {
+        if (initial_capacity > 0)
+            buf_.resize(std::bit_ceil(initial_capacity));
+    }
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return buf_.size(); }
+
+    T &front()
+    {
+        FBFLY_ASSERT(count_ > 0, "front of empty RingQueue");
+        return buf_[head_];
+    }
+    const T &front() const
+    {
+        FBFLY_ASSERT(count_ > 0, "front of empty RingQueue");
+        return buf_[head_];
+    }
+
+    T &operator[](std::size_t i)
+    {
+        FBFLY_ASSERT(i < count_, "RingQueue index out of range");
+        return buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+    const T &operator[](std::size_t i) const
+    {
+        FBFLY_ASSERT(i < count_, "RingQueue index out of range");
+        return buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+
+    void push_back(const T &v) { emplace_back(v); }
+    void push_back(T &&v) { emplace_back(std::move(v)); }
+
+    template <typename... Args>
+    T &emplace_back(Args &&...args)
+    {
+        if (count_ == buf_.size())
+            grow();
+        T &slot = buf_[(head_ + count_) & (buf_.size() - 1)];
+        slot = T(std::forward<Args>(args)...);
+        ++count_;
+        return slot;
+    }
+
+    void pop_front()
+    {
+        FBFLY_ASSERT(count_ > 0, "pop_front of empty RingQueue");
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --count_;
+    }
+
+    /** Remove the element at index @p i, shifting the shorter side
+     *  (used by the bypass switch path, which may grant any buffered
+     *  flit). */
+    T erase_at(std::size_t i)
+    {
+        FBFLY_ASSERT(i < count_, "erase_at out of range");
+        T out = std::move((*this)[i]);
+        if (i < count_ - i - 1) {
+            // Shift the front half up.
+            for (std::size_t j = i; j > 0; --j)
+                (*this)[j] = std::move((*this)[j - 1]);
+            pop_front();
+        } else {
+            // Shift the back half down.
+            for (std::size_t j = i; j + 1 < count_; ++j)
+                (*this)[j] = std::move((*this)[j + 1]);
+            --count_;
+        }
+        return out;
+    }
+
+    void clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    void grow()
+    {
+        const std::size_t cap =
+            buf_.empty() ? std::size_t{8} : buf_.size() * 2;
+        std::vector<T> bigger(cap);
+        for (std::size_t i = 0; i < count_; ++i)
+            bigger[i] = std::move((*this)[i]);
+        buf_.swap(bigger);
+        head_ = 0;
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_COMMON_RING_QUEUE_H

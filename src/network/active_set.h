@@ -1,0 +1,186 @@
+/**
+ * @file
+ * ActiveSet — the simulation kernel's runnable-component scheduler.
+ *
+ * The per-cycle loop used to tick every router and terminal every
+ * cycle; at low offered load almost all of that work is polling idle
+ * components.  An ActiveSet tracks which components have (or may
+ * have) work in the upcoming cycle, so Network::step() visits only
+ * those:
+ *
+ *  - components are woken for the *next* cycle when they gain work
+ *    now (a packet is queued, a flit/credit/ack is put on a wire
+ *    that will deliver it next cycle, a component keeps buffered
+ *    work across a cycle boundary);
+ *  - timed events further out (multi-cycle channel time of flight,
+ *    go-back-N retry deadlines) go through a wake-at-cycle min-heap
+ *    and surface exactly at their target cycle.
+ *
+ * Correctness contract: a wake must be delivered *at or after* the
+ * cycle its work becomes actionable, and every piece of pending work
+ * must have a wake that fires exactly when it does — spurious (too
+ * frequent) wakes only cost time, but an early wake that is consumed
+ * by a no-op step loses the real one.  wakeAt() therefore routes
+ * wakes for the immediately-next cycle into the bitmask and keeps
+ * later ones in the heap, and beginCycle() serves strictly
+ * consecutive cycles.
+ *
+ * Iteration order over active components is ascending component
+ * index — the same order as the pre-rewrite full loops — so RNG
+ * streams, arbitration and traces stay bit-identical (verified by
+ * the golden-trace and idle-equivalence fixtures).
+ */
+
+#ifndef FBFLY_NETWORK_ACTIVE_SET_H
+#define FBFLY_NETWORK_ACTIVE_SET_H
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace fbfly
+{
+
+/**
+ * Two-generation bitmask of runnable components plus a wake-at-cycle
+ * queue for timed events.  Component ids are dense [0, n): the
+ * Network maps routers to [0, R) and terminals to [R, R + N).
+ */
+class ActiveSet
+{
+  public:
+    /** Size the set for @p n components and wake them all for the
+     *  first cycle (cycle 0 must step everything once so initial
+     *  state — queued packets, pre-applied faults — is observed). */
+    void init(std::size_t n)
+    {
+        n_ = n;
+        const std::size_t words = (n + 63) / 64;
+        cur_.assign(words, 0);
+        next_.assign(words, 0);
+        lastAt_.assign(n, kNeverQueued);
+        timers_ = {};
+        nextCycle_ = 0;
+        wakeAllNext();
+    }
+
+    std::size_t size() const { return n_; }
+
+    /** Mark component @p c runnable in the next beginCycle(). */
+    void wakeNext(std::uint32_t c)
+    {
+        next_[c >> 6] |= std::uint64_t{1} << (c & 63);
+    }
+
+    /** Mark every component runnable in the next beginCycle(). */
+    void wakeAllNext()
+    {
+        if (n_ == 0)
+            return;
+        std::fill(next_.begin(), next_.end(), ~std::uint64_t{0});
+        // Keep bits past n_ clear so iteration never visits them.
+        const std::uint32_t tail = static_cast<std::uint32_t>(n_) & 63;
+        if (tail != 0)
+            next_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+
+    /**
+     * Wake component @p c for cycle @p at (>= the next cycle this
+     * set will serve).  Wakes for the immediately-next cycle bypass
+     * the heap entirely — the common case for latency-1 channels.
+     */
+    void wakeAt(std::uint32_t c, Cycle at)
+    {
+        if (at <= nextCycle_) {
+            wakeNext(c);
+            return;
+        }
+        if (lastAt_[c] == at)
+            return; // identical timer already queued
+        lastAt_[c] = at;
+        timers_.emplace(at, c);
+    }
+
+    /**
+     * Start cycle @p t: the wakes accumulated for it become the
+     * current set, and every timer due by @p t is folded in.  Cycles
+     * must be served consecutively (the caller's step loop advances
+     * one cycle at a time).
+     *
+     * @return true when any component is runnable this cycle.
+     */
+    bool beginCycle(Cycle t)
+    {
+        FBFLY_ASSERT(t == nextCycle_,
+                     "ActiveSet cycles must be consecutive: begin ",
+                     t, " but expected ", nextCycle_);
+        cur_.swap(next_);
+        std::fill(next_.begin(), next_.end(), 0);
+        while (!timers_.empty() && timers_.top().first <= t) {
+            const std::uint32_t c = timers_.top().second;
+            timers_.pop();
+            if (lastAt_[c] <= t)
+                lastAt_[c] = kNeverQueued;
+            cur_[c >> 6] |= std::uint64_t{1} << (c & 63);
+        }
+        nextCycle_ = t + 1;
+        for (const std::uint64_t w : cur_)
+            if (w != 0)
+                return true;
+        return false;
+    }
+
+    /**
+     * Visit every active component with id in [@p lo, @p hi), in
+     * ascending id order.  Waking components from inside the visitor
+     * affects only future cycles (wakes land in the next
+     * generation / the heap), never the current iteration.
+     */
+    template <typename F>
+    void forEachIn(std::uint32_t lo, std::uint32_t hi, F &&f) const
+    {
+        const std::size_t wlo = lo >> 6;
+        const std::size_t whi = (static_cast<std::size_t>(hi) + 63)
+                                >> 6;
+        for (std::size_t w = wlo; w < whi && w < cur_.size(); ++w) {
+            std::uint64_t bits = cur_[w];
+            if (w == wlo && (lo & 63) != 0)
+                bits &= ~std::uint64_t{0} << (lo & 63);
+            while (bits != 0) {
+                const int b = std::countr_zero(bits);
+                bits &= bits - 1;
+                const std::uint32_t c =
+                    static_cast<std::uint32_t>((w << 6) + b);
+                if (c >= hi)
+                    return;
+                f(c);
+            }
+        }
+    }
+
+  private:
+    static constexpr Cycle kNeverQueued = ~Cycle{0};
+
+    std::vector<std::uint64_t> cur_;
+    std::vector<std::uint64_t> next_;
+    /** Last cycle queued in the heap per component (duplicate
+     *  suppression for repeated same-deadline wakes). */
+    std::vector<Cycle> lastAt_;
+    std::priority_queue<std::pair<Cycle, std::uint32_t>,
+                        std::vector<std::pair<Cycle, std::uint32_t>>,
+                        std::greater<>>
+        timers_;
+    /** The cycle the next beginCycle() will serve. */
+    Cycle nextCycle_ = 0;
+    std::size_t n_ = 0;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_NETWORK_ACTIVE_SET_H

@@ -39,9 +39,7 @@ Flit
 VcBuffer::eraseAt(int i)
 {
     FBFLY_ASSERT(i >= 0 && i < size(), "eraseAt out of range");
-    Flit f = q_[i];
-    q_.erase(q_.begin() + i);
-    return f;
+    return q_.erase_at(static_cast<std::size_t>(i));
 }
 
 } // namespace fbfly

@@ -5,13 +5,17 @@
  * Each router input port owns one VcBuffer per virtual channel; the
  * paper holds the product (VCs x depth) constant at 32 flits per port
  * when comparing configurations (Section 3.2 / Table 1).
+ *
+ * The buffer is a RingQueue sized to the VC depth at construction —
+ * flow control bounds occupancy to the depth, so steady-state
+ * push/pop never touches the allocator (the ring still grows
+ * defensively if a caller bypasses flow control).
  */
 
 #ifndef FBFLY_NETWORK_BUFFER_H
 #define FBFLY_NETWORK_BUFFER_H
 
-#include <deque>
-
+#include "common/ring_queue.h"
 #include "common/types.h"
 #include "network/flit.h"
 
@@ -24,7 +28,10 @@ namespace fbfly
 class VcBuffer
 {
   public:
-    explicit VcBuffer(int depth = 0) : depth_(depth) {}
+    explicit VcBuffer(int depth = 0)
+        : q_(static_cast<std::size_t>(depth)), depth_(depth)
+    {
+    }
 
     /** Capacity in flits. */
     int depth() const { return depth_; }
@@ -44,14 +51,17 @@ class VcBuffer
     Flit pop();
 
     /** Flit at position @p i (0 = front). */
-    const Flit &at(int i) const { return q_[i]; }
-    Flit &at(int i) { return q_[i]; }
+    const Flit &at(int i) const
+    {
+        return q_[static_cast<std::size_t>(i)];
+    }
+    Flit &at(int i) { return q_[static_cast<std::size_t>(i)]; }
 
     /** Remove and return the flit at position @p i (bypass mode). */
     Flit eraseAt(int i);
 
   private:
-    std::deque<Flit> q_;
+    RingQueue<Flit> q_;
     int depth_;
 };
 

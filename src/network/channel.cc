@@ -105,6 +105,8 @@ Channel::transmitAttempt(const Flit &f, Cycle now, bool is_retransmit)
 
     if (rel_ == nullptr) {
         flits_.emplace_back(now + latency_, f);
+        if (sched_ != nullptr)
+            sched_->wakeAt(downComp_, now + latency_);
         return;
     }
 
@@ -167,6 +169,8 @@ Channel::transmitAttempt(const Flit &f, Cycle now, bool is_retransmit)
         }
     }
     flits_.emplace_back(now + latency_, g);
+    if (sched_ != nullptr)
+        sched_->wakeAt(downComp_, now + latency_);
 }
 
 void
@@ -186,6 +190,8 @@ Channel::sendFlit(const Flit &f, Cycle now)
             // First unacked flit (re)arms the timeout.
             rel_->timeout = rel_->cfg.retryTimeout;
             rel_->deadline = now + rel_->timeout;
+            if (sched_ != nullptr)
+                sched_->wakeAt(upComp_, rel_->deadline);
         }
         rel_->replay.push_back(g);
         ++logicalInFlight_;
@@ -290,6 +296,8 @@ Channel::pushAck(const Ack &a, Cycle now)
         return;
     }
     rel_->acks.emplace_back(now + latency_, a);
+    if (sched_ != nullptr)
+        sched_->wakeAt(upComp_, now + latency_);
 }
 
 void
@@ -320,6 +328,8 @@ Channel::tickTransmitter(Cycle now)
                     static_cast<std::size_t>(a.seq - r.baseSeq);
                 r.timeout = r.cfg.retryTimeout;
                 r.deadline = now + r.timeout;
+                if (sched_ != nullptr)
+                    sched_->wakeAt(upComp_, r.deadline);
             }
             continue;
         }
@@ -339,6 +349,8 @@ Channel::tickTransmitter(Cycle now)
             // Forward progress resets the backoff.
             r.timeout = r.cfg.retryTimeout;
             r.deadline = now + r.timeout;
+            if (sched_ != nullptr && !r.replay.empty())
+                sched_->wakeAt(upComp_, r.deadline);
         }
     }
 
@@ -351,6 +363,8 @@ Channel::tickTransmitter(Cycle now)
         ++r.stats.timeouts;
         r.timeout = std::min(r.timeout * 2, r.cfg.maxTimeout);
         r.deadline = now + r.timeout;
+        if (sched_ != nullptr)
+            sched_->wakeAt(upComp_, r.deadline);
     }
 
     // 3. Put one pending retransmission on the wire, respecting
@@ -362,6 +376,12 @@ Channel::tickTransmitter(Cycle now)
         if (r.resendPos >= r.replay.size())
             r.resendPos = kNoResend;
     }
+
+    // A retransmission round still in progress (including one
+    // stalled by a dead wire or bandwidth) must keep its owner
+    // ticking until the round completes.
+    if (r.resendPos != kNoResend && sched_ != nullptr)
+        sched_->wakeAt(upComp_, now + 1);
 }
 
 void
@@ -379,6 +399,8 @@ Channel::sendCredit(VcId vc, Cycle now)
                  lastCreditSend_);
     lastCreditSend_ = now;
     credits_.emplace_back(now + latency_, vc);
+    if (sched_ != nullptr)
+        sched_->wakeAt(upComp_, now + latency_);
 }
 
 std::optional<VcId>
@@ -413,8 +435,8 @@ int
 Channel::creditsInFlightOnVc(VcId vc) const
 {
     int n = 0;
-    for (const auto &[cycle, c] : credits_)
-        n += c == vc ? 1 : 0;
+    for (std::size_t i = 0; i < credits_.size(); ++i)
+        n += credits_[i].second == vc ? 1 : 0;
     return n;
 }
 
@@ -456,7 +478,8 @@ Channel::revive()
     // are logically in flight and unrecoverable once both sides
     // reset; flits below expectedSeq were accepted downstream and
     // only their acks died with the link.
-    for (const Flit &f : r.replay) {
+    for (std::size_t i = 0; i < r.replay.size(); ++i) {
+        const Flit &f = r.replay[i];
         if (f.linkSeq < r.expectedSeq)
             continue;
         ++loss.flits;

@@ -29,14 +29,15 @@
 #define FBFLY_NETWORK_CHANNEL_H
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/ring_queue.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "network/active_set.h"
 #include "network/flit.h"
 
 namespace fbfly
@@ -264,6 +265,55 @@ class Channel
         traceTrack_ = track;
     }
 
+    /** @name Active-set scheduling (src/network/active_set.h) @{ */
+
+    /**
+     * Attach the kernel's scheduler (nullptr: no wakes — bare
+     * channels in unit tests run without one).  @p up is the
+     * component that transmits on this channel (it receives credits
+     * and acks and runs the retry transmitter); @p down is the
+     * component flits are delivered to.  The channel wakes them
+     * exactly when an arrival or timer becomes actionable, so the
+     * kernel can skip them otherwise.
+     */
+    void setScheduler(ActiveSet *sched, std::uint32_t up,
+                      std::uint32_t down)
+    {
+        sched_ = sched;
+        upComp_ = up;
+        downComp_ = down;
+    }
+
+    /** A flit has arrived and is ready to receive at @p now. */
+    bool hasFlitArrival(Cycle now) const
+    {
+        return !flits_.empty() && flits_.front().first <= now;
+    }
+
+    /** A credit has arrived and is ready to receive at @p now. */
+    bool hasCreditArrival(Cycle now) const
+    {
+        return !credits_.empty() && credits_.front().first <= now;
+    }
+
+    /**
+     * The retry transmitter has actionable work at @p now (a due
+     * ack/nack, a retransmission round in progress, or an expired
+     * timeout).  When false, tick(now) is a no-op and may be
+     * skipped.
+     */
+    bool needsTick(Cycle now) const
+    {
+        if (rel_ == nullptr)
+            return false;
+        return (!rel_->acks.empty() &&
+                rel_->acks.front().first <= now) ||
+               rel_->resendPos != kNoResend ||
+               (!rel_->replay.empty() && now >= rel_->deadline);
+    }
+
+    /** @} */
+
   private:
     /** One ack-lane message: cumulative ack or targeted nack. */
     struct Ack
@@ -288,7 +338,7 @@ class Channel
         /** @name Transmitter
          *  @{ */
         /** Unacked flits, seq baseSeq_ .. nextSeq_-1 in order. */
-        std::deque<Flit> replay;
+        RingQueue<Flit> replay;
         std::uint64_t nextSeq = 0;
         std::uint64_t baseSeq = 0;
         /** Index into replay of the next flit to retransmit in the
@@ -308,7 +358,7 @@ class Channel
         /** @} */
 
         /** Upstream ack lane (arrival cycle, message). */
-        std::deque<std::pair<Cycle, Ack>> acks;
+        RingQueue<std::pair<Cycle, Ack>> acks;
 
         LinkStats stats;
     };
@@ -335,14 +385,19 @@ class Channel
     /** Logical in-flight accounting (see flitsInFlight()). */
     int logicalInFlight_ = 0;
     std::vector<int> inFlightVc_;
-    std::deque<std::pair<Cycle, Flit>> flits_;
-    std::deque<std::pair<Cycle, VcId>> credits_;
+    RingQueue<std::pair<Cycle, Flit>> flits_;
+    RingQueue<std::pair<Cycle, VcId>> credits_;
     std::unique_ptr<Reliability> rel_;
 
     /** Observability (nullptr: tracing off — one dead branch per
      *  record site). */
     TraceSink *trace_ = nullptr;
     std::int32_t traceTrack_ = -1;
+
+    /** Active-set wake targets (nullptr: standalone channel). */
+    ActiveSet *sched_ = nullptr;
+    std::uint32_t upComp_ = 0;
+    std::uint32_t downComp_ = 0;
 };
 
 } // namespace fbfly

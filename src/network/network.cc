@@ -286,6 +286,31 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
         ejChannels_.push_back(ej);
     }
 
+    // Active-set scheduler wiring: routers are components [0, R),
+    // terminals [R, R + N).  Each channel wakes its endpoints when
+    // an arrival or retry timer becomes actionable; init() wakes
+    // everything for cycle 0 so initial state (pre-enqueued packets,
+    // cycle-0 faults) is observed.
+    active_.init(static_cast<std::size_t>(num_routers) +
+                 static_cast<std::size_t>(num_nodes));
+    for (std::size_t i = 0; i < numArcs_; ++i) {
+        channels_[i].setScheduler(
+            &active_, static_cast<std::uint32_t>(arcs_[i].src),
+            static_cast<std::uint32_t>(arcs_[i].dst));
+    }
+    for (NodeId n = 0; n < num_nodes; ++n) {
+        const auto tcomp =
+            static_cast<std::uint32_t>(num_routers + n);
+        terminals_[n].setScheduler(&active_, tcomp);
+        injChannels_[n]->setScheduler(
+            &active_, tcomp,
+            static_cast<std::uint32_t>(topo.injectionRouter(n)));
+        ejChannels_[n]->setScheduler(
+            &active_,
+            static_cast<std::uint32_t>(topo.ejectionRouter(n)),
+            tcomp);
+    }
+
     // Schedule fault activations.
     if (cfg.faults != nullptr) {
         const FaultModel &fm = *cfg.faults;
@@ -397,6 +422,12 @@ Network::churnReviveArc(std::size_t i)
     stats_.churnFlitsLost += loss.flits;
     stats_.churnPacketsLost += loss.packets;
     stats_.churnMeasuredLost += loss.measuredPackets;
+    // Churn losses fold straight into the aggregate drop counters
+    // (drop aggregation is incremental now; there is no end-of-cycle
+    // full sync to pick these up).
+    stats_.flitsDropped += loss.flits;
+    stats_.packetsUnreachable += loss.packets;
+    stats_.measuredDropped += loss.measuredPackets;
 
     // Recompute the upstream credit levels from ground truth so the
     // per-lane conservation invariant (credits + occupancy +
@@ -569,54 +600,86 @@ Network::applyChurn(Cycle now)
 }
 
 void
-Network::syncDropStats()
-{
-    std::uint64_t flits = 0, packets = 0, measured = 0;
-    for (const auto &r : routers_) {
-        flits += r.droppedFlits();
-        packets += r.droppedPackets();
-        measured += r.droppedMeasured();
-    }
-    stats_.flitsDropped = flits + stats_.churnFlitsLost;
-    stats_.packetsUnreachable = packets + stats_.churnPacketsLost;
-    stats_.measuredDropped = measured + stats_.churnMeasuredLost;
-}
-
-void
 Network::step()
 {
-    if (nextFault_ < faultSchedule_.size())
+    bool reconfigured = false;
+    if (nextFault_ < faultSchedule_.size()) {
+        const std::size_t first = nextFault_;
         applyFaults(now_);
-    if (cfg_.churn != nullptr)
+        reconfigured |= nextFault_ != first;
+    }
+    if (cfg_.churn != nullptr) {
+        const std::size_t first = nextService_;
         applyChurn(now_);
+        reconfigured |= nextService_ != first;
+    }
+    // A topology change can unblock, strand or re-expose work on any
+    // component (kills, revives, network-wide route invalidation),
+    // so the whole network re-examines itself this cycle.
+    if (reconfigured)
+        active_.wakeAllNext();
 
     const Cycle t = now_;
-    const std::uint64_t ejected0 = stats_.flitsEjected;
-    const std::uint64_t injected0 = stats_.flitsInjected;
-    const std::uint64_t dropped0 = stats_.flitsDropped;
+    const auto num_routers =
+        static_cast<std::uint32_t>(routers_.size());
+    const auto num_comps = static_cast<std::uint32_t>(
+        routers_.size() + terminals_.size());
 
-    for (auto &r : routers_)
-        r.receive(t);
-    for (auto &term : terminals_)
-        term.receive(t);
-    int moved = 0;
-    for (auto &r : routers_)
-        moved += r.routeAndTraverse(t, algo_);
-    for (auto &term : terminals_)
-        term.inject(t);
+    if (active_.beginCycle(t)) {
+        const std::uint64_t ejected0 = stats_.flitsEjected;
+        const std::uint64_t injected0 = stats_.flitsInjected;
+        const std::uint64_t dropped0 = stats_.flitsDropped;
 
-    // Unconditional: routing algorithms may drop packets as
-    // unreachable even without a fault schedule (misroute-budget
-    // exhaustion, pathological algorithms under test), and the
-    // harness's drain loop terminates on stats_.measuredDropped.
-    // Gating this on the fault schedule left those drops invisible —
-    // runs that should end kUnreachable reported kSaturated instead.
-    syncDropStats();
+        active_.forEachIn(0, num_routers, [&](std::uint32_t c) {
+            routers_[c].receive(t);
+        });
+        active_.forEachIn(
+            num_routers, num_comps, [&](std::uint32_t c) {
+                terminals_[c - num_routers].receive(t);
+            });
 
-    if (moved > 0 || stats_.flitsEjected != ejected0 ||
-        stats_.flitsInjected != injected0 ||
-        stats_.flitsDropped != dropped0) {
-        lastProgress_ = t;
+        // SwitchableRouting may flip the allocator discipline
+        // between cycles, so hoist the virtual sequential() call per
+        // cycle — never cache it across cycles.
+        algoSequential_ = algo_.sequential();
+        int moved = 0;
+        active_.forEachIn(0, num_routers, [&](std::uint32_t c) {
+            Router &r = routers_[c];
+            moved += r.routeAndTraverse(t, algo_, algoSequential_);
+            // Incremental drop aggregation: only routers that
+            // actually dropped sync their deltas, replacing the old
+            // unconditional full-router scan.  Still unconditional
+            // in effect: routing algorithms may drop packets as
+            // unreachable even without a fault schedule
+            // (misroute-budget exhaustion, pathological algorithms
+            // under test), and the harness's drain loop terminates
+            // on stats_.measuredDropped — drops land in the
+            // aggregate the same cycle they happen.
+            if (r.hasPendingDrops()) {
+                r.drainPendingDrops(stats_.flitsDropped,
+                                    stats_.packetsUnreachable,
+                                    stats_.measuredDropped);
+            }
+            // Buffered flits (blocked on credits, bandwidth or a
+            // dead port) keep their router runnable.
+            if (r.bufferedFlits() > 0)
+                active_.wakeNext(c);
+        });
+        active_.forEachIn(
+            num_routers, num_comps, [&](std::uint32_t c) {
+                Terminal &term = terminals_[c - num_routers];
+                term.inject(t);
+                // Queued or partially injected packets keep their
+                // terminal runnable.
+                if (term.sourceQueueLength() > 0 || term.midPacket())
+                    active_.wakeNext(c);
+            });
+
+        if (moved > 0 || stats_.flitsEjected != ejected0 ||
+            stats_.flitsInjected != injected0 ||
+            stats_.flitsDropped != dropped0) {
+            lastProgress_ = t;
+        }
     }
 
     ++now_;

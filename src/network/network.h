@@ -18,6 +18,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "network/active_set.h"
 #include "network/channel.h"
 #include "network/router.h"
 #include "network/terminal.h"
@@ -371,9 +372,6 @@ class Network
 
     /** @} */
 
-    /** Fold router drop counters into stats_. */
-    void syncDropStats();
-
     const Topology &topo_;
     RoutingAlgorithm &algo_;
     const TrafficPattern *pattern_;
@@ -418,6 +416,15 @@ class Network
 
     /** Forward-progress watermark. */
     Cycle lastProgress_ = 0;
+
+    /** Runnable-component scheduler: routers are components
+     *  [0, R), terminals [R, R + N).  Idle components are skipped
+     *  by step() (see src/network/active_set.h and DESIGN.md). */
+    ActiveSet active_;
+    /** algo_.sequential() hoisted once per cycle (SwitchableRouting
+     *  may change it between cycles, so it cannot be cached at
+     *  construction). */
+    bool algoSequential_ = false;
 
     /** Trace track ids of inter-router channels (empty when
      *  cfg_.trace is null). */

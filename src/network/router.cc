@@ -69,7 +69,10 @@ Router::receive(Cycle now)
     for (auto &ou : outputs_) {
         if (ou.channel == nullptr)
             continue;
-        ou.channel->tick(now);
+        if (ou.channel->needsTick(now))
+            ou.channel->tick(now);
+        if (!ou.channel->hasCreditArrival(now))
+            continue;
         while (auto vc = ou.channel->receiveCredit(now)) {
             FBFLY_ASSERT(*vc >= 0 && *vc < numVcs_, "credit VC range");
             ++ou.credits[*vc];
@@ -81,7 +84,7 @@ Router::receive(Cycle now)
     // Flits arrive on input channels.
     for (PortId p = 0; p < numPorts_; ++p) {
         Channel *ch = inputChannels_[p];
-        if (ch == nullptr)
+        if (ch == nullptr || !ch->hasFlitArrival(now))
             continue;
         while (auto f = ch->receiveFlit(now)) {
             FBFLY_ASSERT(f->vc >= 0 && f->vc < numVcs_,
@@ -103,7 +106,8 @@ Router::receive(Cycle now)
 }
 
 int
-Router::routeAndTraverse(Cycle now, RoutingAlgorithm &algo)
+Router::routeAndTraverse(Cycle now, RoutingAlgorithm &algo,
+                         bool sequential)
 {
     // "Sufficient switch speedup": alternate routing and allocation
     // until the switch makes no further progress this cycle.  Output
@@ -111,7 +115,7 @@ Router::routeAndTraverse(Cycle now, RoutingAlgorithm &algo)
     // link bandwidth is respected while input buffers drain freely.
     int moved = 0;
     for (;;) {
-        moved += routePass(now, algo);
+        moved += routePass(now, algo, sequential);
         const int granted = allocatePass(now);
         if (granted == 0)
             break;
@@ -126,10 +130,14 @@ Router::accountDrop(const Flit &f, int unit, Cycle now)
     FBFLY_TRACE(trace_, TraceEventType::kDrop, now, traceTrack_, f);
     --bufferedFlits_;
     ++droppedFlits_;
+    ++pendingDropFlits_;
     if (f.tail) {
         ++droppedPackets_;
-        if (f.measured)
+        ++pendingDropPackets_;
+        if (f.measured) {
             ++droppedMeasured_;
+            ++pendingDropMeasured_;
+        }
     }
     // The freed buffer slot's credit goes back upstream as usual.
     const PortId in_port = unit / numVcs_;
@@ -139,7 +147,7 @@ Router::accountDrop(const Flit &f, int unit, Cycle now)
 }
 
 int
-Router::routePass(Cycle now, RoutingAlgorithm &algo)
+Router::routePass(Cycle now, RoutingAlgorithm &algo, bool sequential)
 {
     int dropped = 0;
 
@@ -199,7 +207,7 @@ Router::routePass(Cycle now, RoutingAlgorithm &algo)
                                   needRoute_.end(), start);
     std::rotate(needRoute_.begin(), pivot, needRoute_.end());
 
-    const bool seq = algo.sequential();
+    const bool seq = sequential;
     deferredCommits_.clear();
 
     auto decide = [&](Flit &head) -> RouteDecision {

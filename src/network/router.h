@@ -101,8 +101,21 @@ class Router
      *
      * @return flits that made progress this cycle (switch traversals
      *         plus drops) — the forward-progress watchdog's signal.
+     *
+     * @param sequential the algorithm's allocator discipline,
+     *        hoisted by the caller (the kernel resolves the virtual
+     *        `algo.sequential()` once per cycle instead of once per
+     *        router; see Network::step).
      */
-    int routeAndTraverse(Cycle now, RoutingAlgorithm &algo);
+    int routeAndTraverse(Cycle now, RoutingAlgorithm &algo,
+                         bool sequential);
+
+    /** Convenience overload resolving the allocator discipline from
+     *  @p algo (unit tests drive routers cycle by cycle). */
+    int routeAndTraverse(Cycle now, RoutingAlgorithm &algo)
+    {
+        return routeAndTraverse(now, algo, algo.sequential());
+    }
 
     /** @} */
 
@@ -155,6 +168,23 @@ class Router
     std::uint64_t droppedPackets() const { return droppedPackets_; }
     /** Dropped packets that belonged to the measurement sample. */
     std::uint64_t droppedMeasured() const { return droppedMeasured_; }
+
+    /** Drops not yet folded into the network-wide stats. */
+    bool hasPendingDrops() const { return pendingDropFlits_ != 0; }
+
+    /** Move the not-yet-aggregated drop deltas into the caller's
+     *  counters (incremental replacement for the old full-router
+     *  scan; see Network::step). */
+    void drainPendingDrops(std::uint64_t &flits, std::uint64_t &packets,
+                           std::uint64_t &measured)
+    {
+        flits += pendingDropFlits_;
+        packets += pendingDropPackets_;
+        measured += pendingDropMeasured_;
+        pendingDropFlits_ = 0;
+        pendingDropPackets_ = 0;
+        pendingDropMeasured_ = 0;
+    }
 
     /** @} */
 
@@ -216,7 +246,7 @@ class Router
 
     /** One routing pass over unrouted heads; returns flits dropped
      *  (unreachable packets / wormhole truncation). */
-    int routePass(Cycle now, RoutingAlgorithm &algo);
+    int routePass(Cycle now, RoutingAlgorithm &algo, bool sequential);
 
     /** One allocation pass; returns the number of flits granted. */
     int allocatePass(Cycle now);
@@ -276,6 +306,11 @@ class Router
     std::uint64_t droppedFlits_ = 0;
     std::uint64_t droppedPackets_ = 0;
     std::uint64_t droppedMeasured_ = 0;
+    /** Deltas since the Network last drained them (incremental
+     *  aggregation — the kernel only syncs routers that dropped). */
+    std::uint64_t pendingDropFlits_ = 0;
+    std::uint64_t pendingDropPackets_ = 0;
+    std::uint64_t pendingDropMeasured_ = 0;
 
     /** Observability (nullptr: tracing off — one dead branch per
      *  record site). */

@@ -23,20 +23,25 @@ Terminal::enqueuePacket(Cycle create_time, NodeId dst, bool measured)
     ++parent_->stats().pendingPackets;
     if (measured)
         ++parent_->stats().measuredCreated;
+    if (sched_ != nullptr)
+        sched_->wakeNext(comp_);
 }
 
 void
 Terminal::receive(Cycle now)
 {
     if (toRouter_ != nullptr) {
-        toRouter_->tick(now);
-        while (auto vc = toRouter_->receiveCredit(now)) {
-            FBFLY_ASSERT(*vc >= 0 && *vc < numVcs_,
-                         "terminal credit VC range");
-            ++credits_[*vc];
+        if (toRouter_->needsTick(now))
+            toRouter_->tick(now);
+        if (toRouter_->hasCreditArrival(now)) {
+            while (auto vc = toRouter_->receiveCredit(now)) {
+                FBFLY_ASSERT(*vc >= 0 && *vc < numVcs_,
+                             "terminal credit VC range");
+                ++credits_[*vc];
+            }
         }
     }
-    if (fromRouter_ == nullptr)
+    if (fromRouter_ == nullptr || !fromRouter_->hasFlitArrival(now))
         return;
     while (auto f = fromRouter_->receiveFlit(now)) {
         FBFLY_ASSERT(f->dst == id_, "flit for node ", f->dst,

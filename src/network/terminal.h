@@ -101,6 +101,16 @@ class Terminal
         traceTrack_ = track;
     }
 
+    /** Attach the kernel's scheduler; @p comp is this terminal's
+     *  component id in it (nullptr: standalone terminal in tests).
+     *  Enqueuing a packet then wakes the terminal so the kernel's
+     *  inject phase sees it next cycle. */
+    void setScheduler(ActiveSet *sched, std::uint32_t comp)
+    {
+        sched_ = sched;
+        comp_ = comp;
+    }
+
   private:
     struct Pending
     {
@@ -132,6 +142,10 @@ class Terminal
      *  record site). */
     TraceSink *trace_ = nullptr;
     std::int32_t traceTrack_ = -1;
+
+    /** Active-set wake target (nullptr: standalone terminal). */
+    ActiveSet *sched_ = nullptr;
+    std::uint32_t comp_ = 0;
 };
 
 } // namespace fbfly

@@ -72,6 +72,7 @@ Histogram::Histogram(std::size_t num_buckets, std::size_t max_buckets)
                                        std::max<std::size_t>(
                                            max_buckets, 1)),
                0),
+      initialBuckets_(buckets_.size()),
       maxBuckets_(std::max<std::size_t>(max_buckets, 1))
 {
 }
@@ -100,7 +101,16 @@ Histogram::add(std::uint64_t x)
 void
 Histogram::reset()
 {
-    std::fill(buckets_.begin(), buckets_.end(), 0);
+    if (buckets_.size() > initialBuckets_) {
+        // Release geometrically-grown storage, not just the counts:
+        // one latency outlier otherwise pins megabytes of buckets
+        // for the rest of a sweep.  Swapping in a fresh vector
+        // actually frees the memory (shrink_to_fit is advisory).
+        std::vector<std::uint64_t>(initialBuckets_, 0)
+            .swap(buckets_);
+    } else {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+    }
     count_ = 0;
     overflow_ = 0;
     maxSample_ = 0;

@@ -104,7 +104,10 @@ class Histogram
     /** Record one sample. */
     void add(std::uint64_t x);
 
-    /** Discard all samples (bucket capacity is retained). */
+    /** Discard all samples.  Buckets grown past the construction
+     *  size are released back to the allocator (a single latency
+     *  outlier must not pin megabytes of counters across
+     *  measurement windows). */
     void reset();
 
     std::uint64_t count() const { return count_; }
@@ -138,6 +141,8 @@ class Histogram
 
   private:
     std::vector<std::uint64_t> buckets_;
+    /** Construction-time bucket count; reset() shrinks back to it. */
+    std::size_t initialBuckets_;
     std::size_t maxBuckets_;
     std::uint64_t count_ = 0;
     /** Samples >= maxBuckets_. */

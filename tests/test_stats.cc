@@ -234,5 +234,33 @@ TEST(Histogram, ResetClears)
     EXPECT_EQ(h.bucket(3), 0u);
 }
 
+TEST(Histogram, ResetReleasesGrownBuckets)
+{
+    // Regression: reset() used to zero the counters but keep the
+    // geometrically-grown bucket array, so one latency outlier in an
+    // early measurement window pinned megabytes of counters for the
+    // rest of a sweep.  Reset must shrink back to the construction
+    // size (and stay exact afterwards).
+    Histogram h(16);
+    h.add(5000); // grows well past the initial 16 buckets
+    EXPECT_GE(h.numBuckets(), 5001u);
+    h.reset();
+    EXPECT_EQ(h.numBuckets(), 16u);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.maxSample(), 0u);
+    // Still fully functional after the shrink, including re-growth.
+    h.add(3);
+    h.add(40);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(40), 1u);
+    EXPECT_EQ(h.percentile(1.0), 40u);
+
+    // A histogram that never grew keeps its array across resets.
+    Histogram small(8);
+    small.add(2);
+    small.reset();
+    EXPECT_EQ(small.numBuckets(), 8u);
+}
+
 } // namespace
 } // namespace fbfly

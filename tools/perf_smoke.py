@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Perf smoke check: compare a fresh micro_kernel run to the
+committed baseline.
+
+Usage: perf_smoke.py CURRENT.json [BASELINE.json]
+
+Reads the serial step-loop rates (``step_rate_cycles_per_sec_*``
+metadata keys of the fbfly-sweep-v1 document) from both files and
+fails when any load point of the current run falls below
+``THRESHOLD`` times the committed baseline.
+
+The committed baseline (BENCH_micro_kernel.json) is recorded on a
+quiet dedicated machine; CI runners are slower and noisy, so the
+threshold is deliberately generous — this is a parachute against
+order-of-magnitude regressions (e.g. the active-set kernel silently
+degrading to a full per-cycle scan), not a precision gate.  Track
+fine-grained trends via the uploaded JSON artifacts instead.
+"""
+
+import json
+import sys
+
+THRESHOLD = 0.35  # fail below 35% of the committed baseline
+
+
+def step_rates(path):
+    with open(path) as f:
+        doc = json.load(f)
+    meta = doc.get("metadata", {})
+    rates = {
+        key: float(value)
+        for key, value in meta.items()
+        if key.startswith("step_rate_cycles_per_sec_")
+    }
+    if not rates:
+        sys.exit(f"error: no step_rate metadata in {path}")
+    return rates
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        sys.exit(f"usage: {argv[0]} CURRENT.json [BASELINE.json]")
+    current = step_rates(argv[1])
+    baseline = step_rates(
+        argv[2] if len(argv) == 3 else "BENCH_micro_kernel.json")
+
+    failures = []
+    for key, base in sorted(baseline.items()):
+        if key not in current:
+            failures.append(f"{key}: missing from current run")
+            continue
+        cur = current[key]
+        ratio = cur / base if base > 0 else float("inf")
+        status = "ok" if ratio >= THRESHOLD else "FAIL"
+        print(f"{status:>4}  {key}: {cur:.0f} vs baseline "
+              f"{base:.0f} ({ratio:.2f}x, floor {THRESHOLD}x)")
+        if ratio < THRESHOLD:
+            failures.append(
+                f"{key}: {cur:.0f} < {THRESHOLD} * {base:.0f}")
+    if failures:
+        print("\nperf smoke FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nperf smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
