@@ -144,9 +144,16 @@ runChurnPoint(const FlattenedButterfly &topo,
     // batches), for the record's `offered` field.
     double offeredSum = 0.0;
 
+    // Liveness bookkeeping (sim/liveness.h).
+    std::vector<StallDiagnosis> diags;
+    std::vector<RecoveryReport> recs;
+
     const auto fillObserved = [&](bool drained) {
         const NetworkStats &st = net.stats();
         LoadPointResult &r = res.load;
+        r.recoveries = static_cast<int>(recs.size());
+        if (!diags.empty())
+            r.liveness = livenessJson(cfg.liveness, diags, recs);
         r.measuredPackets = st.measuredEjected;
         r.measuredDropped = st.measuredDropped;
         r.flitsDropped = st.flitsDropped;
@@ -261,6 +268,8 @@ runChurnPoint(const FlattenedButterfly &topo,
                                 std::uint64_t ej1) {
         res.load.status = LoadPointStatus::kStalled;
         res.load.diagnostics = net.stallDump();
+        if (!diags.empty())
+            res.load.diagnostics += "\n" + diags.back().summary();
         res.load.saturated = true;
         fillObserved(false);
         if (measure_complete) {
@@ -270,6 +279,42 @@ runChurnPoint(const FlattenedButterfly &topo,
                  static_cast<double>(cfg.horizonCycles));
         }
         return res;
+    };
+
+    // Stall handling after each service cycle: diagnose, attempt the
+    // configured recovery, abort only when recovery cannot help (see
+    // the twin in runLoadPoint).
+    enum class LivenessOutcome
+    {
+        kContinue,
+        kAbort,
+    };
+    const auto livenessTick = [&]() -> LivenessOutcome {
+        const LivenessConfig &lcfg = cfg.liveness;
+        const bool fired = net.stalled();
+        bool sampled = false;
+        if (!fired) {
+            if (lcfg.samplePeriod == 0 || net.quiescent())
+                return LivenessOutcome::kContinue;
+            const Cycle idle = net.now() - net.lastProgressCycle();
+            if (idle == 0 || idle % lcfg.samplePeriod != 0)
+                return LivenessOutcome::kContinue;
+            sampled = true;
+        }
+        StallDiagnosis diag = analyzeStall(net);
+        if (sampled && diag.cls != StallClass::kDeadlock)
+            return LivenessOutcome::kContinue;
+        diags.push_back(std::move(diag));
+        if (lcfg.policy == RecoveryPolicy::kAbort ||
+            static_cast<int>(recs.size()) >= lcfg.maxRecoveries)
+            return LivenessOutcome::kAbort;
+        const RecoveryReport rep =
+            applyRecovery(net, diags.back(), lcfg.policy);
+        recs.push_back(rep);
+        if (!rep.acted() &&
+            diags.back().cls != StallClass::kKernelBug)
+            return LivenessOutcome::kAbort;
+        return LivenessOutcome::kContinue;
     };
 
     // One cycle of the service loop: shaped injection, churn-aware
@@ -350,7 +395,7 @@ runChurnPoint(const FlattenedButterfly &topo,
     // Unmeasured warm-up under the load shape (churn already live).
     for (Cycle c = 0; c < warmup; ++c) {
         serviceCycle(false);
-        if (net.stalled())
+        if (livenessTick() == LivenessOutcome::kAbort)
             return stalledOut(false, 0, 0);
     }
 
@@ -358,7 +403,7 @@ runChurnPoint(const FlattenedButterfly &topo,
     const std::uint64_t ejected0 = net.stats().flitsEjected;
     for (Cycle c = 0; c < cfg.horizonCycles; ++c) {
         serviceCycle(true);
-        if (net.stalled())
+        if (livenessTick() == LivenessOutcome::kAbort)
             return stalledOut(false, 0, 0);
     }
     const std::uint64_t ejected1 = net.stats().flitsEjected;
@@ -376,7 +421,7 @@ runChurnPoint(const FlattenedButterfly &topo,
             break;
         }
         serviceCycle(false);
-        if (net.stalled())
+        if (livenessTick() == LivenessOutcome::kAbort)
             return stalledOut(true, ejected0, ejected1);
     }
 
@@ -397,6 +442,8 @@ runChurnPoint(const FlattenedButterfly &topo,
     res.load.saturated = saturated;
     if (saturated)
         res.load.status = LoadPointStatus::kSaturated;
+    else if (!recs.empty())
+        res.load.status = LoadPointStatus::kDeadlockRecovered;
     else if (net.stats().measuredDropped > 0)
         res.load.status = LoadPointStatus::kUnreachable;
     else

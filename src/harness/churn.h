@@ -116,6 +116,13 @@ struct ChurnRunConfig
     /** Observability collection (metrics are force-enabled when
      *  epochCycles > 0 — the adaptor reads them). */
     ObsConfig obs;
+
+    /** Stall diagnosis & recovery (sim/liveness.h).  Churn runs
+     *  default to kEscapeDrain: repairs already re-decide routes, so
+     *  a lossless re-decide is the natural first response to a
+     *  watchdog fire, and the classifier escalates a genuine cyclic
+     *  deadlock through the same reporting path. */
+    LivenessConfig liveness{RecoveryPolicy::kEscapeDrain};
 };
 
 /**

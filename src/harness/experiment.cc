@@ -27,6 +27,8 @@ toString(LoadPointStatus s)
         return "stalled";
     case LoadPointStatus::kInvalidConfig:
         return "invalid-config";
+    case LoadPointStatus::kDeadlockRecovered:
+        return "deadlock-recovered";
     }
     return "?";
 }
@@ -82,6 +84,11 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
 
     BernoulliInjection inj(offered, netcfg.packetSize,
                            expcfg.seed ^ 0x496e6a65637431ULL);
+
+    // Liveness bookkeeping: every diagnosis made and every recovery
+    // applied during this run (sim/liveness.h).
+    std::vector<StallDiagnosis> diags;
+    std::vector<RecoveryReport> recs;
 
     // Copy the counters and whatever statistics are backed by real
     // observations into res; fields with no observation keep their
@@ -165,6 +172,10 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
                                         ? st.hops.mean()
                                         : LoadPointResult::kUnknown);
         }
+        res.recoveries = static_cast<int>(recs.size());
+        if (!diags.empty())
+            res.liveness =
+                livenessJson(expcfg.liveness, diags, recs);
         res.trace = sink;
         res.metrics = metrics;
     };
@@ -175,6 +186,8 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
                                 std::uint64_t ej0, std::uint64_t ej1) {
         res.status = LoadPointStatus::kStalled;
         res.diagnostics = net.stallDump();
+        if (!diags.empty())
+            res.diagnostics += "\n" + diags.back().summary();
         res.saturated = true; // no labeled packet will ever leave
         fillObserved(false);
         if (measure_complete) {
@@ -186,12 +199,55 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
         return res;
     };
 
+    // Stall handling after each step.  Returns kContinue when nothing
+    // is wrong (or a recovery unblocked the network) and kAbort when
+    // the run must end as kStalled.
+    enum class LivenessOutcome
+    {
+        kContinue,
+        kAbort,
+    };
+    const auto livenessTick = [&]() -> LivenessOutcome {
+        const LivenessConfig &lcfg = expcfg.liveness;
+        const bool fired = net.stalled();
+        // Optional early sampling: diagnose before the watchdog
+        // horizon, but only *act* on a definite cyclic deadlock (a
+        // slow network is not a stalled one).
+        bool sampled = false;
+        if (!fired) {
+            if (lcfg.samplePeriod == 0 || net.quiescent())
+                return LivenessOutcome::kContinue;
+            const Cycle idle = net.now() - net.lastProgressCycle();
+            if (idle == 0 || idle % lcfg.samplePeriod != 0)
+                return LivenessOutcome::kContinue;
+            sampled = true;
+        }
+        StallDiagnosis diag = analyzeStall(net);
+        if (sampled && diag.cls != StallClass::kDeadlock)
+            return LivenessOutcome::kContinue;
+        diags.push_back(std::move(diag));
+        if (lcfg.policy == RecoveryPolicy::kAbort ||
+            static_cast<int>(recs.size()) >= lcfg.maxRecoveries)
+            return LivenessOutcome::kAbort;
+        const RecoveryReport rep =
+            applyRecovery(net, diags.back(), lcfg.policy);
+        recs.push_back(rep);
+        // A kernel-bug recovery "acts" by re-waking everything in
+        // restartAfterRecovery(); anything else that neither killed
+        // a victim nor re-decided a route cannot have unblocked the
+        // network, so give up rather than spin until maxRecoveries.
+        if (!rep.acted() &&
+            diags.back().cls != StallClass::kKernelBug)
+            return LivenessOutcome::kAbort;
+        return LivenessOutcome::kContinue;
+    };
+
     // Warm up under load without labeling.
     for (int c = 0; c < expcfg.warmupCycles; ++c) {
         inj.tick(net, false);
         net.step();
         obsTick();
-        if (net.stalled())
+        if (livenessTick() == LivenessOutcome::kAbort)
             return stalledOut(false, 0, 0);
     }
 
@@ -202,7 +258,7 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
         inj.tick(net, true);
         net.step();
         obsTick();
-        if (net.stalled())
+        if (livenessTick() == LivenessOutcome::kAbort)
             return stalledOut(false, 0, 0);
     }
     const std::uint64_t ejected1 = net.stats().flitsEjected;
@@ -222,7 +278,7 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
         inj.tick(net, false);
         net.step();
         obsTick();
-        if (net.stalled())
+        if (livenessTick() == LivenessOutcome::kAbort)
             return stalledOut(true, ejected0, ejected1);
     }
 
@@ -233,6 +289,11 @@ runLoadPoint(const Topology &topo, RoutingAlgorithm &algo,
     res.saturated = saturated;
     if (saturated)
         res.status = LoadPointStatus::kSaturated;
+    else if (!recs.empty())
+        // Recovery unblocked the run and it completed; this takes
+        // precedence over kUnreachable, which the killed victims'
+        // measuredDropped would otherwise trigger.
+        res.status = LoadPointStatus::kDeadlockRecovered;
     else if (net.stats().measuredDropped > 0)
         res.status = LoadPointStatus::kUnreachable;
     else

@@ -31,6 +31,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/delivery_oracle.h"
+#include "sim/liveness.h"
 
 namespace fbfly
 {
@@ -92,6 +93,12 @@ struct ExperimentConfig
     /** Observability collection (off by default: tracing costs one
      *  dead branch per record site, metrics cost nothing). */
     ObsConfig obs;
+
+    /** Stall diagnosis & recovery (sim/liveness.h).  The default
+     *  (kAbort) keeps the pre-liveness behavior — a watchdog fire
+     *  ends the run as kStalled — but the dump now carries the
+     *  classified diagnosis. */
+    LivenessConfig liveness;
 };
 
 /**
@@ -115,6 +122,12 @@ enum class LoadPointStatus
     /** Network::validate() rejected the configuration before the
      *  run; diagnostics holds the validation report. */
     kInvalidConfig,
+    /** The run stalled at least once but liveness recovery (see
+     *  ExperimentConfig::liveness) unblocked it and the run then
+     *  completed.  `liveness` holds the structured diagnosis; killed
+     *  victims are counted in measuredDropped / flitsDropped and in
+     *  the oracle's expected losses. */
+    kDeadlockRecovered,
 };
 
 /** Short human-readable name of a status ("delivered", ...). */
@@ -164,9 +177,16 @@ struct LoadPointResult
     std::uint64_t measuredDropped = 0;
     /** Total flits dropped over the whole run. */
     std::uint64_t flitsDropped = 0;
-    /** Stall dump (kStalled) or validation report (kInvalidConfig);
-     *  empty otherwise. */
+    /** Stall dump + liveness diagnosis (kStalled) or validation
+     *  report (kInvalidConfig); empty otherwise. */
     std::string diagnostics;
+
+    /** Liveness recovery attempts applied during the run. */
+    int recoveries = 0;
+    /** Pre-serialized fbfly-sweep-v1 `"liveness": {...}` fragment
+     *  (sim/liveness.h livenessJson()); empty when the run never
+     *  stalled. */
+    std::string liveness;
 
     /** Link-layer reliability counters summed over all inter-router
      *  channels (all zero when the retry protocol is off). */

@@ -170,6 +170,10 @@ writePoint(std::ostringstream &os, const SweepPointRecord &rec)
         os << ", \"metrics\": ";
         r.metrics->writeJson(os);
     }
+    // Liveness extension: present only when the run diagnosed at
+    // least one stall (sim/liveness.h livenessJson()).
+    if (!r.liveness.empty())
+        os << ", " << r.liveness;
     // Kind-specific extension block (e.g. the churn object of a
     // dynamic-service point) — pre-serialized by the harness.
     if (!rec.extraJson.empty())

@@ -37,7 +37,6 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -65,7 +64,7 @@ class ActiveSet
         cur_.assign(words, 0);
         next_.assign(words, 0);
         lastAt_.assign(n, kNeverQueued);
-        timers_ = {};
+        timers_.clear();
         nextCycle_ = 0;
         wakeAllNext();
     }
@@ -104,7 +103,9 @@ class ActiveSet
         if (lastAt_[c] == at)
             return; // identical timer already queued
         lastAt_[c] = at;
-        timers_.emplace(at, c);
+        timers_.emplace_back(at, c);
+        std::push_heap(timers_.begin(), timers_.end(),
+                       std::greater<>{});
     }
 
     /**
@@ -122,9 +123,11 @@ class ActiveSet
                      t, " but expected ", nextCycle_);
         cur_.swap(next_);
         std::fill(next_.begin(), next_.end(), 0);
-        while (!timers_.empty() && timers_.top().first <= t) {
-            const std::uint32_t c = timers_.top().second;
-            timers_.pop();
+        while (!timers_.empty() && timers_.front().first <= t) {
+            const std::uint32_t c = timers_.front().second;
+            std::pop_heap(timers_.begin(), timers_.end(),
+                          std::greater<>{});
+            timers_.pop_back();
             if (lastAt_[c] <= t)
                 lastAt_[c] = kNeverQueued;
             cur_[c >> 6] |= std::uint64_t{1} << (c & 63);
@@ -164,18 +167,89 @@ class ActiveSet
         }
     }
 
-  private:
+    // ------------------------------------------------------------------
+    // Introspection (liveness classifier, wake-contract verifier,
+    // stall dumps).  None of these mutate scheduling state.
+
+    /** The cycle the next beginCycle() will serve. */
+    Cycle nextCycle() const { return nextCycle_; }
+
+    /** Was component @p c runnable in the most recent beginCycle()? */
+    bool activeNow(std::uint32_t c) const
+    {
+        return (cur_[c >> 6] >> (c & 63)) & 1;
+    }
+
+    /** Is component @p c already woken for the next cycle? */
+    bool queuedNext(std::uint32_t c) const
+    {
+        return (next_[c >> 6] >> (c & 63)) & 1;
+    }
+
+    /** Does component @p c hold any not-yet-due heap timer?  Linear
+     *  in the heap size — diagnosis-path only, not the hot path. */
+    bool timerPending(std::uint32_t c) const
+    {
+        for (const auto &[at, comp] : timers_)
+            if (comp == c)
+                return true;
+        return false;
+    }
+
+    /** Any wake (next-cycle bit or heap timer) pending for @p c? */
+    bool anyWakePending(std::uint32_t c) const
+    {
+        return queuedNext(c) || timerPending(c);
+    }
+
+    /** Number of queued heap timers (duplicates included). */
+    std::size_t timerCount() const { return timers_.size(); }
+
+    /** Earliest queued timer deadline, or kNeverQueued when none. */
+    Cycle nextTimerDeadline() const
+    {
+        return timers_.empty() ? kNeverQueued : timers_.front().first;
+    }
+
+    /** Visit every component woken for the next cycle, ascending. */
+    template <typename F>
+    void forEachQueuedNext(F &&f) const
+    {
+        for (std::size_t w = 0; w < next_.size(); ++w) {
+            std::uint64_t bits = next_[w];
+            while (bits != 0) {
+                const int b = std::countr_zero(bits);
+                bits &= bits - 1;
+                f(static_cast<std::uint32_t>((w << 6) + b));
+            }
+        }
+    }
+
+    /**
+     * Remove component @p c from the *current* cycle's runnable set.
+     * Debug/test hook (Network::debugSuppressComponent) used to
+     * inject a missed wake: the component's work is stranded exactly
+     * as a lost wake would strand it, which the liveness classifier
+     * must then diagnose as a kernel bug.
+     */
+    void deactivate(std::uint32_t c)
+    {
+        cur_[c >> 6] &= ~(std::uint64_t{1} << (c & 63));
+    }
+
+    /** Sentinel deadline: "no timer queued". */
     static constexpr Cycle kNeverQueued = ~Cycle{0};
 
+  private:
     std::vector<std::uint64_t> cur_;
     std::vector<std::uint64_t> next_;
     /** Last cycle queued in the heap per component (duplicate
      *  suppression for repeated same-deadline wakes). */
     std::vector<Cycle> lastAt_;
-    std::priority_queue<std::pair<Cycle, std::uint32_t>,
-                        std::vector<std::pair<Cycle, std::uint32_t>>,
-                        std::greater<>>
-        timers_;
+    /** Min-heap by (deadline, component) over a flat vector (std
+     *  heap algorithms) so diagnosis code can enumerate pending
+     *  timers; pop order is identical to the former priority_queue. */
+    std::vector<std::pair<Cycle, std::uint32_t>> timers_;
     /** The cycle the next beginCycle() will serve. */
     Cycle nextCycle_ = 0;
     std::size_t n_ = 0;

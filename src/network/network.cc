@@ -1,8 +1,10 @@
 #include "network/network.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <sstream>
+#include <string_view>
 
 #include "common/log.h"
 #include "fault/churn_model.h"
@@ -357,6 +359,14 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
         applyFaults(0);
     if (cfg.churn != nullptr)
         applyChurn(0);
+
+    // Shadow-kernel wake-contract verifier: the config flag, or the
+    // FBFLY_VERIFY_WAKES environment variable (any value but "0")
+    // to force it on process-wide — e.g. across a whole CI test run.
+    verifyWakes_ = cfg.verifyWakeContract;
+    if (const char *env = std::getenv("FBFLY_VERIFY_WAKES");
+        env != nullptr && std::string_view(env) != "0")
+        verifyWakes_ = true;
 }
 
 void
@@ -625,7 +635,18 @@ Network::step()
     const auto num_comps = static_cast<std::uint32_t>(
         routers_.size() + terminals_.size());
 
-    if (active_.beginCycle(t)) {
+    const bool anyActive = active_.beginCycle(t);
+    // Test hook: components with debug-suppressed wakes drop out of
+    // the runnable set every cycle, stranding their work the way a
+    // genuine missed wake would (sim/liveness.h kernel-bug tests).
+    for (const std::uint32_t c : suppressed_)
+        active_.deactivate(c);
+    // The shadow verifier runs even on idle cycles: an all-idle
+    // ActiveSet with actionable work somewhere is the worst miss.
+    if (verifyWakes_)
+        verifyWakes(t);
+
+    if (anyActive) {
         const std::uint64_t ejected0 = stats_.flitsEjected;
         const std::uint64_t injected0 = stats_.flitsInjected;
         const std::uint64_t dropped0 = stats_.flitsDropped;
@@ -721,6 +742,38 @@ Network::stallDump(int max_flits) const
        << " dropped=" << stats_.flitsDropped
        << " pendingPackets=" << stats_.pendingPackets
        << " lastProgress=" << lastProgress_ << "\n";
+
+    // Kernel scheduler state: which components are woken for the
+    // next cycle and what timed wakes remain.  A stall with pending
+    // work and an empty wake set is a kernel bug, not a protocol
+    // deadlock (see sim/liveness.h).
+    const std::size_t num_routers = routers_.size();
+    os << "active-set: nextCycle=" << active_.nextCycle()
+       << " wake-heap=" << active_.timerCount();
+    if (active_.timerCount() > 0)
+        os << " nextDeadline=" << active_.nextTimerDeadline();
+    if (!suppressed_.empty()) {
+        os << " suppressed:";
+        for (const std::uint32_t c : suppressed_)
+            os << ' ' << c;
+    }
+    os << "\n  queued-next:";
+    int queued = 0;
+    active_.forEachQueuedNext([&](std::uint32_t c) {
+        constexpr int kMaxListed = 64;
+        if (queued < kMaxListed) {
+            if (c < num_routers)
+                os << " r" << c;
+            else
+                os << " t" << (c - num_routers);
+        } else if (queued == kMaxListed) {
+            os << " ...";
+        }
+        ++queued;
+    });
+    if (queued == 0)
+        os << " (none)";
+    os << " (" << queued << " components)\n";
 
     int shown = 0;
     for (const auto &r : routers_) {
@@ -882,6 +935,84 @@ Network::drawDest(NodeId src, Rng &rng) const
     FBFLY_ASSERT(pattern_ != nullptr,
                  "packet without destination and no traffic pattern");
     return pattern_->dest(src, rng);
+}
+
+bool
+Network::componentHasActionableWork(std::uint32_t c, Cycle at) const
+{
+    const auto num_routers =
+        static_cast<std::uint32_t>(routers_.size());
+    if (c < num_routers)
+        return routers_[c].hasActionableWork(at);
+    return terminals_[c - num_routers].hasActionableWork(at);
+}
+
+void
+Network::verifyWakes(Cycle t)
+{
+    ++wakeChecks_;
+    if (wakeDivergence_.has_value())
+        return; // report the first divergence only
+    const auto num_routers =
+        static_cast<std::uint32_t>(routers_.size());
+    const auto n = static_cast<std::uint32_t>(active_.size());
+    for (std::uint32_t c = 0; c < n; ++c) {
+        if (active_.activeNow(c) ||
+            !componentHasActionableWork(c, t))
+            continue;
+        const bool injected =
+            std::find(suppressed_.begin(), suppressed_.end(), c) !=
+            suppressed_.end();
+        wakeDivergence_ = WakeDivergence{c, t, injected};
+        // A genuine missed wake is a kernel bug — work lost forever.
+        // Injected misses (debugSuppressComponent) are recorded for
+        // the liveness tests without aborting.
+        FBFLY_ASSERT(injected,
+                     "wake contract violated at cycle ", t,
+                     ": component ", c,
+                     c < num_routers ? " (router " : " (terminal ",
+                     c < num_routers ? c : c - num_routers,
+                     ") has actionable work but was not scheduled");
+        return;
+    }
+}
+
+void
+Network::restartAfterRecovery()
+{
+    // Fold the kill accounting into the aggregate immediately: the
+    // harness reads stats (and reports expected losses to the
+    // delivery oracle) between steps, and checkInvariants() charges
+    // drops against flit conservation from this cycle on.
+    for (auto &r : routers_) {
+        if (r.hasPendingDrops())
+            r.drainPendingDrops(stats_.flitsDropped,
+                                stats_.packetsUnreachable,
+                                stats_.measuredDropped);
+    }
+    lastProgress_ = now_;
+    // Freed credits, re-exposed routes and truncated remainders can
+    // unblock any component; everything re-examines itself.
+    active_.wakeAllNext();
+}
+
+void
+Network::debugSuppressComponent(std::uint32_t c)
+{
+    FBFLY_ASSERT(c < active_.size(),
+                 "debugSuppressComponent range: ", c);
+    if (std::find(suppressed_.begin(), suppressed_.end(), c) ==
+        suppressed_.end())
+        suppressed_.push_back(c);
+}
+
+void
+Network::debugClearSuppressed()
+{
+    suppressed_.clear();
+    // The stranded components never ran, so their self-sustain wakes
+    // never fired; re-wake everything so they resume.
+    active_.wakeAllNext();
 }
 
 } // namespace fbfly

@@ -13,6 +13,7 @@
 #define FBFLY_NETWORK_NETWORK_H
 
 #include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -124,6 +125,34 @@ struct NetworkConfig
      * terminal, in that order, at construction.
      */
     TraceSink *trace = nullptr;
+
+    /**
+     * Shadow-kernel wake-contract verifier: every cycle, diff "who
+     * would have done work under the pre-active-set full-tick loop"
+     * (Router/Terminal::hasActionableWork) against the ActiveSet and
+     * panic on the first missed wake — a component with actionable
+     * work the kernel did not schedule.  Turns the active-set
+     * rewrite's correctness argument into an enforced runtime
+     * invariant, at full-loop cost (debug/CI use; the FBFLY_VERIFY_WAKES
+     * environment variable force-enables it process-wide).
+     */
+    bool verifyWakeContract = false;
+};
+
+/**
+ * First wake-contract divergence seen by the shadow-kernel verifier:
+ * a component that the pre-rewrite full-tick loop would have run but
+ * the ActiveSet did not schedule.
+ */
+struct WakeDivergence
+{
+    /** Component id (routers [0, R), terminals [R, R + N)). */
+    std::uint32_t component = 0;
+    /** Cycle the missed wake was detected. */
+    Cycle cycle = 0;
+    /** True when the miss was injected via debugSuppressComponent()
+     *  (test hook) rather than a genuine kernel bug. */
+    bool injected = false;
 };
 
 /**
@@ -248,7 +277,9 @@ class Network
     Cycle now() const { return now_; }
 
     Terminal &terminal(NodeId n) { return terminals_[n]; }
+    const Terminal &terminal(NodeId n) const { return terminals_[n]; }
     Router &router(RouterId r) { return routers_[r]; }
+    const Router &router(RouterId r) const { return routers_[r]; }
     int numRouters() const { return static_cast<int>(routers_.size()); }
     std::int64_t numNodes() const
     {
@@ -350,6 +381,85 @@ class Network
     FlitId nextFlitId() { return nextFlit_++; }
     /** @} */
 
+    /** @name Liveness introspection & recovery (sim/liveness.h) @{ */
+
+    /** The directed inter-router arc list this network was wired
+     *  from (indexed like Topology::arcs()). */
+    const std::vector<Topology::Arc> &arcList() const { return arcs_; }
+
+    /** The channel carrying inter-router arc @p i. */
+    const Channel &arcChannel(std::size_t i) const
+    {
+        return channels_[i];
+    }
+
+    /** Node @p n's injection (node -> router) channel. */
+    const Channel &injectionChannel(NodeId n) const
+    {
+        return *injChannels_[static_cast<std::size_t>(n)];
+    }
+
+    /** Node @p n's ejection (router -> node) channel. */
+    const Channel &ejectionChannel(NodeId n) const
+    {
+        return *ejChannels_[static_cast<std::size_t>(n)];
+    }
+
+    /** The kernel's runnable-component scheduler (diagnosis only). */
+    const ActiveSet &activeSet() const { return active_; }
+
+    /** Trace track id of router @p r, or -1 when no trace sink is
+     *  attached. */
+    std::int32_t routerTrack(RouterId r) const
+    {
+        return cfg_.trace != nullptr
+                   ? routerTracks_[static_cast<std::size_t>(r)]
+                   : std::int32_t{-1};
+    }
+
+    /**
+     * Restart after a liveness recovery action (sim/liveness.h):
+     * folds any pending router drop deltas into the aggregate stats
+     * (so killed victims are visible to conservation checks and the
+     * delivery oracle's expected-loss accounting this very cycle),
+     * resets the forward-progress watermark, and wakes every
+     * component so freed credits and re-exposed routes are acted on.
+     */
+    void restartAfterRecovery();
+
+    /**
+     * Test hook: permanently drop component @p c from every cycle's
+     * runnable set, simulating a lost wake.  The component's work is
+     * stranded exactly as a kernel bug would strand it — the shadow
+     * verifier reports the divergence as injected, and the liveness
+     * classifier must diagnose the resulting stall as a kernel bug.
+     */
+    void debugSuppressComponent(std::uint32_t c);
+
+    /** Undo debugSuppressComponent() (recovery can then proceed). */
+    void debugClearSuppressed();
+
+    /** Shadow-kernel verifier: the first missed-wake divergence
+     *  observed, if any (empty when the verifier is off or the wake
+     *  contract held every checked cycle). */
+    const std::optional<WakeDivergence> &wakeDivergence() const
+    {
+        return wakeDivergence_;
+    }
+
+    /** Cycles checked by the shadow-kernel verifier so far. */
+    std::uint64_t wakeChecks() const { return wakeChecks_; }
+
+    /** True when the shadow-kernel verifier is running (config flag
+     *  or FBFLY_VERIFY_WAKES environment variable). */
+    bool verifyingWakes() const { return verifyWakes_; }
+
+    /** One component's work/wake state for the verifier and the
+     *  liveness classifier's kernel-bug check. */
+    bool componentHasActionableWork(std::uint32_t c, Cycle at) const;
+
+    /** @} */
+
   private:
     /** Activate every fault whose cycle is <= @p now. */
     void applyFaults(Cycle now);
@@ -414,8 +524,23 @@ class Network
     std::vector<char> routerPermDead_;
     /** @} */
 
+    /** Shadow-kernel wake-contract verifier: run the full-loop work
+     *  predicate over every component and diff it against the
+     *  ActiveSet at cycle @p t (after beginCycle, before any phase
+     *  runs). */
+    void verifyWakes(Cycle t);
+
     /** Forward-progress watermark. */
     Cycle lastProgress_ = 0;
+
+    /** @name Shadow-kernel verifier state @{ */
+    bool verifyWakes_ = false;
+    std::uint64_t wakeChecks_ = 0;
+    std::optional<WakeDivergence> wakeDivergence_;
+    /** Components with debug-suppressed wakes (test hook; empty in
+     *  normal operation). */
+    std::vector<std::uint32_t> suppressed_;
+    /** @} */
 
     /** Runnable-component scheduler: routers are components
      *  [0, R), terminals [R, R + N).  Idle components are skipped

@@ -581,4 +581,79 @@ Router::inputUnit(PortId port, VcId vc) const
     return inputs_[unitIndex(port, vc)];
 }
 
+bool
+Router::hasActionableWork(Cycle now) const
+{
+    if (bufferedFlits_ > 0)
+        return true;
+    for (const auto &ou : outputs_)
+        if (ou.channel != nullptr &&
+            (ou.channel->needsTick(now) ||
+             ou.channel->hasCreditArrival(now)))
+            return true;
+    for (const Channel *ch : inputChannels_)
+        if (ch != nullptr && ch->hasFlitArrival(now))
+            return true;
+    return false;
+}
+
+int
+Router::killVictimPacket(PortId port, VcId vc, Cycle now)
+{
+    FBFLY_ASSERT(port >= 0 && port < numPorts_ && vc >= 0 &&
+                 vc < numVcs_,
+                 "killVictimPacket range on router ", id_);
+    const int unit = unitIndex(port, vc);
+    InputUnit &in = inputs_[unit];
+    if (in.buf.empty() || in.dropping)
+        return 0;
+
+    int dropped = 0;
+    if (bypass_) {
+        // Single-flit packets: the frontmost flit is a complete
+        // packet.  A routed victim releases its output commitment;
+        // an unrouted one its pending routing work.
+        const Flit f = in.buf.eraseAt(0);
+        if (f.routed) {
+            OutputUnit &ou = outputs_[f.outPort];
+            if (ou.committed > 0)
+                --ou.committed;
+        } else {
+            --unroutedFlits_;
+            --in.unrouted;
+        }
+        accountDrop(f, unit, now);
+        dropped = 1;
+    } else {
+        // Wormhole: only a packet whose head is still buffered here
+        // can be killed cleanly — once the head departed, the
+        // downstream hop owns the packet (truncating it here would
+        // strand a headless remainder downstream).
+        if (!in.buf.front().head)
+            return 0;
+        if (in.routed) {
+            OutputUnit &ou = outputs_[in.outPort];
+            ou.committed = std::max(
+                0, ou.committed - in.buf.front().packetSize);
+            in.routed = false;
+            in.outPort = kInvalid;
+            in.outVc = kInvalid;
+        }
+        bool saw_tail = false;
+        while (!in.buf.empty() && !saw_tail) {
+            const Flit f = in.buf.pop();
+            saw_tail = f.tail;
+            accountDrop(f, unit, now);
+            ++dropped;
+        }
+        if (!saw_tail) {
+            // The remainder is still in flight; discard on arrival
+            // like a truncated packet (routePass drains it).
+            in.dropping = true;
+            ++droppingUnits_;
+        }
+    }
+    return dropped;
+}
+
 } // namespace fbfly

@@ -215,6 +215,62 @@ class Router
     /** Input unit accessor for tests. */
     const InputUnit &inputUnit(PortId port, VcId vc) const;
 
+    /** The channel feeding input @p port (nullptr if unwired). */
+    const Channel *inputChannel(PortId port) const
+    {
+        return inputChannels_[static_cast<std::size_t>(port)];
+    }
+
+    /** The channel transmitting from output @p port (nullptr if
+     *  unwired). */
+    const Channel *outputChannel(PortId port) const
+    {
+        return outputs_[static_cast<std::size_t>(port)].channel;
+    }
+
+    /** Flits committed to output @p port by routing decisions whose
+     *  flits have not yet departed (liveness diagnosis). */
+    int committedTo(PortId port) const
+    {
+        return outputs_[static_cast<std::size_t>(port)].committed;
+    }
+
+    /** Input-unit index currently owning (out @p port, @p vc), or -1
+     *  when the lane is free (wormhole wait-for edges). */
+    int vcOwner(PortId port, VcId vc) const
+    {
+        return outputs_[static_cast<std::size_t>(port)]
+            .vcOwner[static_cast<std::size_t>(vc)];
+    }
+
+    /**
+     * Would the pre-rewrite full-tick loop have done anything with
+     * this router at @p now?  True when any flit is buffered, any
+     * input channel has an arrival due, or any output channel has a
+     * credit arrival or link-layer work (acks/timeouts/resends)
+     * pending.  The active-set wake contract requires the router to
+     * be scheduled whenever this holds — the shadow-kernel verifier
+     * diffs this predicate against the ActiveSet every cycle, and
+     * the liveness classifier uses it to tell a stranded component
+     * (kernel bug) from a genuinely blocked one.
+     */
+    bool hasActionableWork(Cycle now) const;
+
+    /**
+     * Deadlock recovery: forcibly drop the packet whose head flit is
+     * buffered (and blocked) at the front of routable work in input
+     * unit (@p port, @p vc).  The victim's buffered flits are
+     * accounted exactly like routing drops (credits returned
+     * upstream, drop counters advanced, kDrop trace events), its
+     * output commitment is released, and — for a wormhole packet
+     * whose tail has not yet arrived — the unit is left in dropping
+     * state so the in-flight remainder is discarded on arrival.
+     *
+     * @return flits dropped now (0 when the unit holds no killable
+     *         packet head).
+     */
+    int killVictimPacket(PortId port, VcId vc, Cycle now);
+
     /** Attach a trace sink (nullptr disables; see obs/trace.h).
      *  @p track is this router's timeline row. */
     void setTrace(TraceSink *sink, std::int32_t track)

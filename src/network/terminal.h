@@ -93,6 +93,27 @@ class Terminal
 
     Rng &rng() { return rng_; }
 
+    /**
+     * Would the pre-rewrite full-tick loop have done anything with
+     * this terminal at @p now?  True when packets are queued or
+     * mid-injection, an ejection flit is due, or the injection
+     * channel has a credit arrival or link-layer work pending.  The
+     * shadow-kernel verifier diffs this predicate against the
+     * ActiveSet (see Router::hasActionableWork).
+     */
+    bool hasActionableWork(Cycle now) const
+    {
+        if (!queue_.empty() || remainingFlits_ > 0)
+            return true;
+        if (fromRouter_ != nullptr && fromRouter_->hasFlitArrival(now))
+            return true;
+        if (toRouter_ != nullptr &&
+            (toRouter_->hasCreditArrival(now) ||
+             toRouter_->needsTick(now)))
+            return true;
+        return false;
+    }
+
     /** Attach a trace sink (nullptr disables; see obs/trace.h).
      *  @p track is this terminal's timeline row. */
     void setTrace(TraceSink *sink, std::int32_t track)

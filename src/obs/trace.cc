@@ -34,6 +34,10 @@ toString(TraceEventType t)
         return "churn";
     case TraceEventType::kRepair:
         return "repair";
+    case TraceEventType::kDeadlock:
+        return "deadlock";
+    case TraceEventType::kRecovery:
+        return "recovery";
     }
     return "?";
 }
@@ -52,7 +56,11 @@ levelMask(TraceLevel level)
                (1u << static_cast<unsigned>(TraceEventType::kDrop)) |
                (1u << static_cast<unsigned>(TraceEventType::kEject)) |
                (1u << static_cast<unsigned>(TraceEventType::kChurn)) |
-               (1u << static_cast<unsigned>(TraceEventType::kRepair));
+               (1u << static_cast<unsigned>(TraceEventType::kRepair)) |
+               (1u <<
+                static_cast<unsigned>(TraceEventType::kDeadlock)) |
+               (1u <<
+                static_cast<unsigned>(TraceEventType::kRecovery));
     case TraceLevel::kFull:
         break;
     }

@@ -76,10 +76,18 @@ enum class TraceEventType : std::uint8_t
     /** Service event: a channel or router came back up after repair
      *  (channel/router track; a = entity index, b = churn episode). */
     kRepair = 9,
+    /** Liveness diagnosis: this lane is a member of a diagnosed
+     *  cyclic VC dependency (channel track; a = VC, b = upstream
+     *  credit level; see sim/liveness.h). */
+    kDeadlock = 10,
+    /** Liveness recovery action applied (router track; a = input
+     *  port of the killed victim or -1 for escape-drain, b = flits
+     *  killed). */
+    kRecovery = 11,
 };
 
 /** Number of TraceEventType values (for per-type counters). */
-inline constexpr int kNumTraceEventTypes = 10;
+inline constexpr int kNumTraceEventTypes = 12;
 
 /** Short lowercase name of an event type ("inject", ...). */
 const char *toString(TraceEventType t);

@@ -1,0 +1,630 @@
+#include "sim/liveness.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.h"
+#include "network/channel.h"
+#include "network/network.h"
+#include "network/router.h"
+#include "network/terminal.h"
+#include "obs/trace.h"
+
+namespace fbfly
+{
+
+const char *
+toString(StallClass c)
+{
+    switch (c) {
+    case StallClass::kNone:
+        return "none";
+    case StallClass::kDeadlock:
+        return "deadlock";
+    case StallClass::kStarvation:
+        return "starvation";
+    case StallClass::kUnreachable:
+        return "unreachable";
+    case StallClass::kKernelBug:
+        return "kernel-bug";
+    }
+    return "?";
+}
+
+const char *
+toString(RecoveryPolicy p)
+{
+    switch (p) {
+    case RecoveryPolicy::kAbort:
+        return "abort";
+    case RecoveryPolicy::kKillVictim:
+        return "kill-victim";
+    case RecoveryPolicy::kEscapeDrain:
+        return "escape-drain";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/**
+ * Iterative Tarjan over the lane wait-for graph.  comp[v] is the SCC
+ * id of lane v; SCCs are numbered in reverse-topological order, but
+ * the classifier only cares about membership and size.
+ */
+struct SccResult
+{
+    std::vector<int> comp;
+    int count = 0;
+};
+
+SccResult
+stronglyConnectedComponents(const std::vector<std::vector<int>> &adj)
+{
+    const int n = static_cast<int>(adj.size());
+    SccResult res;
+    res.comp.assign(static_cast<std::size_t>(n), -1);
+    std::vector<int> index(static_cast<std::size_t>(n), -1);
+    std::vector<int> low(static_cast<std::size_t>(n), 0);
+    std::vector<char> onStack(static_cast<std::size_t>(n), 0);
+    std::vector<int> stack;
+    struct Frame
+    {
+        int v;
+        std::size_t child;
+    };
+    std::vector<Frame> frames;
+    int next = 0;
+    for (int s = 0; s < n; ++s) {
+        if (index[static_cast<std::size_t>(s)] != -1)
+            continue;
+        frames.push_back({s, 0});
+        index[static_cast<std::size_t>(s)] = next;
+        low[static_cast<std::size_t>(s)] = next;
+        ++next;
+        stack.push_back(s);
+        onStack[static_cast<std::size_t>(s)] = 1;
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            const auto fv = static_cast<std::size_t>(f.v);
+            if (f.child < adj[fv].size()) {
+                const int w = adj[fv][f.child++];
+                const auto wi = static_cast<std::size_t>(w);
+                if (index[wi] == -1) {
+                    index[wi] = next;
+                    low[wi] = next;
+                    ++next;
+                    stack.push_back(w);
+                    onStack[wi] = 1;
+                    frames.push_back({w, 0});
+                } else if (onStack[wi]) {
+                    low[fv] = std::min(low[fv], index[wi]);
+                }
+            } else {
+                const int v = f.v;
+                const auto vi = static_cast<std::size_t>(v);
+                frames.pop_back();
+                if (!frames.empty()) {
+                    const auto pi =
+                        static_cast<std::size_t>(frames.back().v);
+                    low[pi] = std::min(low[pi], low[vi]);
+                }
+                if (low[vi] == index[vi]) {
+                    for (;;) {
+                        const int w = stack.back();
+                        stack.pop_back();
+                        onStack[static_cast<std::size_t>(w)] = 0;
+                        res.comp[static_cast<std::size_t>(w)] =
+                            res.count;
+                        if (w == v)
+                            break;
+                    }
+                    ++res.count;
+                }
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace
+
+StallDiagnosis
+analyzeStall(const Network &net)
+{
+    StallDiagnosis d;
+    const Cycle now = net.now();
+    d.cycle = now;
+
+    // (1) Kernel bug: a component with actionable work but no wake
+    // pending in the ActiveSet can never run again — everything below
+    // assumes the kernel at least *offered* each component a turn.
+    const ActiveSet &as = net.activeSet();
+    for (std::uint32_t c = 0; c < as.size(); ++c) {
+        if (!net.componentHasActionableWork(c, now))
+            continue;
+        if (as.anyWakePending(c))
+            continue;
+        d.cls = StallClass::kKernelBug;
+        d.strandedComponent = c;
+        return d;
+    }
+
+    const Topology &topo = net.topologyRef();
+    const int R = net.numRouters();
+    const auto N = static_cast<NodeId>(net.numNodes());
+    const int V = net.numVcs();
+    const auto &arcs = net.arcList();
+    const auto A = static_cast<std::int64_t>(arcs.size());
+    const bool bypass = net.packetSize() == 1;
+
+    // Lane ids: inter-router arc a, VC v -> a * V + v; injection
+    // channel of node n -> (A + n) * V + v.  A lane names the
+    // downstream input-unit buffer the transmitter's credits track.
+    const auto L = static_cast<int>((A + N) * V);
+
+    // (router, input port) -> base lane feeding it (-1: ejection-only
+    // or unwired), and (router, output port) -> outgoing arc index
+    // (-1: ejection port, which has infinite credits).
+    std::vector<std::vector<std::int64_t>> feed(
+        static_cast<std::size_t>(R));
+    std::vector<std::vector<std::int64_t>> outArc(
+        static_cast<std::size_t>(R));
+    for (RouterId r = 0; r < R; ++r) {
+        const int ports =
+            net.router(r).numPorts();
+        feed[static_cast<std::size_t>(r)].assign(
+            static_cast<std::size_t>(ports), -1);
+        outArc[static_cast<std::size_t>(r)].assign(
+            static_cast<std::size_t>(ports), -1);
+    }
+    for (std::int64_t a = 0; a < A; ++a) {
+        const Topology::Arc &arc = arcs[static_cast<std::size_t>(a)];
+        feed[static_cast<std::size_t>(arc.dst)]
+            [static_cast<std::size_t>(arc.dstPort)] = a * V;
+        outArc[static_cast<std::size_t>(arc.src)]
+              [static_cast<std::size_t>(arc.srcPort)] = a;
+    }
+    for (NodeId n = 0; n < N; ++n)
+        feed[static_cast<std::size_t>(topo.injectionRouter(n))]
+            [static_cast<std::size_t>(topo.injectionPort(n))] =
+                (A + n) * V;
+
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(L));
+    std::vector<char> laneOccupied(static_cast<std::size_t>(L), 0);
+
+    auto addEdge = [&](std::int64_t from, std::int64_t to) {
+        adj[static_cast<std::size_t>(from)].push_back(
+            static_cast<int>(to));
+        ++d.graphEdges;
+    };
+
+    // (2) Scan every input unit for blocked/unrouted packet heads and
+    // add one wait-for edge per head blocked on an exhausted (but
+    // alive) credit lane.
+    for (RouterId r = 0; r < R; ++r) {
+        const Router &rt = net.router(r);
+        for (PortId p = 0; p < rt.numPorts(); ++p) {
+            const std::int64_t laneBase =
+                feed[static_cast<std::size_t>(r)]
+                    [static_cast<std::size_t>(p)];
+            for (VcId v = 0; v < V; ++v) {
+                const InputUnit &in = rt.inputUnit(p, v);
+                if (in.buf.empty())
+                    continue;
+                if (laneBase >= 0)
+                    laneOccupied[static_cast<std::size_t>(laneBase +
+                                                          v)] = 1;
+
+                auto noteHead = [&](const Flit &f, bool routed,
+                                    PortId op, VcId ov) {
+                    StuckHead h;
+                    h.router = r;
+                    h.port = p;
+                    h.vc = v;
+                    h.packet = f.packet;
+                    h.dst = f.dst;
+                    if (!routed) {
+                        h.unrouted = true;
+                        d.stuckHeads.push_back(h);
+                        return;
+                    }
+                    const bool alive = rt.outputAlive(op);
+                    h.deadOutput = !alive;
+                    bool blocked = !alive;
+                    if (alive) {
+                        const std::int64_t a =
+                            outArc[static_cast<std::size_t>(r)]
+                                  [static_cast<std::size_t>(op)];
+                        if (a >= 0) {
+                            bool ownerConflict = false;
+                            if (!bypass) {
+                                // Wormhole: the output VC may be
+                                // held by another input unit whose
+                                // tail has not passed yet.
+                                const int owner = rt.vcOwner(op, ov);
+                                const int self =
+                                    static_cast<int>(p) * V + v;
+                                ownerConflict =
+                                    owner != -1 && owner != self;
+                            }
+                            const int cr = rt.credits(op, ov);
+                            blocked = cr <= 0 || ownerConflict;
+                            if (blocked) {
+                                h.waitsOnArc = a;
+                                h.waitsOnVc = ov;
+                                if (laneBase >= 0)
+                                    addEdge(laneBase + v, a * V + ov);
+                            }
+                        }
+                        // a < 0: ejection port, infinite credits —
+                        // not blocked.
+                    }
+                    if (blocked)
+                        d.stuckHeads.push_back(h);
+                };
+
+                if (bypass) {
+                    for (int i = 0; i < in.buf.size(); ++i) {
+                        const Flit &f = in.buf.at(i);
+                        if (!f.head)
+                            continue;
+                        noteHead(f, f.routed, f.outPort, f.outVc);
+                    }
+                } else {
+                    if (in.dropping)
+                        continue; // mid-truncation, draining
+                    const Flit &front = in.buf.front();
+                    if (in.routed)
+                        noteHead(front, true, in.outPort, in.outVc);
+                    else if (front.head)
+                        noteHead(front, false, kInvalid, kInvalid);
+                    // Body flit at the front with no route and no
+                    // dropping flag cannot happen between steps.
+                }
+            }
+        }
+    }
+    d.graphLanes = static_cast<int>(std::count(
+        laneOccupied.begin(), laneOccupied.end(), char{1}));
+
+    // (3) Cycle detection over the wait-for graph.
+    const SccResult scc = stronglyConnectedComponents(adj);
+    std::vector<int> sccSize(static_cast<std::size_t>(scc.count), 0);
+    for (int l = 0; l < L; ++l)
+        ++sccSize[static_cast<std::size_t>(
+            scc.comp[static_cast<std::size_t>(l)])];
+    int cyclic = -1;
+    for (int l = 0; l < L && cyclic < 0; ++l) {
+        const int comp = scc.comp[static_cast<std::size_t>(l)];
+        if (sccSize[static_cast<std::size_t>(comp)] >= 2) {
+            cyclic = comp;
+            break;
+        }
+        for (const int w : adj[static_cast<std::size_t>(l)])
+            if (w == l) {
+                cyclic = comp; // self-loop: a one-lane cycle
+                break;
+            }
+    }
+    if (cyclic >= 0) {
+        d.cls = StallClass::kDeadlock;
+        for (int l = 0; l < L; ++l) {
+            if (scc.comp[static_cast<std::size_t>(l)] != cyclic)
+                continue;
+            CycleMember m;
+            m.vc = l % V;
+            const std::int64_t laneIdx = l / V;
+            if (laneIdx < A) {
+                const Topology::Arc &arc =
+                    arcs[static_cast<std::size_t>(laneIdx)];
+                m.arc = laneIdx;
+                m.src = arc.src;
+                m.dst = arc.dst;
+                m.dstPort = arc.dstPort;
+                m.occupancy =
+                    net.router(arc.dst)
+                        .inputUnit(arc.dstPort, m.vc)
+                        .buf.size();
+                m.credits =
+                    net.router(arc.src).credits(arc.srcPort, m.vc);
+            } else {
+                m.node = static_cast<NodeId>(laneIdx - A);
+                m.dst = topo.injectionRouter(m.node);
+                m.dstPort = topo.injectionPort(m.node);
+                m.occupancy = net.router(m.dst)
+                                  .inputUnit(m.dstPort, m.vc)
+                                  .buf.size();
+                m.credits = net.terminal(m.node).credits(m.vc);
+            }
+            // The blocked head this lane holds, and the edge it
+            // follows inside the cycle.
+            for (const StuckHead &h : d.stuckHeads)
+                if (h.router == m.dst && h.port == m.dstPort &&
+                    h.vc == m.vc) {
+                    m.headPacket = h.packet;
+                    m.headDst = h.dst;
+                    break;
+                }
+            for (const int w : adj[static_cast<std::size_t>(l)])
+                if (scc.comp[static_cast<std::size_t>(w)] == cyclic) {
+                    m.waitsOnArc = w / V;
+                    m.waitsOnVc = w % V;
+                    break;
+                }
+            d.cycleMembers.push_back(m);
+        }
+        if (TraceSink *tr = net.traceSink())
+            for (const CycleMember &m : d.cycleMembers)
+                if (m.arc >= 0)
+                    tr->record(
+                        TraceEventType::kDeadlock, now,
+                        net.arcTrack(
+                            static_cast<std::size_t>(m.arc)),
+                        Flit{}, m.vc, m.credits);
+        return d;
+    }
+
+    // (4) Unreachable destinations: BFS over alive arcs from each
+    // stuck head's router to its packet's ejection router.
+    std::vector<std::vector<RouterId>> radj(
+        static_cast<std::size_t>(R));
+    for (std::int64_t a = 0; a < A; ++a)
+        if (!net.arcChannel(static_cast<std::size_t>(a)).dead()) {
+            const Topology::Arc &arc =
+                arcs[static_cast<std::size_t>(a)];
+            radj[static_cast<std::size_t>(arc.src)].push_back(
+                arc.dst);
+        }
+    std::vector<std::vector<char>> reach(
+        static_cast<std::size_t>(R)); // lazily filled per source
+    auto reachable = [&](RouterId from, RouterId to) {
+        std::vector<char> &vis =
+            reach[static_cast<std::size_t>(from)];
+        if (vis.empty()) {
+            vis.assign(static_cast<std::size_t>(R), 0);
+            vis[static_cast<std::size_t>(from)] = 1;
+            std::vector<RouterId> q{from};
+            for (std::size_t i = 0; i < q.size(); ++i)
+                for (const RouterId w :
+                     radj[static_cast<std::size_t>(q[i])])
+                    if (!vis[static_cast<std::size_t>(w)]) {
+                        vis[static_cast<std::size_t>(w)] = 1;
+                        q.push_back(w);
+                    }
+        }
+        return vis[static_cast<std::size_t>(to)] != 0;
+    };
+    for (StuckHead &h : d.stuckHeads) {
+        if (h.dst == kInvalid)
+            continue;
+        if (!reachable(h.router, topo.ejectionRouter(h.dst)) ||
+            net.ejectionChannel(h.dst).dead()) {
+            h.unreachable = true;
+            ++d.unreachableHeads;
+        }
+    }
+    if (d.unreachableHeads > 0) {
+        d.cls = StallClass::kUnreachable;
+        return d;
+    }
+
+    // (5) Blocked heads with no cycle and reachable destinations:
+    // starvation/livelock.  No stuck heads at all: the watchdog fired
+    // on slow-but-live traffic (e.g. deep retransmission backoff).
+    d.cls = d.stuckHeads.empty() ? StallClass::kNone
+                                 : StallClass::kStarvation;
+    return d;
+}
+
+RecoveryReport
+applyRecovery(Network &net, const StallDiagnosis &d,
+              RecoveryPolicy policy)
+{
+    RecoveryReport rep;
+    rep.policy = policy;
+    if (policy == RecoveryPolicy::kAbort)
+        return rep;
+
+    const Cycle now = net.now();
+    TraceSink *tr = net.traceSink();
+
+    auto killAt = [&](RouterId r, PortId p, VcId v, PacketId pkt) {
+        const int flits = net.router(r).killVictimPacket(p, v, now);
+        if (flits == 0)
+            return false;
+        rep.flitsKilled += flits;
+        ++rep.packetsKilled;
+        rep.actions.push_back({r, p, v, pkt, flits});
+        if (tr != nullptr)
+            tr->record(TraceEventType::kRecovery, now,
+                       net.routerTrack(r), Flit{}, p, flits);
+        return true;
+    };
+
+    if (policy == RecoveryPolicy::kEscapeDrain) {
+        for (RouterId r = 0; r < net.numRouters(); ++r)
+            net.router(r).invalidateRoutes();
+        rep.routesInvalidated = true;
+        if (tr != nullptr && net.numRouters() > 0)
+            tr->record(TraceEventType::kRecovery, now,
+                       net.routerTrack(0), Flit{}, -1, 0);
+    } else { // kKillVictim
+        switch (d.cls) {
+        case StallClass::kDeadlock:
+            // One victim breaks the cycle; the survivors drain
+            // through the freed buffer.
+            for (const CycleMember &m : d.cycleMembers)
+                if (killAt(m.dst, m.dstPort, m.vc, m.headPacket))
+                    break;
+            break;
+        case StallClass::kUnreachable:
+            // Every disconnected head blocks its lane forever; kill
+            // them all.
+            for (const StuckHead &h : d.stuckHeads)
+                if (h.unreachable)
+                    killAt(h.router, h.port, h.vc, h.packet);
+            break;
+        case StallClass::kStarvation:
+            if (!d.stuckHeads.empty()) {
+                const StuckHead &h = d.stuckHeads.front();
+                killAt(h.router, h.port, h.vc, h.packet);
+            }
+            break;
+        case StallClass::kKernelBug:
+        case StallClass::kNone:
+            // Nothing to kill — the restart's full re-wake below is
+            // itself the repair for a missed wake.
+            break;
+        }
+    }
+
+    net.restartAfterRecovery();
+    return rep;
+}
+
+std::string
+StallDiagnosis::summary() const
+{
+    std::ostringstream os;
+    os << "liveness diagnosis @ cycle " << cycle << ": "
+       << fbfly::toString(cls) << "\n"
+       << "  wait-for graph: " << graphLanes
+       << " occupied lanes, " << graphEdges << " credit-wait edges, "
+       << stuckHeads.size() << " stuck heads\n";
+    switch (cls) {
+    case StallClass::kKernelBug:
+        os << "  stranded component " << strandedComponent
+           << ": actionable work but no pending wake (active-set "
+              "wake contract violated)\n";
+        break;
+    case StallClass::kDeadlock:
+        os << "  cyclic VC dependency, " << cycleMembers.size()
+           << " lanes:\n";
+        for (const CycleMember &m : cycleMembers) {
+            if (m.arc >= 0)
+                os << "    arc " << m.arc << " (r" << m.src << "->r"
+                   << m.dst << " port " << m.dstPort << ")";
+            else
+                os << "    inj node " << m.node << " (->r" << m.dst
+                   << ")";
+            os << " vc " << m.vc << ": occupancy " << m.occupancy
+               << ", credits " << m.credits << ", head pkt "
+               << m.headPacket << " -> node " << m.headDst
+               << ", waits on ";
+            if (m.waitsOnArc >= 0)
+                os << "arc " << m.waitsOnArc << " vc " << m.waitsOnVc;
+            else
+                os << "?";
+            os << "\n";
+        }
+        break;
+    case StallClass::kUnreachable:
+        os << "  " << unreachableHeads
+           << " head(s) with disconnected destinations:\n";
+        for (const StuckHead &h : stuckHeads)
+            if (h.unreachable)
+                os << "    r" << h.router << " port " << h.port
+                   << " vc " << h.vc << ": pkt " << h.packet
+                   << " -> node " << h.dst
+                   << (h.deadOutput ? " (dead output)" : "") << "\n";
+        break;
+    case StallClass::kStarvation: {
+        int listed = 0;
+        for (const StuckHead &h : stuckHeads) {
+            if (listed++ >= 8) {
+                os << "    ... ("
+                   << (stuckHeads.size() -
+                       static_cast<std::size_t>(listed) + 1)
+                   << " more)\n";
+                break;
+            }
+            os << "    r" << h.router << " port " << h.port << " vc "
+               << h.vc << ": pkt " << h.packet << " -> node " << h.dst
+               << (h.unrouted ? " (unrouted)" : "")
+               << (h.deadOutput ? " (dead output)" : "");
+            if (h.waitsOnArc >= 0)
+                os << ", waits on arc " << h.waitsOnArc << " vc "
+                   << h.waitsOnVc;
+            os << "\n";
+        }
+        break;
+    }
+    case StallClass::kNone:
+        os << "  no blocked heads found; the watchdog horizon may be "
+              "too short for this configuration\n";
+        break;
+    }
+    return os.str();
+}
+
+std::string
+livenessJson(const LivenessConfig &cfg,
+             const std::vector<StallDiagnosis> &diags,
+             const std::vector<RecoveryReport> &recs)
+{
+    std::ostringstream os;
+    os << "\"liveness\": {\"policy\": \"" << toString(cfg.policy)
+       << "\", \"max_recoveries\": " << cfg.maxRecoveries
+       << ", \"stalls\": " << diags.size()
+       << ", \"recoveries\": " << recs.size();
+    int flits = 0;
+    int packets = 0;
+    for (const RecoveryReport &r : recs) {
+        flits += r.flitsKilled;
+        packets += r.packetsKilled;
+    }
+    os << ", \"flits_killed\": " << flits
+       << ", \"packets_killed\": " << packets << ", \"diagnoses\": [";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const StallDiagnosis &d = diags[i];
+        if (i > 0)
+            os << ", ";
+        os << "{\"class\": \"" << toString(d.cls)
+           << "\", \"cycle\": " << d.cycle
+           << ", \"graph_lanes\": " << d.graphLanes
+           << ", \"graph_edges\": " << d.graphEdges
+           << ", \"stuck_heads\": " << d.stuckHeads.size()
+           << ", \"unreachable_heads\": " << d.unreachableHeads
+           << ", \"stranded_component\": " << d.strandedComponent
+           << ", \"cycle_members\": [";
+        for (std::size_t j = 0; j < d.cycleMembers.size(); ++j) {
+            const CycleMember &m = d.cycleMembers[j];
+            if (j > 0)
+                os << ", ";
+            os << "{\"arc\": " << m.arc << ", \"node\": " << m.node
+               << ", \"src\": " << m.src << ", \"dst\": " << m.dst
+               << ", \"vc\": " << m.vc
+               << ", \"occupancy\": " << m.occupancy
+               << ", \"credits\": " << m.credits
+               << ", \"head_packet\": " << m.headPacket
+               << ", \"waits_on_arc\": " << m.waitsOnArc
+               << ", \"waits_on_vc\": " << m.waitsOnVc << "}";
+        }
+        os << "]}";
+    }
+    os << "], \"recovery_actions\": [";
+    bool first = true;
+    for (const RecoveryReport &r : recs) {
+        if (r.routesInvalidated) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << "{\"kind\": \"escape-drain\"}";
+        }
+        for (const RecoveryAction &a : r.actions) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << "{\"kind\": \"kill\", \"router\": " << a.router
+               << ", \"port\": " << a.port << ", \"vc\": " << a.vc
+               << ", \"packet\": " << a.packet
+               << ", \"flits_killed\": " << a.flitsKilled << "}";
+        }
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace fbfly

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Liveness subsystem: stall classification, diagnosis and recovery.
+ *
+ * The forward-progress watchdog (NetworkConfig::watchdogCycles) can
+ * only say "nothing moved for N cycles".  This module says *why*, by
+ * constructing the VC/channel wait-for graph from the stalled
+ * network's ground truth — blocked packet heads, exhausted credits,
+ * wormhole VC ownership, dead ports, pending link-layer
+ * retransmission state — and running SCC cycle detection over it:
+ *
+ *  - **true deadlock**: a cycle of credit-exhausted VC lanes, each
+ *    holding buffered flits whose heads wait on the next lane in the
+ *    cycle.  No flit in the cycle can ever move;
+ *  - **unreachable destination**: a blocked or unrouted head whose
+ *    destination has no alive path from where the packet sits
+ *    (post-fault disconnection under an oblivious algorithm that
+ *    neither reroutes nor drops);
+ *  - **kernel bug**: a component with actionable work but no pending
+ *    wake in the ActiveSet — the active-set kernel's wake contract
+ *    was violated and work is stranded (see
+ *    NetworkConfig::verifyWakeContract for the per-cycle shadow
+ *    verifier that catches these as they happen);
+ *  - **starvation/livelock**: none of the above — progress is
+ *    possible but not taken (arbitration pathologies, livelocked
+ *    misrouting).
+ *
+ * A diagnosis can then drive one of three recovery policies.  Killed
+ * victims are accounted exactly like routing drops (credits returned
+ * upstream, drop counters advanced), so conservation invariants hold
+ * and the DeliveryOracle sees them as expected losses; the harness
+ * surfaces a recovered run as LoadPointStatus::kDeadlockRecovered
+ * with the structured diagnosis in stallDump() text, fbfly-sweep-v1
+ * JSON ("liveness" object) and Perfetto trace events
+ * (kDeadlock/kRecovery).  See docs/FAULTS.md ("Liveness").
+ */
+
+#ifndef FBFLY_SIM_LIVENESS_H
+#define FBFLY_SIM_LIVENESS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fbfly
+{
+
+class Network;
+
+/** What a stall diagnosis concluded. */
+enum class StallClass
+{
+    /** No stall found (pending work exists but nothing is blocked —
+     *  e.g. the watchdog horizon was simply too short). */
+    kNone = 0,
+    /** Cyclic VC dependency: a credit cycle no flit can escape. */
+    kDeadlock,
+    /** Progress is possible but not taken. */
+    kStarvation,
+    /** A blocked packet's destination is disconnected from it. */
+    kUnreachable,
+    /** A component has actionable work but no pending wake: the
+     *  active-set kernel's wake contract was violated. */
+    kKernelBug,
+};
+
+const char *toString(StallClass c);
+
+/** Recovery policy applied after a diagnosis. */
+enum class RecoveryPolicy
+{
+    /** No recovery: report the diagnosis and end the run (the
+     *  pre-liveness behavior, now with a classified dump). */
+    kAbort = 0,
+    /** Kill a victim packet to break the wait: one cycle member for
+     *  a deadlock, every disconnected head for an unreachable
+     *  stall.  Victims fold into drop stats and the oracle's
+     *  expected losses. */
+    kKillVictim,
+    /** Invalidate every not-yet-traversing route decision and
+     *  re-wake the network: frozen escape/hot-potato decisions are
+     *  re-decided against the current topology (the same mechanism
+     *  repairs apply; lossless). */
+    kEscapeDrain,
+};
+
+const char *toString(RecoveryPolicy p);
+
+/** Harness-level liveness knobs (experiment/churn configs). */
+struct LivenessConfig
+{
+    RecoveryPolicy policy = RecoveryPolicy::kAbort;
+    /** Recovery attempts before giving up and reporting kStalled. */
+    int maxRecoveries = 4;
+    /** Also run the classifier every this-many cycles while the
+     *  network is not progressing, instead of waiting for the full
+     *  watchdog horizon; recovery triggers early only on a definite
+     *  (cyclic) deadlock.  0: diagnose on watchdog fire only. */
+    Cycle samplePeriod = 0;
+};
+
+/** One blocked (or unrouted) packet head found by the analyzer. */
+struct StuckHead
+{
+    RouterId router = kInvalid;
+    PortId port = kInvalid; ///< input port the head is buffered at
+    VcId vc = kInvalid;     ///< input VC
+    PacketId packet = 0;
+    NodeId dst = kInvalid;
+    /** True: no route decision (waiting on the routing algorithm);
+     *  false: routed but blocked on credits/ownership/a dead port. */
+    bool unrouted = false;
+    /** Routed to an output whose port has been killed. */
+    bool deadOutput = false;
+    /** Destination disconnected from this router over alive arcs. */
+    bool unreachable = false;
+    /** Inter-router arc of the lane the head waits on for credits,
+     *  or -1 when the wait is not a live credit wait. */
+    std::int64_t waitsOnArc = -1;
+    VcId waitsOnVc = kInvalid;
+};
+
+/** One VC lane in a diagnosed wait cycle. */
+struct CycleMember
+{
+    /** Inter-router arc index, or -1 for an injection lane. */
+    std::int64_t arc = -1;
+    /** Injection lane's node (arc == -1). */
+    NodeId node = kInvalid;
+    /** Transmitting router (kInvalid for an injection lane). */
+    RouterId src = kInvalid;
+    /** Receiving router (the holder of the waited-on buffer). */
+    RouterId dst = kInvalid;
+    /** Receiving router's input port. */
+    PortId dstPort = kInvalid;
+    VcId vc = kInvalid;
+    /** Downstream input-unit buffer occupancy (the held resource). */
+    int occupancy = 0;
+    /** Upstream credit level (0 in a closed credit cycle). */
+    int credits = 0;
+    /** Blocked head waiting at the downstream unit. */
+    PacketId headPacket = 0;
+    NodeId headDst = kInvalid;
+    /** The arc/VC lane that head waits on (the next cycle edge). */
+    std::int64_t waitsOnArc = -1;
+    VcId waitsOnVc = kInvalid;
+};
+
+/** Structured result of one stall diagnosis. */
+struct StallDiagnosis
+{
+    StallClass cls = StallClass::kNone;
+    /** Cycle the diagnosis ran. */
+    Cycle cycle = 0;
+    /** Wait-for graph size: lanes holding buffered flits. */
+    int graphLanes = 0;
+    /** Credit-wait edges between live lanes. */
+    int graphEdges = 0;
+    /** All blocked/unrouted heads found (victim candidates). */
+    std::vector<StuckHead> stuckHeads;
+    /** kDeadlock: the lanes of the first wait cycle found. */
+    std::vector<CycleMember> cycleMembers;
+    /** kKernelBug: stranded component id (routers [0, R),
+     *  terminals [R, R + N)), else -1. */
+    std::int64_t strandedComponent = -1;
+    /** kUnreachable: heads whose destinations are disconnected. */
+    int unreachableHeads = 0;
+
+    /** Human-readable diagnosis (appended to stallDump() output). */
+    std::string summary() const;
+};
+
+/** What a recovery attempt did. */
+struct RecoveryAction
+{
+    RouterId router = kInvalid;
+    PortId port = kInvalid;
+    VcId vc = kInvalid;
+    PacketId packet = 0;
+    int flitsKilled = 0;
+};
+
+/** Aggregate result of one applyRecovery() call. */
+struct RecoveryReport
+{
+    RecoveryPolicy policy = RecoveryPolicy::kAbort;
+    int flitsKilled = 0;
+    int packetsKilled = 0;
+    bool routesInvalidated = false;
+    std::vector<RecoveryAction> actions;
+
+    /** True when the attempt plausibly unblocked the network (it
+     *  killed something, re-decided routes, or re-woke a stranded
+     *  component). */
+    bool acted() const
+    {
+        return packetsKilled > 0 || routesInvalidated;
+    }
+};
+
+/**
+ * Diagnose a stalled network: build the wait-for graph over VC lanes
+ * (inter-router arcs and injection channels, one lane per VC), run
+ * SCC cycle detection, and classify (see StallClass).  Read-only
+ * except for kDeadlock Perfetto trace events on cycle-member lanes
+ * when a trace sink is attached.  Call between steps — typically
+ * when Network::stalled() turns true.
+ */
+StallDiagnosis analyzeStall(const Network &net);
+
+/**
+ * Apply @p policy to a diagnosed stall.  kAbort does nothing.  The
+ * other policies end with Network::restartAfterRecovery(), which
+ * folds victim accounting into the aggregate stats (conservation
+ * invariants and DeliveryOracle expected losses stay consistent),
+ * resets the watchdog and re-wakes every component.  For a
+ * kKernelBug diagnosis the re-wake itself is the repair — a missed
+ * wake is recovered by re-scheduling everything.
+ */
+RecoveryReport applyRecovery(Network &net, const StallDiagnosis &d,
+                             RecoveryPolicy policy);
+
+/**
+ * The fbfly-sweep-v1 "liveness" JSON extension for one run:
+ * `"liveness": {...}` (no trailing comma/brace), summarizing the
+ * configured policy, every diagnosis and every recovery.  Empty
+ * vectors produce a minimal object; callers splice the fragment only
+ * when at least one stall was diagnosed.
+ */
+std::string livenessJson(const LivenessConfig &cfg,
+                         const std::vector<StallDiagnosis> &diags,
+                         const std::vector<RecoveryReport> &recs);
+
+} // namespace fbfly
+
+#endif // FBFLY_SIM_LIVENESS_H

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the ActiveSet scheduler (network/active_set.h) —
+ * the PR 7 kernel's runnable-component tracker.  Exercises the wake
+ * contract directly: generation swap, next-cycle heap bypass,
+ * duplicate-timer suppression, tail masking, ascending iteration
+ * order, and the introspection hooks the liveness classifier and
+ * wake-contract verifier rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "network/active_set.h"
+
+namespace fbfly
+{
+namespace
+{
+
+std::vector<std::uint32_t>
+activeIds(const ActiveSet &as, std::uint32_t lo, std::uint32_t hi)
+{
+    std::vector<std::uint32_t> out;
+    as.forEachIn(lo, hi, [&](std::uint32_t c) { out.push_back(c); });
+    return out;
+}
+
+std::vector<std::uint32_t>
+queuedIds(const ActiveSet &as)
+{
+    std::vector<std::uint32_t> out;
+    as.forEachQueuedNext(
+        [&](std::uint32_t c) { out.push_back(c); });
+    return out;
+}
+
+TEST(ActiveSet, InitWakesEveryoneForCycleZero)
+{
+    ActiveSet as;
+    as.init(70); // spans two 64-bit words, tail-masked
+    EXPECT_EQ(as.size(), 70u);
+    EXPECT_EQ(as.nextCycle(), 0u);
+    ASSERT_TRUE(as.beginCycle(0));
+    const auto ids = activeIds(as, 0, 70);
+    ASSERT_EQ(ids.size(), 70u);
+    EXPECT_EQ(ids.front(), 0u);
+    EXPECT_EQ(ids.back(), 69u);
+    // Nothing queued for cycle 1 yet; cycle 1 is globally idle.
+    EXPECT_FALSE(as.beginCycle(1));
+}
+
+TEST(ActiveSet, GenerationSwapIsolatesCycles)
+{
+    ActiveSet as;
+    as.init(8);
+    as.beginCycle(0);               // consumes the init wake-all
+    EXPECT_FALSE(as.beginCycle(1)); // fully idle cycle
+    EXPECT_FALSE(as.activeNow(3));
+    as.wakeNext(3);
+    EXPECT_TRUE(as.queuedNext(3));
+    EXPECT_FALSE(as.activeNow(3)); // only the NEXT cycle sees it
+    ASSERT_TRUE(as.beginCycle(2));
+    EXPECT_TRUE(as.activeNow(3));
+    EXPECT_FALSE(as.queuedNext(3)); // the next generation is fresh
+    EXPECT_EQ(activeIds(as, 0, 8), (std::vector<std::uint32_t>{3}));
+    // A wake issued mid-cycle lands in the NEXT generation only.
+    as.wakeNext(5);
+    EXPECT_FALSE(as.activeNow(5));
+    ASSERT_TRUE(as.beginCycle(3));
+    EXPECT_TRUE(as.activeNow(5));
+    EXPECT_FALSE(as.activeNow(3));
+}
+
+TEST(ActiveSet, WakeAtNextCycleBypassesHeap)
+{
+    ActiveSet as;
+    as.init(4);
+    as.beginCycle(0);
+    // nextCycle is 1: a wake at 1 (or earlier) must go straight to
+    // the bitmask — an early-consumed heap timer would lose it.
+    as.wakeAt(2, 1);
+    EXPECT_EQ(as.timerCount(), 0u);
+    EXPECT_TRUE(as.queuedNext(2));
+    ASSERT_TRUE(as.beginCycle(1));
+    EXPECT_TRUE(as.activeNow(2));
+}
+
+TEST(ActiveSet, TimersSurfaceExactlyAtDeadline)
+{
+    ActiveSet as;
+    as.init(4);
+    as.beginCycle(0);
+    as.wakeAt(1, 5);
+    as.wakeAt(3, 3);
+    EXPECT_EQ(as.timerCount(), 2u);
+    EXPECT_EQ(as.nextTimerDeadline(), 3u);
+    EXPECT_TRUE(as.timerPending(1));
+    EXPECT_TRUE(as.anyWakePending(3));
+    EXPECT_FALSE(as.anyWakePending(0));
+
+    EXPECT_FALSE(as.beginCycle(1));
+    EXPECT_FALSE(as.beginCycle(2));
+    ASSERT_TRUE(as.beginCycle(3)); // component 3's deadline
+    EXPECT_TRUE(as.activeNow(3));
+    EXPECT_FALSE(as.activeNow(1));
+    EXPECT_FALSE(as.timerPending(3)); // consumed
+    EXPECT_EQ(as.timerCount(), 1u);
+
+    EXPECT_FALSE(as.beginCycle(4));
+    ASSERT_TRUE(as.beginCycle(5));
+    EXPECT_TRUE(as.activeNow(1));
+    EXPECT_EQ(as.timerCount(), 0u);
+    EXPECT_EQ(as.nextTimerDeadline(), ActiveSet::kNeverQueued);
+}
+
+TEST(ActiveSet, DuplicateDeadlinesAreSuppressed)
+{
+    ActiveSet as;
+    as.init(2);
+    as.beginCycle(0);
+    as.wakeAt(0, 4);
+    as.wakeAt(0, 4);
+    as.wakeAt(0, 4);
+    EXPECT_EQ(as.timerCount(), 1u); // lastAt_ dedup
+    as.wakeAt(0, 6); // a different deadline still queues
+    EXPECT_EQ(as.timerCount(), 2u);
+    as.beginCycle(1);
+    as.beginCycle(2);
+    as.beginCycle(3);
+    ASSERT_TRUE(as.beginCycle(4));
+    EXPECT_TRUE(as.activeNow(0));
+    // The later deadline survived the fold and still dedups: the
+    // dedup slot tracks the most recent queued deadline.
+    as.wakeAt(0, 6);
+    EXPECT_EQ(as.timerCount(), 1u); // 6 was still queued -> dedup'd
+    as.beginCycle(5);
+    ASSERT_TRUE(as.beginCycle(6));
+    EXPECT_TRUE(as.activeNow(0));
+    EXPECT_EQ(as.timerCount(), 0u);
+}
+
+TEST(ActiveSet, WakeAllNextMasksTailBits)
+{
+    ActiveSet as;
+    as.init(65); // one bit into the second word
+    as.beginCycle(0);
+    as.wakeAllNext();
+    const auto queued = queuedIds(as);
+    ASSERT_EQ(queued.size(), 65u);
+    EXPECT_EQ(queued.back(), 64u);
+    ASSERT_TRUE(as.beginCycle(1));
+    // forEachIn never visits ids past n, and respects [lo, hi).
+    EXPECT_EQ(activeIds(as, 0, 65).size(), 65u);
+    EXPECT_EQ(activeIds(as, 63, 65),
+              (std::vector<std::uint32_t>{63, 64}));
+    EXPECT_EQ(activeIds(as, 10, 12),
+              (std::vector<std::uint32_t>{10, 11}));
+}
+
+TEST(ActiveSet, DeactivateStrandsCurrentCycleOnly)
+{
+    // The missed-wake injection hook: dropping a component from the
+    // CURRENT set must not eat wakes queued for later cycles.
+    ActiveSet as;
+    as.init(4);
+    as.beginCycle(0);
+    as.deactivate(2);
+    EXPECT_FALSE(as.activeNow(2));
+    EXPECT_FALSE(as.anyWakePending(2));
+    as.wakeNext(2);
+    EXPECT_TRUE(as.anyWakePending(2));
+    ASSERT_TRUE(as.beginCycle(1));
+    EXPECT_TRUE(as.activeNow(2));
+}
+
+TEST(ActiveSet, ForEachInIsAscendingAcrossWords)
+{
+    ActiveSet as;
+    as.init(130);
+    as.beginCycle(0);
+    for (const std::uint32_t c : {129u, 64u, 0u, 63u, 100u, 1u})
+        as.wakeNext(c);
+    as.beginCycle(1);
+    EXPECT_EQ(activeIds(as, 0, 130),
+              (std::vector<std::uint32_t>{0, 1, 63, 64, 100, 129}));
+}
+
+} // namespace
+} // namespace fbfly

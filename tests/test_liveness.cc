@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Liveness subsystem tests (sim/liveness.h): the classifier must
+ * tell a genuine cyclic VC-dependency deadlock apart from a
+ * fault-disconnected destination and from an injected missed wake,
+ * and recovery must leave conservation invariants and the delivery
+ * oracle's accounting clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_model.h"
+#include "harness/experiment.h"
+#include "network/network.h"
+#include "routing/dor.h"
+#include "routing/min_adaptive.h"
+#include "routing/routing.h"
+#include "sim/delivery_oracle.h"
+#include "sim/liveness.h"
+#include "topology/flattened_butterfly.h"
+#include "topology/topology.h"
+#include "traffic/traffic_pattern.h"
+
+namespace fbfly
+{
+namespace
+{
+
+/**
+ * Test-only routing that ignores minimality and walks the router
+ * ring r -> r+1 -> ... until the destination's router.  On a 4-ary
+ * 2-flat (4 fully connected routers) a packet two ring hops away
+ * spans two arcs; with packetSize > vcDepth and one VC, four such
+ * packets (one per router) form the textbook 4-lane credit cycle.
+ */
+class RingRouting : public RoutingAlgorithm
+{
+  public:
+    explicit RingRouting(const Topology &topo) : topo_(topo)
+    {
+        const int R = topo.numRouters();
+        next_.assign(static_cast<std::size_t>(R), kInvalid);
+        for (const Topology::Arc &a : topo.arcs())
+            if (a.dst == (a.src + 1) % R)
+                next_[static_cast<std::size_t>(a.src)] = a.srcPort;
+    }
+
+    std::string name() const override { return "TEST-RING"; }
+    int numVcs() const override { return 1; }
+
+    RouteDecision route(Router &router, Flit &f) override;
+
+    bool preservesFlowOrder() const override { return true; }
+
+  private:
+    const Topology &topo_;
+    std::vector<PortId> next_;
+};
+
+RouteDecision
+RingRouting::route(Router &router, Flit &f)
+{
+    const RouterId r = router.id();
+    if (topo_.ejectionRouter(f.dst) == r)
+        return {topo_.ejectionPort(f.dst), 0, false};
+    return {next_[static_cast<std::size_t>(r)], 0, false};
+}
+
+/** First node attached to each router of @p topo. */
+std::vector<NodeId>
+firstNodePerRouter(const Topology &topo)
+{
+    std::vector<NodeId> first(
+        static_cast<std::size_t>(topo.numRouters()), kInvalid);
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        const auto r =
+            static_cast<std::size_t>(topo.injectionRouter(n));
+        if (first[r] == kInvalid)
+            first[r] = n;
+    }
+    return first;
+}
+
+TEST(Liveness, ClassifiesAndRecoversCyclicDeadlock)
+{
+    FlattenedButterfly topo(4, 2); // 4 routers, fully connected
+    RingRouting algo(topo);
+    DeliveryOracle oracle;
+
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    cfg.vcDepth = 2;
+    cfg.packetSize = 8; // wormhole: packets span routers
+    cfg.watchdogCycles = 200;
+    cfg.oracle = &oracle;
+    Network net(topo, algo, nullptr, cfg);
+
+    // One 8-flit packet per router, each two ring hops ahead:
+    // packet_i claims arc i->i+1 and then waits for arc i+1->i+2,
+    // which packet_{i+1} owns — a closed 4-lane wait cycle.
+    const std::vector<NodeId> srcs = firstNodePerRouter(topo);
+    for (RouterId r = 0; r < 4; ++r)
+        net.terminal(srcs[static_cast<std::size_t>(r)])
+            .enqueuePacket(
+                net.now(),
+                srcs[static_cast<std::size_t>((r + 2) % 4)], true);
+
+    for (int c = 0; c < 5000 && !net.stalled(); ++c)
+        net.step();
+    ASSERT_TRUE(net.stalled());
+    EXPECT_EQ(net.checkInvariants(), "");
+
+    const StallDiagnosis diag = analyzeStall(net);
+    EXPECT_EQ(diag.cls, StallClass::kDeadlock);
+    ASSERT_GE(diag.cycleMembers.size(), 2u);
+    for (const CycleMember &m : diag.cycleMembers) {
+        EXPECT_GE(m.arc, 0);
+        EXPECT_EQ(m.credits, 0);     // closed credit cycle
+        EXPECT_GT(m.occupancy, 0);   // held downstream buffer
+        EXPECT_GE(m.waitsOnArc, 0);  // the next edge in the cycle
+    }
+    const std::string sum = diag.summary();
+    EXPECT_NE(sum.find("deadlock"), std::string::npos) << sum;
+    EXPECT_NE(sum.find("waits on arc"), std::string::npos) << sum;
+
+    // Killing ONE victim must break the cycle; the survivors then
+    // drain on their own.
+    const RecoveryReport rep =
+        applyRecovery(net, diag, RecoveryPolicy::kKillVictim);
+    EXPECT_EQ(rep.packetsKilled, 1);
+    EXPECT_GT(rep.flitsKilled, 0);
+    ASSERT_EQ(rep.actions.size(), 1u);
+
+    for (int c = 0; c < 20000 && !net.quiescent(); ++c)
+        net.step();
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_FALSE(net.stalled());
+    EXPECT_EQ(net.checkInvariants(), "");
+    EXPECT_EQ(net.stats().packetsEjected, 3u);
+    EXPECT_EQ(net.stats().measuredDropped, 1u); // the victim
+
+    // The oracle sees the kill as an expected loss: audit clean.
+    const OracleReport orep = oracle.report(
+        net.stats().measuredDropped, true, true);
+    EXPECT_TRUE(orep.clean()) << orep.summary();
+}
+
+TEST(Liveness, HarnessRecoversAndReportsDeadlock)
+{
+    // Same deadlock-prone configuration, driven end to end through
+    // runLoadPoint: sustained ring traffic two routers ahead wedges
+    // repeatedly, the kill-victim policy recovers each time, and the
+    // run must finish as kDeadlockRecovered with a clean oracle
+    // audit and the structured liveness JSON attached.
+    FlattenedButterfly topo(4, 2);
+    RingRouting algo(topo);
+    AdversarialNeighbor pattern(topo.numNodes(), 4, 2);
+
+    NetworkConfig netcfg;
+    netcfg.vcDepth = 2;
+    netcfg.packetSize = 8;
+    netcfg.watchdogCycles = 100;
+
+    ExperimentConfig expcfg;
+    expcfg.warmupCycles = 0;
+    expcfg.measureCycles = 40;
+    expcfg.drainCycles = 200000;
+    expcfg.seed = 7;
+    expcfg.liveness.policy = RecoveryPolicy::kKillVictim;
+    expcfg.liveness.maxRecoveries = 100000;
+
+    const LoadPointResult res =
+        runLoadPoint(topo, algo, pattern, netcfg, expcfg, 0.25);
+    EXPECT_EQ(res.status, LoadPointStatus::kDeadlockRecovered)
+        << toString(res.status) << "\n"
+        << res.diagnostics;
+    EXPECT_GT(res.recoveries, 0);
+    EXPECT_NE(res.liveness.find("\"liveness\": {"),
+              std::string::npos);
+    EXPECT_NE(res.liveness.find("\"class\": \"deadlock\""),
+              std::string::npos);
+    ASSERT_TRUE(res.deliveryChecked);
+    EXPECT_TRUE(res.delivery.clean()) << res.delivery.summary();
+}
+
+TEST(Liveness, ClassifiesUnreachableDestination)
+{
+    // Disconnect router 1 entirely.  validate() would reject this
+    // fault set, but the constructor applies it as-is — exactly the
+    // post-churn disconnection scenario.  Fault-unaware DOR routes
+    // to the dead port and parks forever.
+    FlattenedButterfly topo(4, 2);
+    DimensionOrder algo(topo);
+    FaultModel fm(topo);
+    ASSERT_GT(fm.failLinkBetween(0, 1), 0);
+    ASSERT_GT(fm.failLinkBetween(2, 1), 0);
+    ASSERT_GT(fm.failLinkBetween(3, 1), 0);
+
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    cfg.vcDepth = 4;
+    cfg.faults = &fm;
+    cfg.watchdogCycles = 100;
+    Network net(topo, algo, nullptr, cfg);
+
+    // Node 0 (router 0) -> node 4 (router 1).
+    net.terminal(0).enqueuePacket(net.now(), 4, true);
+    for (int c = 0; c < 2000 && !net.stalled(); ++c)
+        net.step();
+    ASSERT_TRUE(net.stalled());
+
+    const StallDiagnosis diag = analyzeStall(net);
+    EXPECT_EQ(diag.cls, StallClass::kUnreachable);
+    EXPECT_GE(diag.unreachableHeads, 1);
+    EXPECT_TRUE(diag.cycleMembers.empty());
+    EXPECT_NE(diag.summary().find("unreachable"), std::string::npos);
+
+    // Escape-drain is lossless but cannot reconnect a destination:
+    // routes are re-decided (to the same dead port) and the stall
+    // returns.
+    const RecoveryReport ed =
+        applyRecovery(net, diag, RecoveryPolicy::kEscapeDrain);
+    EXPECT_TRUE(ed.routesInvalidated);
+    EXPECT_EQ(ed.packetsKilled, 0);
+    EXPECT_FALSE(net.stalled()); // watchdog reset by the restart
+    for (int c = 0; c < 2000 && !net.stalled(); ++c)
+        net.step();
+    ASSERT_TRUE(net.stalled());
+
+    const StallDiagnosis diag2 = analyzeStall(net);
+    EXPECT_EQ(diag2.cls, StallClass::kUnreachable);
+
+    // Killing the disconnected heads is the terminal recovery.
+    const RecoveryReport rep =
+        applyRecovery(net, diag2, RecoveryPolicy::kKillVictim);
+    EXPECT_GE(rep.packetsKilled, 1);
+    for (int c = 0; c < 2000 && !net.quiescent(); ++c)
+        net.step();
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_EQ(net.checkInvariants(), "");
+    EXPECT_EQ(net.stats().measuredDropped, 1u);
+}
+
+TEST(Liveness, ClassifiesInjectedMissedWake)
+{
+    FlattenedButterfly topo(4, 2);
+    MinAdaptive algo(topo);
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    cfg.watchdogCycles = 100;
+    cfg.verifyWakeContract = true;
+    Network net(topo, algo, nullptr, cfg);
+
+    // Strand router 1: its wakes are swallowed every cycle, so a
+    // flit sent to it parks on the wire with no consumer — the
+    // exact signature of a kernel missed-wake bug.
+    net.debugSuppressComponent(1);
+    net.terminal(0).enqueuePacket(net.now(), 4, false);
+    for (int c = 0; c < 2000 && !net.stalled(); ++c)
+        net.step();
+    ASSERT_TRUE(net.stalled());
+
+    // The shadow verifier caught the (injected) divergence live.
+    ASSERT_TRUE(net.wakeDivergence().has_value());
+    EXPECT_TRUE(net.wakeDivergence()->injected);
+    EXPECT_EQ(net.wakeDivergence()->component, 1u);
+    EXPECT_GT(net.wakeChecks(), 0u);
+
+    const StallDiagnosis diag = analyzeStall(net);
+    EXPECT_EQ(diag.cls, StallClass::kKernelBug);
+    EXPECT_EQ(diag.strandedComponent, 1);
+    EXPECT_NE(diag.summary().find("wake contract"),
+              std::string::npos);
+
+    // Recovery for a missed wake is a full re-wake (nothing is
+    // killed); once the suppression is lifted the packet delivers.
+    net.debugClearSuppressed();
+    const RecoveryReport rep =
+        applyRecovery(net, diag, RecoveryPolicy::kKillVictim);
+    EXPECT_EQ(rep.packetsKilled, 0);
+    for (int c = 0; c < 2000 && !net.quiescent(); ++c)
+        net.step();
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_EQ(net.stats().packetsEjected, 1u);
+    EXPECT_EQ(net.checkInvariants(), "");
+}
+
+TEST(Liveness, VerifierCleanOnHealthyTraffic)
+{
+    FlattenedButterfly topo(4, 2);
+    MinAdaptive algo(topo);
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    cfg.verifyWakeContract = true;
+    Network net(topo, algo, nullptr, cfg);
+
+    for (int c = 0; c < 400; ++c) {
+        net.terminal(static_cast<NodeId>(c % 16))
+            .enqueuePacket(net.now(),
+                           static_cast<NodeId>((c * 7 + 3) % 16),
+                           false);
+        net.step();
+    }
+    for (int c = 0; c < 2000 && !net.quiescent(); ++c)
+        net.step();
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_TRUE(net.verifyingWakes());
+    EXPECT_GT(net.wakeChecks(), 0u);
+    EXPECT_FALSE(net.wakeDivergence().has_value());
+}
+
+TEST(Liveness, StallDumpCarriesActiveSetState)
+{
+    // The PR 7 kernel's scheduling state must be visible in the
+    // stall dump next to the classified diagnosis.
+    FlattenedButterfly topo(4, 2);
+    DimensionOrder algo(topo);
+    FaultModel fm(topo);
+    ASSERT_GT(fm.failLinkBetween(0, 1), 0);
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    cfg.faults = &fm;
+    cfg.watchdogCycles = 100;
+    Network net(topo, algo, nullptr, cfg);
+    net.terminal(0).enqueuePacket(net.now(), 4, false);
+    for (int c = 0; c < 2000 && !net.stalled(); ++c)
+        net.step();
+    ASSERT_TRUE(net.stalled());
+    const std::string dump = net.stallDump();
+    EXPECT_NE(dump.find("active-set:"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("queued-next:"), std::string::npos) << dump;
+}
+
+TEST(Liveness, NamesAndJson)
+{
+    EXPECT_STREQ(toString(StallClass::kDeadlock), "deadlock");
+    EXPECT_STREQ(toString(StallClass::kStarvation), "starvation");
+    EXPECT_STREQ(toString(StallClass::kUnreachable), "unreachable");
+    EXPECT_STREQ(toString(StallClass::kKernelBug), "kernel-bug");
+    EXPECT_STREQ(toString(RecoveryPolicy::kAbort), "abort");
+    EXPECT_STREQ(toString(RecoveryPolicy::kKillVictim),
+                 "kill-victim");
+    EXPECT_STREQ(toString(RecoveryPolicy::kEscapeDrain),
+                 "escape-drain");
+    EXPECT_STREQ(toString(LoadPointStatus::kDeadlockRecovered),
+                 "deadlock-recovered");
+
+    LivenessConfig cfg;
+    cfg.policy = RecoveryPolicy::kKillVictim;
+    StallDiagnosis d;
+    d.cls = StallClass::kDeadlock;
+    d.cycle = 42;
+    CycleMember m;
+    m.arc = 3;
+    m.src = 0;
+    m.dst = 1;
+    m.vc = 0;
+    d.cycleMembers.push_back(m);
+    RecoveryReport r;
+    r.policy = RecoveryPolicy::kKillVictim;
+    r.flitsKilled = 2;
+    r.packetsKilled = 1;
+    r.actions.push_back({1, 0, 0, 9, 2});
+
+    const std::string js = livenessJson(cfg, {d}, {r});
+    EXPECT_NE(js.find("\"liveness\": {"), std::string::npos) << js;
+    EXPECT_NE(js.find("\"policy\": \"kill-victim\""),
+              std::string::npos);
+    EXPECT_NE(js.find("\"class\": \"deadlock\""), std::string::npos);
+    EXPECT_NE(js.find("\"cycle\": 42"), std::string::npos);
+    EXPECT_NE(js.find("\"packets_killed\": 1"), std::string::npos);
+    EXPECT_NE(js.find("\"kind\": \"kill\""), std::string::npos);
+    // The fragment splices into a JSON object: no trailing comma,
+    // balanced braces.
+    EXPECT_EQ(js.back(), '}');
+}
+
+} // namespace
+} // namespace fbfly

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for RingQueue (common/ring_queue.h), the flat circular
+ * FIFO under channel wires, ack lanes, replay windows and VC
+ * buffers.  Covers geometric growth with relinearization, index
+ * wraparound, erase_at's shorter-side shift on both halves, and
+ * clear() keeping the allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/ring_queue.h"
+
+namespace fbfly
+{
+namespace
+{
+
+std::vector<int>
+contents(const RingQueue<int> &q)
+{
+    std::vector<int> out;
+    for (std::size_t i = 0; i < q.size(); ++i)
+        out.push_back(q[i]);
+    return out;
+}
+
+TEST(RingQueue, FifoOrderAndIndexedAccess)
+{
+    RingQueue<int> q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.capacity(), 0u); // allocation deferred to first push
+    for (int i = 0; i < 5; ++i)
+        q.push_back(i);
+    EXPECT_EQ(q.size(), 5u);
+    EXPECT_EQ(q.capacity(), 8u); // first allocation
+    EXPECT_EQ(q.front(), 0);
+    EXPECT_EQ(q[4], 4);
+    q.pop_front();
+    EXPECT_EQ(q.front(), 1);
+    EXPECT_EQ(contents(q), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(RingQueue, InitialCapacityRoundsToPowerOfTwo)
+{
+    RingQueue<int> q(5);
+    EXPECT_EQ(q.capacity(), 8u);
+    RingQueue<int> q2(16);
+    EXPECT_EQ(q2.capacity(), 16u);
+}
+
+TEST(RingQueue, WrapsAroundWithoutGrowing)
+{
+    RingQueue<int> q(4);
+    // Drive head_ around the ring: push/pop in lockstep keeps size 1
+    // while the physical index wraps several times.
+    q.push_back(0);
+    for (int i = 1; i < 20; ++i) {
+        q.push_back(i);
+        EXPECT_EQ(q.front(), i - 1);
+        q.pop_front();
+    }
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.capacity(), 4u); // never grew
+    EXPECT_EQ(q.front(), 19);
+}
+
+TEST(RingQueue, GrowRelinearizesWrappedContents)
+{
+    RingQueue<int> q(4);
+    for (int i = 0; i < 4; ++i)
+        q.push_back(i);
+    q.pop_front();
+    q.pop_front();
+    q.push_back(4);
+    q.push_back(5); // physically wrapped: [4,5,2,3]
+    EXPECT_EQ(q.capacity(), 4u);
+    q.push_back(6); // forces 4 -> 8 growth mid-wrap
+    EXPECT_EQ(q.capacity(), 8u);
+    EXPECT_EQ(contents(q), (std::vector<int>{2, 3, 4, 5, 6}));
+    q.push_back(7);
+    q.push_back(8);
+    q.push_back(9); // fills capacity 8 exactly
+    EXPECT_EQ(q.capacity(), 8u);
+    q.push_back(10); // 8 -> 16
+    EXPECT_EQ(q.capacity(), 16u);
+    EXPECT_EQ(contents(q),
+              (std::vector<int>{2, 3, 4, 5, 6, 7, 8, 9, 10}));
+}
+
+TEST(RingQueue, EraseAtShiftsShorterSide)
+{
+    RingQueue<int> q;
+    for (int i = 0; i < 7; ++i)
+        q.push_back(i);
+    // Front half: erasing index 1 shifts elements before it up.
+    EXPECT_EQ(q.erase_at(1), 1);
+    EXPECT_EQ(contents(q), (std::vector<int>{0, 2, 3, 4, 5, 6}));
+    // Back half: erasing a late index shifts the tail down.
+    EXPECT_EQ(q.erase_at(4), 5);
+    EXPECT_EQ(contents(q), (std::vector<int>{0, 2, 3, 4, 6}));
+    // Endpoints.
+    EXPECT_EQ(q.erase_at(0), 0);
+    EXPECT_EQ(q.erase_at(q.size() - 1), 6);
+    EXPECT_EQ(contents(q), (std::vector<int>{2, 3, 4}));
+    // Down to empty.
+    EXPECT_EQ(q.erase_at(1), 3);
+    EXPECT_EQ(q.erase_at(1), 4);
+    EXPECT_EQ(q.erase_at(0), 2);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, EraseAtWorksWhenWrapped)
+{
+    RingQueue<int> q(4);
+    for (int i = 0; i < 4; ++i)
+        q.push_back(i);
+    q.pop_front();
+    q.pop_front();
+    q.push_back(4);
+    q.push_back(5); // logical [2,3,4,5], physically wrapped
+    EXPECT_EQ(q.erase_at(2), 4);
+    EXPECT_EQ(contents(q), (std::vector<int>{2, 3, 5}));
+    EXPECT_EQ(q.erase_at(0), 2);
+    EXPECT_EQ(contents(q), (std::vector<int>{3, 5}));
+}
+
+TEST(RingQueue, ClearKeepsAllocation)
+{
+    RingQueue<std::string> q;
+    for (int i = 0; i < 10; ++i)
+        q.emplace_back("flit-" + std::to_string(i));
+    const std::size_t cap = q.capacity();
+    EXPECT_EQ(cap, 16u);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.capacity(), cap); // buffer retained
+    q.push_back("fresh");
+    EXPECT_EQ(q.front(), "fresh");
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(RingQueue, EmplaceReturnsSlotReference)
+{
+    RingQueue<std::pair<int, int>> q;
+    auto &slot = q.emplace_back(3, 4);
+    EXPECT_EQ(slot.first, 3);
+    slot.second = 9;
+    EXPECT_EQ(q.front().second, 9);
+}
+
+} // namespace
+} // namespace fbfly

@@ -9,6 +9,12 @@ metadata keys of the fbfly-sweep-v1 document) from both files and
 fails when any load point of the current run falls below
 ``THRESHOLD`` times the committed baseline.
 
+Documents without step_rate metadata (e.g. BENCH_churn_sweep.json)
+fall back to per-point simulated-cycles-per-wall-second rates derived
+from the ``warmup_cycles``/``horizon_cycles`` metadata and each
+point's ``wall_seconds`` — the same parachute, one lane per sweep
+point.
+
 The committed baseline (BENCH_micro_kernel.json) is recorded on a
 quiet dedicated machine; CI runners are slower and noisy, so the
 threshold is deliberately generous — this is a parachute against
@@ -33,7 +39,31 @@ def step_rates(path):
         if key.startswith("step_rate_cycles_per_sec_")
     }
     if not rates:
-        sys.exit(f"error: no step_rate metadata in {path}")
+        rates = point_rates(doc, meta, path)
+    if not rates:
+        sys.exit(f"error: no rate data derivable from {path}")
+    return rates
+
+
+def point_rates(doc, meta, path):
+    """Fallback lane per sweep point: simulated cycles / wall second,
+    for documents (churn sweeps) that carry no step_rate metadata."""
+    try:
+        cycles = float(meta["warmup_cycles"]) + float(
+            meta["horizon_cycles"])
+    except (KeyError, ValueError):
+        return {}
+    if cycles <= 0:
+        return {}
+    rates = {}
+    for point in doc.get("points", []):
+        wall = point.get("wall_seconds")
+        if not isinstance(wall, (int, float)) or wall <= 0:
+            print(f"note: skipping point {point.get('index')} of "
+                  f"{path} (no usable wall_seconds)")
+            continue
+        key = f"point_{point.get('index')}_{point.get('series', '')}"
+        rates[key] = cycles / wall
     return rates
 
 
