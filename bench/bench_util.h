@@ -89,6 +89,9 @@ struct BenchOptions
     /** Chrome-trace output path (--trace-out; empty: derive
      *  <bench>.trace.json). */
     std::string traceOut;
+    /** Intra-point step-engine shards (--shards; NetworkConfig::
+     *  shards — results are bit-identical for every N). */
+    int shards = 1;
 };
 
 /**
@@ -101,13 +104,16 @@ parseBenchOptions(int argc, char **argv)
     const auto usage = [&](int status) {
         std::fprintf(
             stderr,
-            "usage: %s [--threads N] [--json PATH] [--seed S] "
-            "[--trace] [--trace-out PATH]\n"
+            "usage: %s [--threads N] [--shards N] [--json PATH] "
+            "[--seed S] [--trace] [--trace-out PATH]\n"
             "  --threads N  worker threads for independent sweep "
             "points\n"
             "               (0: all hardware threads; default 1; "
             "results are\n"
             "               identical for every N)\n"
+            "  --shards N   step-engine shards inside each point "
+            "(default 1;\n"
+            "               results are bit-identical for every N)\n"
             "  --json PATH  also write results as fbfly-sweep-v1 "
             "JSON\n"
             "  --seed S     master seed (default 2007)\n"
@@ -148,6 +154,14 @@ parseBenchOptions(int argc, char **argv)
             opt.threads = static_cast<int>(std::strtol(v, &end, 10));
             if (end == v || *end != '\0' || opt.threads < 0) {
                 std::fprintf(stderr, "%s: bad --threads '%s'\n",
+                             argv[0], v);
+                usage(2);
+            }
+        } else if (const char *v = value(i, arg, "--shards")) {
+            char *end = nullptr;
+            opt.shards = static_cast<int>(std::strtol(v, &end, 10));
+            if (end == v || *end != '\0' || opt.shards < 1) {
+                std::fprintf(stderr, "%s: bad --shards '%s'\n",
                              argv[0], v);
                 usage(2);
             }
@@ -250,7 +264,9 @@ finishBench(const SweepEngine &engine, const BenchOptions &opt,
             const std::string &bench_name,
             const std::string &description = std::string(),
             std::vector<std::pair<std::string, std::string>> extra =
-                {})
+                {},
+            std::vector<std::pair<std::string, double>>
+                extra_numbers = {})
 {
     std::printf("\n# %zu points, %d thread(s): %.2fs wall "
                 "(serial-equivalent %.2fs, speedup %.2fx)\n",
@@ -297,6 +313,7 @@ finishBench(const SweepEngine &engine, const BenchOptions &opt,
     meta.bench = bench_name;
     meta.description = description;
     meta.extra = std::move(extra);
+    meta.extraNumbers = std::move(extra_numbers);
     meta.traceFile = trace_file;
     if (writeSweepResults(opt.jsonPath, meta, engine))
         std::printf("# wrote %s\n", opt.jsonPath.c_str());

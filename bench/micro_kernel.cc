@@ -98,24 +98,24 @@ main(int argc, char **argv)
     printLoadRecords(engine.run());
 
     // Serial hot-path kernels (regression guard for the step loop).
+    // Rates are numeric metadata (JSON numbers, not strings — the
+    // fbfly-sweep-v1 schema test enforces this).
     std::printf("\n# step-loop kernels (serial)\n");
-    std::vector<std::pair<std::string, std::string>> extra;
+    std::vector<std::pair<std::string, double>> extra_numbers;
     for (const double load : {0.02, 0.1, 0.5, 0.9}) {
         const double rate = stepRate(load);
         std::printf("step rate @ load %.2f: %.0f cycles/s\n", load,
                     rate);
         char key[48];
-        char value[32];
         std::snprintf(key, sizeof key,
                       "step_rate_cycles_per_sec_load_%02d",
                       static_cast<int>(load * 100));
-        std::snprintf(value, sizeof value, "%.0f", rate);
-        extra.emplace_back(key, value);
+        extra_numbers.emplace_back(key, rate);
     }
 
     finishBench(engine, opt, "micro_kernel",
                 "kernel micro-benchmark: sweep-engine smoke sweep + "
                 "serial step-loop rates",
-                std::move(extra));
+                {}, std::move(extra_numbers));
     return 0;
 }

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Peak resident-set-size probe for the memory-lean scale work
+ * (bench/xscale_sweep, tests/test_shard_determinism.cc).
+ *
+ * Deliberately NOT part of MetricsRegistry: RSS is process-global
+ * wall-clock state, and registries must stay bit-identical across
+ * thread/shard counts (the obs determinism contract).
+ */
+
+#ifndef FBFLY_COMMON_RSS_H
+#define FBFLY_COMMON_RSS_H
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace fbfly
+{
+
+/** Peak resident set size of this process in bytes, or 0 when the
+ *  platform offers no getrusage().  Linux reports ru_maxrss in KiB,
+ *  macOS in bytes. */
+inline std::uint64_t
+peakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru {};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+#else
+    return 0;
+#endif
+}
+
+} // namespace fbfly
+
+#endif // FBFLY_COMMON_RSS_H

@@ -229,6 +229,14 @@ sweepResultsToJson(const SweepRunMeta &meta,
         jsonString(os, value);
         first = false;
     }
+    for (const auto &[key, value] : meta.extraNumbers) {
+        if (!first)
+            os << ", ";
+        jsonString(os, key);
+        os << ": ";
+        jsonNumber(os, value);
+        first = false;
+    }
     os << "},\n  \"points\": [\n";
     for (std::size_t i = 0; i < records.size(); ++i) {
         writePoint(os, records[i]);

@@ -44,6 +44,11 @@ struct SweepRunMeta
     std::string description;
     /** Extra string key/value pairs merged into "metadata". */
     std::vector<std::pair<std::string, std::string>> extra;
+    /** Extra *numeric* key/value pairs merged into "metadata" —
+     *  emitted as JSON numbers (round-trip-exact, NaN -> null),
+     *  never as quoted strings.  Use this for rates/counts so
+     *  downstream tooling can consume them without parsing. */
+    std::vector<std::pair<std::string, double>> extraNumbers;
     /** Path of the Chrome-trace JSON written for this run ("" when
      *  tracing was off); serialized as top-level "trace_file" (null
      *  when empty).  See docs/OBSERVABILITY.md. */

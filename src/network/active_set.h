@@ -29,6 +29,17 @@
  * index — the same order as the pre-rewrite full loops — so RNG
  * streams, arbitration and traces stay bit-identical (verified by
  * the golden-trace and idle-equivalence fixtures).
+ *
+ * Sharded stepping (Network cfg.shards > 1, DESIGN.md "Sharded
+ * step engine"): phase workers must not mutate the shared bitmask or
+ * heap concurrently, so each shard stages its wakes into a private
+ * WakeStage installed thread-locally (stageWakesTo).  Next-cycle
+ * wakes land in a per-shard mask (merged with a commutative OR at
+ * commit); later timed wakes are recorded in call order and replayed
+ * through the real wakeAt() serially, in ascending-shard segment
+ * order — the exact order the sequential loop would have issued
+ * them, so the heap contents, push order and the per-component
+ * duplicate suppression (lastAt_) stay bit-identical.
  */
 
 #ifndef FBFLY_NETWORK_ACTIVE_SET_H
@@ -54,6 +65,53 @@ namespace fbfly
 class ActiveSet
 {
   public:
+    /**
+     * Per-shard wake staging buffer for phased (parallel) stepping.
+     * While installed via stageWakesTo(), wakeNext()/wakeAt() record
+     * into it instead of the shared state:
+     *  - wakes due at or before `horizon` (the next cycle) set a bit
+     *    in `mask` (order-insensitive: OR-merged at commit);
+     *  - later wakes append to `timers` in call order, partitioned
+     *    into phase segments by mark(); commit replays each segment
+     *    through the real wakeAt() in ascending-shard order.
+     */
+    struct WakeStage
+    {
+        std::vector<std::uint64_t> mask;
+        /** (component, due cycle) in call order. */
+        std::vector<std::pair<std::uint32_t, Cycle>> timers;
+        /** Segment end offsets into `timers` (one per mark()). */
+        std::vector<std::size_t> seg;
+        /** Wakes due at or before this cycle go into `mask`. */
+        Cycle horizon = 0;
+
+        void reset(std::size_t words, Cycle horizon_cycle)
+        {
+            mask.assign(words, 0);
+            timers.clear();
+            seg.clear();
+            horizon = horizon_cycle;
+        }
+
+        /** Close the current phase segment. */
+        void mark() { seg.push_back(timers.size()); }
+    };
+
+    /** Install @p stage as this thread's wake redirect (nullptr to
+     *  restore direct operation).  Thread-local: phase workers of a
+     *  sharded step each stage into their own shard's buffer. */
+    static void stageWakesTo(WakeStage *stage) { tlsStage_ = stage; }
+
+    /** RAII installer for stageWakesTo(). */
+    class StageGuard
+    {
+      public:
+        explicit StageGuard(WakeStage *stage) { stageWakesTo(stage); }
+        ~StageGuard() { stageWakesTo(nullptr); }
+        StageGuard(const StageGuard &) = delete;
+        StageGuard &operator=(const StageGuard &) = delete;
+    };
+
     /** Size the set for @p n components and wake them all for the
      *  first cycle (cycle 0 must step everything once so initial
      *  state — queued packets, pre-applied faults — is observed). */
@@ -74,6 +132,10 @@ class ActiveSet
     /** Mark component @p c runnable in the next beginCycle(). */
     void wakeNext(std::uint32_t c)
     {
+        if (WakeStage *s = tlsStage_; s != nullptr) {
+            s->mask[c >> 6] |= std::uint64_t{1} << (c & 63);
+            return;
+        }
         next_[c >> 6] |= std::uint64_t{1} << (c & 63);
     }
 
@@ -96,6 +158,13 @@ class ActiveSet
      */
     void wakeAt(std::uint32_t c, Cycle at)
     {
+        if (WakeStage *s = tlsStage_; s != nullptr) {
+            if (at <= s->horizon)
+                s->mask[c >> 6] |= std::uint64_t{1} << (c & 63);
+            else
+                s->timers.emplace_back(c, at);
+            return;
+        }
         if (at <= nextCycle_) {
             wakeNext(c);
             return;
@@ -165,6 +234,36 @@ class ActiveSet
                 f(c);
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded-step commit (called serially, with no stage installed).
+
+    /** Words in the next-generation mask (WakeStage sizing). */
+    std::size_t maskWords() const { return next_.size(); }
+
+    /** OR a staged next-cycle mask into the shared next generation.
+     *  Commutative: shard merge order does not matter. */
+    void mergeStagedMask(const WakeStage &s)
+    {
+        FBFLY_ASSERT(s.mask.size() == next_.size(),
+                     "staged wake mask width mismatch");
+        for (std::size_t w = 0; w < next_.size(); ++w)
+            next_[w] |= s.mask[w];
+    }
+
+    /** Replay phase segment @p seg_index of a staged timer list
+     *  through the real wakeAt() (call with ascending shards per
+     *  segment to reproduce the sequential issue order). */
+    void replayStagedTimers(const WakeStage &s, std::size_t seg_index)
+    {
+        FBFLY_ASSERT(seg_index < s.seg.size(),
+                     "staged timer segment out of range");
+        const std::size_t lo =
+            seg_index == 0 ? 0 : s.seg[seg_index - 1];
+        const std::size_t hi = s.seg[seg_index];
+        for (std::size_t i = lo; i < hi; ++i)
+            wakeAt(s.timers[i].first, s.timers[i].second);
     }
 
     // ------------------------------------------------------------------
@@ -241,6 +340,10 @@ class ActiveSet
     static constexpr Cycle kNeverQueued = ~Cycle{0};
 
   private:
+    /** Per-thread wake redirect for phased stepping (null when the
+     *  thread writes the shared state directly). */
+    static inline thread_local WakeStage *tlsStage_ = nullptr;
+
     std::vector<std::uint64_t> cur_;
     std::vector<std::uint64_t> next_;
     /** Last cycle queued in the heap per component (duplicate

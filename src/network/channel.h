@@ -145,6 +145,17 @@ class Channel
     /** True once enableReliability() has been called. */
     bool reliable() const { return rel_ != nullptr; }
 
+    /** Pre-size the per-VC in-flight accounting for @p num_vcs VCs
+     *  so the hot send path never grows it (one up-front allocation
+     *  per channel instead of demand growth; the grow-on-demand
+     *  fallback stays for standalone channels in tests). */
+    void reserveVcs(int num_vcs)
+    {
+        if (num_vcs > 0 &&
+            inFlightVc_.size() < static_cast<std::size_t>(num_vcs))
+            inFlightVc_.resize(static_cast<std::size_t>(num_vcs), 0);
+    }
+
     /** True if the channel is alive, bandwidth allows a flit to enter
      *  at cycle @p now, and (reliable mode) the replay window has
      *  room and no retransmission round is in progress. */

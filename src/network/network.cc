@@ -57,6 +57,8 @@ Network::validate(const Topology &topo, const RoutingAlgorithm &algo,
         add("channelPeriod must be >= 1");
     if (cfg.terminalLatency < 1)
         add("terminalLatency must be >= 1");
+    if (cfg.shards < 1)
+        add("shards must be >= 1 (got ", cfg.shards, ")");
 
     // --- Topology wiring -------------------------------------------
     const auto arcs = topo.arcs();
@@ -212,6 +214,15 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
         FBFLY_ASSERT(bad.empty(), "error model rates invalid:\n",
                      bad);
     }
+    // One contiguous allocation for every channel (inter-router arcs
+    // plus one injection + one ejection lane per node).  Reserving
+    // the exact count up front keeps the Channel* wiring below stable
+    // and replaces the former deque's per-block overhead — part of
+    // the memory-lean contract for 100k-terminal networks.
+    const std::size_t total_channels =
+        arcs_.size() +
+        2 * static_cast<std::size_t>(topo.numNodes());
+    channels_.reserve(total_channels);
     Rng linkRngs = master.split(0x4c696e6b52656cULL); // "LinkRel"
     for (std::size_t i = 0; i < arcs_.size(); ++i) {
         const auto &arc = arcs_[i];
@@ -219,6 +230,7 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
             ? cfg.channelLatency : cfg.arcLatencies[i];
         channels_.emplace_back(latency, cfg.channelPeriod);
         Channel *ch = &channels_.back();
+        ch->reserveVcs(cfg.numVcs);
         if (reliable_links) {
             LinkReliabilityConfig rc = cfg.linkRetry;
             rc.enabled = true;
@@ -274,6 +286,7 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
 
         channels_.emplace_back(cfg.terminalLatency, Cycle{1});
         Channel *inj = &channels_.back();
+        inj->reserveVcs(cfg.numVcs);
         term.connectToRouter(inj);
         routers_[topo.injectionRouter(n)]
             .connectInput(topo.injectionPort(n), inj);
@@ -281,12 +294,16 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
 
         channels_.emplace_back(cfg.terminalLatency, Cycle{1});
         Channel *ej = &channels_.back();
+        ej->reserveVcs(cfg.numVcs);
         routers_[topo.ejectionRouter(n)]
             .connectOutput(topo.ejectionPort(n), ej,
                            Router::kInfiniteCredits);
         term.connectFromRouter(ej);
         ejChannels_.push_back(ej);
     }
+    FBFLY_ASSERT(channels_.size() == total_channels,
+                 "channel reserve mismatch: ", channels_.size(),
+                 " built vs ", total_channels, " reserved");
 
     // Active-set scheduler wiring: routers are components [0, R),
     // terminals [R, R + N).  Each channel wakes its endpoints when
@@ -367,6 +384,38 @@ Network::Network(const Topology &topo, RoutingAlgorithm &algo,
     if (const char *env = std::getenv("FBFLY_VERIFY_WAKES");
         env != nullptr && std::string_view(env) != "0")
         verifyWakes_ = true;
+
+    // Sharded step engine (DESIGN.md).  Reliable channels carry
+    // go-back-N transmitter/receiver state that both endpoints touch
+    // in both phases, so those configurations fall back to the
+    // sequential loop — which is what they produced before anyway
+    // (bit-identical by construction).
+    int shard_count = std::max(1, cfg.shards);
+    shard_count = std::min(shard_count, std::max(1, num_routers));
+    if (reliable_links)
+        shard_count = 1;
+    shardCount_ = shard_count;
+    if (shardCount_ > 1) {
+        shards_.resize(static_cast<std::size_t>(shardCount_));
+        const auto R = static_cast<std::uint64_t>(num_routers);
+        const auto N = static_cast<std::uint64_t>(num_nodes);
+        for (int s = 0; s < shardCount_; ++s) {
+            ShardContext &sc = shards_[static_cast<std::size_t>(s)];
+            sc.routerLo =
+                static_cast<std::uint32_t>(R * s / shardCount_);
+            sc.routerHi =
+                static_cast<std::uint32_t>(R * (s + 1) / shardCount_);
+            sc.termLo = static_cast<std::uint32_t>(
+                R + N * s / shardCount_);
+            sc.termHi = static_cast<std::uint32_t>(
+                R + N * (s + 1) / shardCount_);
+            // Terminals report stats through their shard's deferred
+            // sink from now on (shards_ never reallocates again).
+            for (std::uint32_t c = sc.termLo; c < sc.termHi; ++c)
+                terminals_[c - R].setShardSink(&sc.term);
+        }
+        pool_ = std::make_unique<PhasePool>(shardCount_ - 1);
+    }
 }
 
 void
@@ -646,7 +695,9 @@ Network::step()
     if (verifyWakes_)
         verifyWakes(t);
 
-    if (anyActive) {
+    if (anyActive && shardCount_ > 1) {
+        stepPhased(t);
+    } else if (anyActive) {
         const std::uint64_t ejected0 = stats_.flitsEjected;
         const std::uint64_t injected0 = stats_.flitsInjected;
         const std::uint64_t dropped0 = stats_.flitsDropped;
@@ -711,6 +762,171 @@ Network::step()
         FBFLY_ASSERT(violation.empty(),
                      "conservation invariant violated at cycle ",
                      now_, ":\n", violation);
+    }
+}
+
+void
+Network::stepPhased(Cycle t)
+{
+    const auto num_routers =
+        static_cast<std::uint32_t>(routers_.size());
+    const auto num_comps = static_cast<std::uint32_t>(
+        routers_.size() + terminals_.size());
+
+    const std::uint64_t ejected0 = stats_.flitsEjected;
+    const std::uint64_t injected0 = stats_.flitsInjected;
+    const std::uint64_t dropped0 = stats_.flitsDropped;
+
+    const std::size_t words = active_.maskWords();
+    for (ShardContext &sc : shards_) {
+        sc.wake.reset(words, t + 1);
+        sc.trace.reset();
+        sc.term.reset();
+        sc.moved = 0;
+        sc.dropFlits = 0;
+        sc.dropPackets = 0;
+        sc.dropMeasured = 0;
+    }
+
+    // Hoisted exactly like the sequential loop; nothing in the
+    // receive phase can flip the allocator discipline.
+    algoSequential_ = algo_.sequential();
+
+    // PHASE A (parallel): routers drain arrivals, terminals drain
+    // ejects/credits and plan this cycle's injection from
+    // terminal-local state.  Each endpoint of a channel touches a
+    // disjoint field set (receiveFlit side vs receiveCredit side),
+    // and all wakes/traces go to per-shard staging via TLS.
+    pool_->run([&, t](int s) {
+        ShardContext &sc = shards_[static_cast<std::size_t>(s)];
+        ActiveSet::StageGuard wakes(&sc.wake);
+        TraceSink::StageGuard traces(
+            cfg_.trace != nullptr ? &sc.trace : nullptr);
+        active_.forEachIn(sc.routerLo, sc.routerHi,
+                          [&](std::uint32_t c) {
+                              routers_[c].receive(t);
+                          });
+        sc.wake.mark();
+        sc.trace.mark();
+        active_.forEachIn(sc.termLo, sc.termHi,
+                          [&](std::uint32_t c) {
+                              Terminal &term =
+                                  terminals_[c - num_routers];
+                              term.receive(t);
+                              term.planInject(t);
+                          });
+        sc.wake.mark();
+        sc.trace.mark();
+    });
+
+    // Serial: assign packet/flit ids to the planned injections in
+    // ascending terminal order — the exact order the sequential
+    // advance phase draws them from the global counters.
+    active_.forEachIn(num_routers, num_comps, [&](std::uint32_t c) {
+        terminals_[c - num_routers].assignPlannedIds();
+    });
+
+    // PHASE B (parallel): routers route + traverse, terminals send
+    // their planned flit.  Channel field sets are again disjoint per
+    // endpoint (sendFlit side vs sendCredit side).
+    pool_->run([&, t](int s) {
+        ShardContext &sc = shards_[static_cast<std::size_t>(s)];
+        ActiveSet::StageGuard wakes(&sc.wake);
+        TraceSink::StageGuard traces(
+            cfg_.trace != nullptr ? &sc.trace : nullptr);
+        active_.forEachIn(
+            sc.routerLo, sc.routerHi, [&](std::uint32_t c) {
+                Router &r = routers_[c];
+                sc.moved +=
+                    r.routeAndTraverse(t, algo_, algoSequential_);
+                if (r.hasPendingDrops()) {
+                    r.drainPendingDrops(sc.dropFlits, sc.dropPackets,
+                                        sc.dropMeasured);
+                }
+                if (r.bufferedFlits() > 0)
+                    active_.wakeNext(c); // staged
+            });
+        sc.wake.mark();
+        sc.trace.mark();
+        active_.forEachIn(
+            sc.termLo, sc.termHi, [&](std::uint32_t c) {
+                Terminal &term = terminals_[c - num_routers];
+                term.executeInject(t);
+                if (term.sourceQueueLength() > 0 || term.midPacket())
+                    active_.wakeNext(c); // staged
+            });
+        sc.wake.mark();
+        sc.trace.mark();
+    });
+
+    commitPhased(t);
+
+    int moved = 0;
+    for (const ShardContext &sc : shards_)
+        moved += sc.moved;
+    if (moved > 0 || stats_.flitsEjected != ejected0 ||
+        stats_.flitsInjected != injected0 ||
+        stats_.flitsDropped != dropped0) {
+        lastProgress_ = t;
+    }
+}
+
+void
+Network::commitPhased(Cycle t)
+{
+    // 1. Timed wakes and trace records, replayed per phase segment
+    //    in ascending shard order — shard concatenation of ascending
+    //    contiguous id ranges is exactly the sequential call order,
+    //    so the wake heap (push order, lastAt_ dedup) and the trace
+    //    ring (contents, overwrite behavior) come out bit-identical.
+    constexpr std::size_t kSegments = 4;
+    for (std::size_t seg = 0; seg < kSegments; ++seg) {
+        for (ShardContext &sc : shards_) {
+            active_.replayStagedTimers(sc.wake, seg);
+            if (cfg_.trace != nullptr)
+                cfg_.trace->replayStaged(sc.trace, seg);
+        }
+    }
+
+    // 2. Next-cycle wake masks: a commutative OR.
+    for (ShardContext &sc : shards_)
+        active_.mergeStagedMask(sc.wake);
+
+    // 3. Stats and oracle callbacks.  Sequential intra-cycle order is
+    //    every eject (receive phase, ascending terminal) before every
+    //    inject (advance phase, ascending terminal); Welford /
+    //    histogram adds are order-sensitive doubles, so replay in
+    //    exactly that order.
+    DeliveryOracle *oracle = cfg_.oracle;
+    for (ShardContext &sc : shards_) {
+        Terminal::ShardSink &k = sc.term;
+        stats_.flitsEjected += k.flitsEjected;
+        stats_.hopsEjected += k.hopsEjected;
+        stats_.packetsEjected += k.packetsEjected;
+        for (const Flit &f : k.measuredEjects) {
+            if (oracle != nullptr)
+                oracle->onEject(f);
+            ++stats_.measuredEjected;
+            const auto lat = static_cast<double>(t - f.createTime);
+            stats_.packetLatency.add(lat);
+            stats_.networkLatency.add(
+                static_cast<double>(t - f.injectTime));
+            stats_.hops.add(f.hops);
+            stats_.latencyHist.add(t - f.createTime);
+        }
+    }
+    for (ShardContext &sc : shards_) {
+        Terminal::ShardSink &k = sc.term;
+        stats_.flitsInjected += k.flitsInjected;
+        stats_.pendingPackets += k.pendingPacketsDelta;
+        stats_.midPacketTerminals += k.midPacketDelta;
+        if (oracle != nullptr) {
+            for (const Flit &f : k.measuredInjects)
+                oracle->onInject(f);
+        }
+        stats_.flitsDropped += sc.dropFlits;
+        stats_.packetsUnreachable += sc.dropPackets;
+        stats_.measuredDropped += sc.dropMeasured;
     }
 }
 

@@ -12,7 +12,7 @@
 #ifndef FBFLY_NETWORK_NETWORK_H
 #define FBFLY_NETWORK_NETWORK_H
 
-#include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -22,7 +22,9 @@
 #include "network/active_set.h"
 #include "network/channel.h"
 #include "network/router.h"
+#include "network/shard_pool.h"
 #include "network/terminal.h"
+#include "obs/trace.h"
 #include "sim/stats.h"
 #include "topology/topology.h"
 
@@ -65,6 +67,19 @@ struct NetworkConfig
     Cycle terminalLatency = 1;
     /** Master seed; all component streams derive from it. */
     std::uint64_t seed = 1;
+
+    /**
+     * Shards the step loop partitions routers/terminals into
+     * (DESIGN.md "Sharded step engine").  1 (the default) runs the
+     * sequential loop; N > 1 runs each cycle as barrier-synced
+     * phases on N threads with a serial commit, **bit-identical** to
+     * the sequential loop for any N — traces, stats, RNG streams and
+     * wake order all match (tests/test_shard_determinism.cc).
+     * Clamped to the router count; configurations with link-layer
+     * retry or an error model fall back to 1 shard (reliable
+     * channels carry shared protocol state across phases).
+     */
+    int shards = 1;
 
     /** Fault set to apply (nullptr: fault-free).  Must be built over
      *  the same topology and outlive the network.  Arcs and routers
@@ -275,6 +290,10 @@ class Network
 
     /** Current cycle (cycles completed). */
     Cycle now() const { return now_; }
+
+    /** Shards the step loop actually runs with (cfg.shards after
+     *  clamping and the reliable-link fallback). */
+    int shardCount() const { return shardCount_; }
 
     Terminal &terminal(NodeId n) { return terminals_[n]; }
     const Terminal &terminal(NodeId n) const { return terminals_[n]; }
@@ -491,7 +510,12 @@ class Network
     PacketId nextPacket_ = 0;
     FlitId nextFlit_ = 0;
 
-    std::deque<Channel> channels_;
+    /** All channels (inter-router by arc index, then one
+     *  injection + one ejection channel per node).  Sized exactly
+     *  once with reserve() before wiring — pointers into it stay
+     *  stable and the storage is one contiguous allocation (the
+     *  memory-lean contract for 100k-terminal networks). */
+    std::vector<Channel> channels_;
     std::vector<Router> routers_;
     std::vector<Terminal> terminals_;
     std::vector<Topology::Arc> arcs_;
@@ -540,6 +564,47 @@ class Network
     /** Components with debug-suppressed wakes (test hook; empty in
      *  normal operation). */
     std::vector<std::uint32_t> suppressed_;
+    /** @} */
+
+    /** @name Sharded step engine (DESIGN.md) @{ */
+
+    /** One shard: a contiguous router range + a contiguous terminal
+     *  range, plus the staging buffers its phase work writes into
+     *  (merged/replayed by the serial commit). */
+    struct ShardContext
+    {
+        /** Component-id ranges [lo, hi): routers in [0, R),
+         *  terminals in [R, R + N). */
+        std::uint32_t routerLo = 0;
+        std::uint32_t routerHi = 0;
+        std::uint32_t termLo = 0;
+        std::uint32_t termHi = 0;
+
+        ActiveSet::WakeStage wake;
+        TraceSink::Stage trace;
+        Terminal::ShardSink term;
+
+        /** Flits moved by this shard's routers (progress watchdog). */
+        int moved = 0;
+        /** Router drop deltas (drainPendingDrops). */
+        std::uint64_t dropFlits = 0;
+        std::uint64_t dropPackets = 0;
+        std::uint64_t dropMeasured = 0;
+    };
+
+    /** One cycle of the phased (shards > 1) engine; t == now_. */
+    void stepPhased(Cycle t);
+
+    /** Serial commit: merge/replay every shard's staged work in
+     *  ascending shard order (== ascending component id). */
+    void commitPhased(Cycle t);
+
+    /** Effective shard count (clamp + reliable-link fallback). */
+    int shardCount_ = 1;
+    std::vector<ShardContext> shards_;
+    /** Workers for the parallel phases (null when shardCount_==1). */
+    std::unique_ptr<PhasePool> pool_;
+
     /** @} */
 
     /** Runnable-component scheduler: routers are components

@@ -46,11 +46,21 @@ Terminal::receive(Cycle now)
     while (auto f = fromRouter_->receiveFlit(now)) {
         FBFLY_ASSERT(f->dst == id_, "flit for node ", f->dst,
                      " ejected at node ", id_);
+        FBFLY_TRACE(trace_, TraceEventType::kEject, now, traceTrack_,
+                    *f, f->vc);
+        if (sink_ != nullptr) {
+            ++sink_->flitsEjected;
+            sink_->hopsEjected += static_cast<std::uint64_t>(f->hops);
+            if (f->tail) {
+                ++sink_->packetsEjected;
+                if (f->measured)
+                    sink_->measuredEjects.push_back(*f);
+            }
+            continue;
+        }
         NetworkStats &st = parent_->stats();
         ++st.flitsEjected;
         st.hopsEjected += static_cast<std::uint64_t>(f->hops);
-        FBFLY_TRACE(trace_, TraceEventType::kEject, now, traceTrack_,
-                    *f, f->vc);
         if (f->tail) {
             ++st.packetsEjected;
             if (f->measured) {
@@ -72,10 +82,23 @@ Terminal::receive(Cycle now)
 void
 Terminal::inject(Cycle now)
 {
+    planInject(now);
+    assignPlannedIds();
+    executeInject(now);
+}
+
+void
+Terminal::planInject(Cycle now)
+{
+    planStart_ = false;
+    planSend_ = false;
     if (toRouter_ == nullptr)
         return;
 
     // Start a new packet if idle and the channel + some VC allow it.
+    // A successful start implies the send below also succeeds (the
+    // channel check is the same and the chosen VC has a credit), so
+    // starting never wastes a drawn packet id.
     if (remainingFlits_ == 0) {
         if (queue_.empty() || !toRouter_->canSendFlit(now))
             return;
@@ -93,21 +116,43 @@ Terminal::inject(Cycle now)
         currentVc_ = vc;
         current_ = queue_.front();
         queue_.pop_front();
-        --parent_->stats().pendingPackets;
-        ++parent_->stats().midPacketTerminals;
+        if (sink_ != nullptr) {
+            --sink_->pendingPacketsDelta;
+            ++sink_->midPacketDelta;
+        } else {
+            --parent_->stats().pendingPackets;
+            ++parent_->stats().midPacketTerminals;
+        }
         if (current_.dst == kInvalid)
             current_.dst = parent_->drawDest(id_, rng_);
         remainingFlits_ = parent_->packetSize();
         flitIndex_ = 0;
-        currentPacket_ = parent_->nextPacketId();
+        planStart_ = true;
     }
 
-    // Send the next flit of the in-progress packet.
+    // Continue the in-progress packet if flow control allows.
     if (!toRouter_->canSendFlit(now) || credits_[currentVc_] <= 0)
+        return;
+    planSend_ = true;
+}
+
+void
+Terminal::assignPlannedIds()
+{
+    if (planStart_)
+        currentPacket_ = parent_->nextPacketId();
+    if (planSend_)
+        plannedFlit_ = parent_->nextFlitId();
+}
+
+void
+Terminal::executeInject(Cycle now)
+{
+    if (!planSend_)
         return;
 
     Flit f;
-    f.id = parent_->nextFlitId();
+    f.id = plannedFlit_;
     f.packet = currentPacket_;
     f.src = id_;
     f.dst = current_.dst;
@@ -121,18 +166,27 @@ Terminal::inject(Cycle now)
 
     --credits_[currentVc_];
     if (f.head && f.measured) {
-        if (DeliveryOracle *oracle = parent_->oracle())
+        if (sink_ != nullptr)
+            sink_->measuredInjects.push_back(f);
+        else if (DeliveryOracle *oracle = parent_->oracle())
             oracle->onInject(f);
     }
     FBFLY_TRACE(trace_, TraceEventType::kInject, now, traceTrack_, f,
                 currentVc_);
     toRouter_->sendFlit(f, now);
-    ++parent_->stats().flitsInjected;
+    if (sink_ != nullptr)
+        ++sink_->flitsInjected;
+    else
+        ++parent_->stats().flitsInjected;
 
     ++flitIndex_;
     --remainingFlits_;
-    if (remainingFlits_ == 0)
-        --parent_->stats().midPacketTerminals;
+    if (remainingFlits_ == 0) {
+        if (sink_ != nullptr)
+            --sink_->midPacketDelta;
+        else
+            --parent_->stats().midPacketTerminals;
+    }
 }
 
 } // namespace fbfly

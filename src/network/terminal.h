@@ -22,6 +22,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "network/channel.h"
+#include "network/flit.h"
 
 namespace fbfly
 {
@@ -62,8 +63,82 @@ class Terminal
     /** Drain ejected flits (recording stats) and returned credits. */
     void receive(Cycle now);
 
-    /** Inject up to one flit if credits and bandwidth allow. */
+    /** Inject up to one flit if credits and bandwidth allow.
+     *  Equivalent to planInject(); assignPlannedIds();
+     *  executeInject() — the sequential path and the sharded phases
+     *  share one decision procedure. */
     void inject(Cycle now);
+
+    /** @} */
+
+    /** @name Sharded-step phases (DESIGN.md "Sharded step engine") @{
+     *
+     * The sharded engine splits inject() so the only global mutation
+     * — drawing packet/flit ids from the Network's counters — runs in
+     * a short serial pass between the parallel phases:
+     *
+     *  - planInject() (parallel, receive phase): decide from
+     *    terminal-local state whether a packet starts and whether a
+     *    flit departs this cycle, and apply the terminal-local start
+     *    mutations (the decision inputs — own queue, own credits, own
+     *    injection channel's busy/dead state — cannot change between
+     *    the receive and advance phases, so the decision equals the
+     *    one the sequential advance phase would make);
+     *  - assignPlannedIds() (serial, ascending terminal id over the
+     *    cycle's active terminals): draw the packet id then the flit
+     *    id — the exact order the sequential loop draws them;
+     *  - executeInject() (parallel, advance phase): build and send
+     *    the planned flit.
+     */
+
+    /**
+     * Deferred-stat buffer for the sharded step: while attached,
+     * receive()/executeInject() accumulate integer counters as deltas
+     * and queue oracle-visible flits here instead of touching the
+     * shared NetworkStats/DeliveryOracle; the serial commit applies
+     * them in ascending terminal order (Welford/histogram adds and
+     * oracle callbacks are order-sensitive).
+     */
+    struct ShardSink
+    {
+        std::uint64_t flitsInjected = 0;
+        std::uint64_t flitsEjected = 0;
+        std::uint64_t hopsEjected = 0;
+        std::uint64_t packetsEjected = 0;
+        std::int64_t pendingPacketsDelta = 0;
+        int midPacketDelta = 0;
+        /** Measured tail flits ejected this cycle, arrival order
+         *  (commit: oracle->onEject + latency/hop sample adds). */
+        std::vector<Flit> measuredEjects;
+        /** Measured head flits injected this cycle (commit:
+         *  oracle->onInject). */
+        std::vector<Flit> measuredInjects;
+
+        void reset()
+        {
+            flitsInjected = 0;
+            flitsEjected = 0;
+            hopsEjected = 0;
+            packetsEjected = 0;
+            pendingPacketsDelta = 0;
+            midPacketDelta = 0;
+            measuredEjects.clear();
+            measuredInjects.clear();
+        }
+    };
+
+    /** Attach (or detach, nullptr) the shard's deferred-stat sink. */
+    void setShardSink(ShardSink *sink) { sink_ = sink; }
+
+    /** Parallel phase A: decide this cycle's injection and apply the
+     *  terminal-local part (queue pop, VC selection, dest draw). */
+    void planInject(Cycle now);
+
+    /** Serial: draw the planned packet/flit ids from the Network. */
+    void assignPlannedIds();
+
+    /** Parallel phase B: send the planned flit, if any. */
+    void executeInject(Cycle now);
 
     /** @} */
 
@@ -158,6 +233,14 @@ class Terminal
     VcId currentVc_ = kInvalid;
     Pending current_{};
     PacketId currentPacket_ = 0;
+
+    /** This cycle's injection plan (planInject → executeInject). */
+    bool planStart_ = false;
+    bool planSend_ = false;
+    FlitId plannedFlit_ = 0;
+
+    /** Deferred-stat sink (nullptr: write shared stats directly). */
+    ShardSink *sink_ = nullptr;
 
     /** Observability (nullptr: tracing off — one dead branch per
      *  record site). */

@@ -98,6 +98,10 @@ TraceSink::record(TraceEventType type, Cycle cycle,
 {
     if (!wants(type))
         return;
+    if (Stage *s = tlsStage_; s != nullptr) {
+        s->recs.push_back({type, cycle, track, f, a, b});
+        return;
+    }
     TraceRecord &r = ring_[head_];
     r.cycle = cycle;
     r.flit = f.id;
@@ -113,6 +117,21 @@ TraceSink::record(TraceEventType type, Cycle cycle,
         ++size_;
     ++recorded_;
     ++counts_[static_cast<std::size_t>(type)];
+}
+
+void
+TraceSink::replayStaged(const Stage &s, std::size_t seg_index)
+{
+    FBFLY_ASSERT(seg_index < s.seg.size(),
+                 "staged trace segment out of range");
+    FBFLY_ASSERT(tlsStage_ == nullptr,
+                 "trace replay must not run with a stage installed");
+    const std::size_t lo = seg_index == 0 ? 0 : s.seg[seg_index - 1];
+    const std::size_t hi = s.seg[seg_index];
+    for (std::size_t i = lo; i < hi; ++i) {
+        const Stage::StagedRecord &r = s.recs[i];
+        record(r.type, r.cycle, r.track, r.flit, r.a, r.b);
+    }
 }
 
 void

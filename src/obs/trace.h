@@ -202,6 +202,63 @@ class TraceSink
                 const Flit &f, std::int32_t a = -1,
                 std::int32_t b = -1);
 
+    /** @} */
+
+    /** @name Sharded-step staging @{
+     *
+     * Phase workers of a sharded step (DESIGN.md "Sharded step
+     * engine") must not write the shared ring concurrently, so each
+     * shard stages its records into a private buffer installed
+     * thread-locally; the serial commit replays each phase segment in
+     * ascending-shard order — the exact order the sequential loop
+     * would have recorded — keeping the ring contents, overwrite
+     * behavior and counters bit-identical.
+     */
+
+    /** Per-shard record staging buffer. */
+    struct Stage
+    {
+        struct StagedRecord
+        {
+            TraceEventType type;
+            Cycle cycle;
+            std::int32_t track;
+            Flit flit;
+            std::int32_t a;
+            std::int32_t b;
+        };
+        std::vector<StagedRecord> recs;
+        /** Segment end offsets into `recs` (one per mark()). */
+        std::vector<std::size_t> seg;
+
+        void reset()
+        {
+            recs.clear();
+            seg.clear();
+        }
+
+        /** Close the current phase segment. */
+        void mark() { seg.push_back(recs.size()); }
+    };
+
+    /** Install @p stage as this thread's record redirect (nullptr to
+     *  restore direct recording). */
+    static void stageTo(Stage *stage) { tlsStage_ = stage; }
+
+    /** RAII installer for stageTo(). */
+    class StageGuard
+    {
+      public:
+        explicit StageGuard(Stage *stage) { stageTo(stage); }
+        ~StageGuard() { stageTo(nullptr); }
+        StageGuard(const StageGuard &) = delete;
+        StageGuard &operator=(const StageGuard &) = delete;
+    };
+
+    /** Replay phase segment @p seg_index of a staged record list
+     *  through the real record() (serial commit path). */
+    void replayStaged(const Stage &s, std::size_t seg_index);
+
     /**
      * Record one counter sample (a numeric time series point on a
      * track, e.g. per-channel utilization).  Kept in a separate
@@ -267,6 +324,10 @@ class TraceSink
     std::string toText() const;
 
   private:
+    /** Per-thread record redirect for phased stepping (null when the
+     *  thread writes the ring directly). */
+    static inline thread_local Stage *tlsStage_ = nullptr;
+
     std::vector<TraceRecord> ring_;
     std::size_t head_ = 0; ///< next write position
     std::size_t size_ = 0;

@@ -20,7 +20,7 @@ namespace fbfly
 /**
  * Destination-based butterfly routing.
  */
-class ButterflyDest : public RoutingAlgorithm
+class ButterflyDest final : public RoutingAlgorithm
 {
   public:
     explicit ButterflyDest(const Butterfly &topo);

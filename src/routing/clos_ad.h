@@ -30,7 +30,7 @@ namespace fbfly
 /**
  * Adaptive flattened-Clos routing (CLOS AD).
  */
-class ClosAd : public FbflyRouting
+class ClosAd final : public FbflyRouting
 {
   public:
     explicit ClosAd(const FlattenedButterfly &topo);

@@ -21,7 +21,7 @@ namespace fbfly
 /**
  * Minimal dimension-order routing (1 VC).
  */
-class DimensionOrder : public FbflyRouting
+class DimensionOrder final : public FbflyRouting
 {
   public:
     explicit DimensionOrder(const FlattenedButterfly &topo);

@@ -24,7 +24,7 @@ namespace fbfly
 /**
  * Adaptive-up / deterministic-down fat-tree routing.
  */
-class FatTreeAdaptive : public RoutingAlgorithm
+class FatTreeAdaptive final : public RoutingAlgorithm
 {
   public:
     explicit FatTreeAdaptive(const FatTree &topo);

@@ -22,7 +22,7 @@ namespace fbfly
 /**
  * Adaptive-up / deterministic-down folded-Clos routing.
  */
-class FoldedClosAdaptive : public RoutingAlgorithm
+class FoldedClosAdaptive final : public RoutingAlgorithm
 {
   public:
     explicit FoldedClosAdaptive(const FoldedClos &topo);

@@ -28,7 +28,7 @@ namespace fbfly
 /**
  * Minimal adaptive GHC routing (n dims -> n VCs).
  */
-class GhcAdaptive : public RoutingAlgorithm
+class GhcAdaptive final : public RoutingAlgorithm
 {
   public:
     explicit GhcAdaptive(const GeneralizedHypercube &topo);

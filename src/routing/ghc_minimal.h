@@ -20,7 +20,7 @@ namespace fbfly
 /**
  * Deterministic minimal GHC routing (dimension order, 1 VC).
  */
-class GhcMinimal : public RoutingAlgorithm
+class GhcMinimal final : public RoutingAlgorithm
 {
   public:
     explicit GhcMinimal(const GeneralizedHypercube &topo);

@@ -19,7 +19,7 @@ namespace fbfly
 /**
  * Deterministic e-cube hypercube routing.
  */
-class HypercubeEcube : public RoutingAlgorithm
+class HypercubeEcube final : public RoutingAlgorithm
 {
   public:
     explicit HypercubeEcube(const Hypercube &topo);

@@ -18,7 +18,7 @@ namespace fbfly
 /**
  * Minimal adaptive routing (MIN AD).
  */
-class MinAdaptive : public FbflyRouting
+class MinAdaptive final : public FbflyRouting
 {
   public:
     explicit MinAdaptive(const FlattenedButterfly &topo);

@@ -27,22 +27,6 @@ SwitchableRouting::SwitchableRouting(const FlattenedButterfly &topo,
 {
 }
 
-RoutingAlgorithm &
-SwitchableRouting::impl(RouteAlgoId id)
-{
-    switch (id) {
-    case RouteAlgoId::kMinAdaptive:
-        return min_;
-    case RouteAlgoId::kUgal:
-        return ugal_;
-    case RouteAlgoId::kValiant:
-        return val_;
-    }
-    FBFLY_ASSERT(false, "invalid RouteAlgoId ",
-                 static_cast<int>(id));
-    return min_;
-}
-
 RouteDecision
 SwitchableRouting::route(Router &router, Flit &flit)
 {
@@ -51,13 +35,23 @@ SwitchableRouting::route(Router &router, Flit &flit)
         // force now, so a later switch cannot mix two algorithms'
         // scratch-state machines within one route.
         flit.routeAlgo = static_cast<std::int8_t>(current_);
-        ++pinned_[static_cast<std::size_t>(current_)];
+        pinned_[static_cast<std::size_t>(current_)].fetch_add(
+            1, std::memory_order_relaxed);
     }
-    FBFLY_ASSERT(flit.routeAlgo >= 0 && flit.routeAlgo < 3,
-                 "corrupt routeAlgo pin ",
+    // Direct member dispatch on the per-flit hot path: the members
+    // are final classes, so each call devirtualizes (the former
+    // RoutingAlgorithm& indirection forced a vtable load per flit).
+    switch (static_cast<RouteAlgoId>(flit.routeAlgo)) {
+    case RouteAlgoId::kMinAdaptive:
+        return min_.route(router, flit);
+    case RouteAlgoId::kUgal:
+        return ugal_.route(router, flit);
+    case RouteAlgoId::kValiant:
+        return val_.route(router, flit);
+    }
+    FBFLY_ASSERT(false, "corrupt routeAlgo pin ",
                  static_cast<int>(flit.routeAlgo));
-    return impl(static_cast<RouteAlgoId>(flit.routeAlgo))
-        .route(router, flit);
+    return {};
 }
 
 void

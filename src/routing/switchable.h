@@ -31,6 +31,7 @@
 #ifndef FBFLY_ROUTING_SWITCHABLE_H
 #define FBFLY_ROUTING_SWITCHABLE_H
 
+#include <atomic>
 #include <cstdint>
 
 #include "routing/min_adaptive.h"
@@ -59,7 +60,7 @@ const char *toString(RouteAlgoId id);
  * policy, so every sweep point builds its own instance (unlike the
  * stateless paper algorithms, which sweeps may share).
  */
-class SwitchableRouting : public RoutingAlgorithm
+class SwitchableRouting final : public RoutingAlgorithm
 {
   public:
     explicit SwitchableRouting(
@@ -97,20 +98,22 @@ class SwitchableRouting : public RoutingAlgorithm
     /** Packets routed under each policy (pinned at first hop). */
     std::uint64_t packetsPinned(RouteAlgoId id) const
     {
-        return pinned_[static_cast<std::size_t>(id)];
+        return pinned_[static_cast<std::size_t>(id)].load(
+            std::memory_order_relaxed);
     }
 
     /** @} */
 
   private:
-    RoutingAlgorithm &impl(RouteAlgoId id);
-
     MinAdaptive min_;
     Ugal ugal_;
     Valiant val_;
     RouteAlgoId current_;
     std::uint64_t switches_ = 0;
-    std::uint64_t pinned_[3] = {};
+    /** Relaxed atomics: route() runs concurrently across shards and
+     *  these are order-independent totals (per-shard increments sum
+     *  the same in any interleaving, so sweeps stay deterministic). */
+    std::atomic<std::uint64_t> pinned_[3] = {};
 };
 
 } // namespace fbfly

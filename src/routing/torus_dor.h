@@ -22,7 +22,7 @@ namespace fbfly
 /**
  * Deterministic torus dimension-order routing (2 VCs).
  */
-class TorusDor : public RoutingAlgorithm
+class TorusDor final : public RoutingAlgorithm
 {
   public:
     explicit TorusDor(const Torus &topo);

@@ -21,7 +21,7 @@ namespace fbfly
 /**
  * Torus Valiant routing (4 VCs: phase x dateline).
  */
-class TorusValiant : public RoutingAlgorithm
+class TorusValiant final : public RoutingAlgorithm
 {
   public:
     explicit TorusValiant(const Torus &topo);

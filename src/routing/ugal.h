@@ -27,7 +27,7 @@ namespace fbfly
 /**
  * UGAL (greedy) and UGAL-S (sequential) routing.
  */
-class Ugal : public FbflyRouting
+class Ugal final : public FbflyRouting
 {
   public:
     /**

@@ -21,7 +21,7 @@ namespace fbfly
 /**
  * Valiant's randomized oblivious routing (VAL).
  */
-class Valiant : public FbflyRouting
+class Valiant final : public FbflyRouting
 {
   public:
     explicit Valiant(const FlattenedButterfly &topo);

@@ -16,123 +16,28 @@
  * and commit the new fixture *together with an explanation of why
  * the schedule changed*.  On failure the test prints the first
  * divergent line with context rather than a 50 KiB string blob.
+ *
+ * The scenario itself lives in fixture_scenarios.h so the
+ * shard-determinism suite can replay it at --shards N against the
+ * same committed fixture.
  */
 
 #include <gtest/gtest.h>
 
-#include <cstdlib>
-#include <fstream>
-#include <sstream>
-#include <string>
-#include <vector>
-
-#include "network/network.h"
-#include "obs/trace.h"
-#include "routing/ugal.h"
-#include "topology/flattened_butterfly.h"
-#include "traffic/injection.h"
-#include "traffic/traffic_pattern.h"
+#include "fixture_scenarios.h"
 
 namespace fbfly
 {
 namespace
 {
 
-#ifndef FBFLY_TEST_DATA_DIR
-#error "FBFLY_TEST_DATA_DIR must be defined by the build"
-#endif
-
-const char *const kFixturePath =
-    FBFLY_TEST_DATA_DIR "/golden_trace_2ary2flat_ugal.txt";
-
-/** The pinned golden scenario.  Any change here invalidates the
- *  fixture — bump the fixture file name if the scenario itself must
- *  evolve. */
-std::string
-runGoldenScenario()
-{
-    FlattenedButterfly topo(2, 2); // 4 nodes, 2 routers
-    Ugal algo(topo, false);
-    UniformRandom pattern(topo.numNodes());
-
-    TraceSink sink(1 << 14);
-    sink.setLevel(TraceLevel::kFull);
-
-    NetworkConfig cfg;
-    cfg.numVcs = algo.numVcs();
-    cfg.vcDepth = 4;
-    cfg.seed = 2007; // ISCA'07
-    cfg.trace = &sink;
-
-    Network net(topo, algo, &pattern, cfg);
-    BernoulliInjection inj(0.3, 1, 7);
-    for (int c = 0; c < 100; ++c) {
-        inj.tick(net, false);
-        net.step();
-    }
-    EXPECT_EQ(sink.droppedRecords(), 0u)
-        << "golden ring overflowed; enlarge the sink";
-    return sink.toText();
-}
-
-std::vector<std::string>
-splitLines(const std::string &text)
-{
-    std::vector<std::string> lines;
-    std::istringstream is(text);
-    std::string line;
-    while (std::getline(is, line))
-        lines.push_back(line);
-    return lines;
-}
+using fixtures::checkAgainstFixture;
+using fixtures::kGoldenFixture;
+using fixtures::runGoldenScenario;
 
 TEST(GoldenTrace, MatchesCommittedFixture)
 {
-    const std::string actual = runGoldenScenario();
-    ASSERT_FALSE(actual.empty());
-
-    if (std::getenv("FBFLY_REGEN_GOLDEN") != nullptr) {
-        std::ofstream out(kFixturePath, std::ios::binary);
-        ASSERT_TRUE(out) << "cannot write " << kFixturePath;
-        out << actual;
-        out.close();
-        ASSERT_TRUE(out.good());
-        GTEST_SKIP() << "regenerated " << kFixturePath << " ("
-                     << actual.size() << " bytes) — commit it";
-    }
-
-    std::ifstream in(kFixturePath, std::ios::binary);
-    ASSERT_TRUE(in) << "missing fixture " << kFixturePath
-                    << " — run with FBFLY_REGEN_GOLDEN=1 to create "
-                       "it";
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const std::string expected = buf.str();
-
-    if (actual == expected) {
-        SUCCEED();
-        return;
-    }
-
-    // Readable first-divergence report.
-    const std::vector<std::string> exp = splitLines(expected);
-    const std::vector<std::string> act = splitLines(actual);
-    std::size_t i = 0;
-    while (i < exp.size() && i < act.size() && exp[i] == act[i])
-        ++i;
-    std::ostringstream msg;
-    msg << "golden trace diverged at line " << i + 1 << " of "
-        << exp.size() << " (actual has " << act.size()
-        << " lines)\n";
-    for (std::size_t c = i >= 3 ? i - 3 : 0; c < i; ++c)
-        msg << "  context:  " << exp[c] << "\n";
-    msg << "  expected: "
-        << (i < exp.size() ? exp[i] : "<end of fixture>") << "\n"
-        << "  actual:   "
-        << (i < act.size() ? act[i] : "<end of trace>") << "\n"
-        << "regenerate with FBFLY_REGEN_GOLDEN=1 if the schedule "
-           "change is intentional";
-    ADD_FAILURE() << msg.str();
+    checkAgainstFixture(runGoldenScenario(), kGoldenFixture);
 }
 
 /** The golden scenario itself is deterministic run-to-run (guards

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Shard-determinism suite for the sharded step engine
+ * (docs/DESIGN.md "Sharded step engine").
+ *
+ * The engine's contract is exact: `NetworkConfig::shards` is a
+ * performance knob, never a semantics knob.  Every observable —
+ * trace text, counters, per-arc flit counts, metrics registries,
+ * latency doubles, full sweep JSON, liveness diagnoses — must be
+ * bit-identical at any shard count, because all cross-shard
+ * interaction flows through >= 1-cycle channels and the commit phase
+ * replays staged effects in the sequential engine's exact order.
+ *
+ * Concretely, this suite replays the committed golden-trace and
+ * idle-equivalence fixtures at --shards 2 and 8 and requires them to
+ * pass byte for byte WITHOUT regeneration, then pins 1-vs-2-vs-8
+ * equality on a wider 8-router scenario, a full sweep JSON document,
+ * a churn (dynamic-service) run and a deadlock-recovery run.  The
+ * TSan CI leg runs the whole suite to prove the phase workers are
+ * race-free.
+ *
+ * The memory-lean side of the same PR is covered by the peak-RSS
+ * gauge test on a 32k-terminal 32-ary 3-flat (slow label; skipped
+ * under sanitizers, whose shadow memory makes RSS meaningless).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rss.h"
+#include "fault/churn_model.h"
+#include "fixture_scenarios.h"
+#include "harness/churn.h"
+#include "harness/experiment.h"
+#include "harness/result_writer.h"
+#include "network/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "routing/min_adaptive.h"
+#include "routing/routing.h"
+#include "routing/ugal.h"
+#include "sim/liveness.h"
+#include "topology/flattened_butterfly.h"
+#include "topology/topology.h"
+#include "traffic/injection.h"
+#include "traffic/traffic_pattern.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define FBFLY_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define FBFLY_UNDER_SANITIZER 1
+#endif
+#endif
+
+namespace fbfly
+{
+namespace
+{
+
+using fixtures::canonicalSweepText;
+using fixtures::kBurstyFixture;
+using fixtures::kGoldenFixture;
+using fixtures::kSweepFixture;
+using fixtures::readFixture;
+using fixtures::runBurstyScenario;
+using fixtures::runGoldenScenario;
+using fixtures::runIdleSweep;
+
+// ---------------------------------------------------------------------
+// Committed fixtures replayed at --shards N, no regeneration
+// ---------------------------------------------------------------------
+
+TEST(ShardDeterminism, GoldenTraceFixtureByteIdenticalAtAnyShardCount)
+{
+    const std::string expected = readFixture(kGoldenFixture);
+    ASSERT_FALSE(expected.empty());
+    for (const int shards : {1, 2, 8}) {
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        EXPECT_EQ(runGoldenScenario(shards), expected);
+    }
+}
+
+TEST(ShardDeterminism, BurstyFixtureByteIdenticalAtAnyShardCount)
+{
+    const std::string expected = readFixture(kBurstyFixture);
+    ASSERT_FALSE(expected.empty());
+    for (const int shards : {2, 8}) {
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        EXPECT_EQ(runBurstyScenario(shards), expected);
+    }
+}
+
+TEST(ShardDeterminism, IdleSweepFixtureByteIdenticalAtAnyShardCount)
+{
+    const std::string expected = readFixture(kSweepFixture);
+    ASSERT_FALSE(expected.empty());
+    for (const int shards : {2, 8}) {
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        EXPECT_EQ(canonicalSweepText(runIdleSweep(1, shards)),
+                  expected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wider traced scenario: 8 routers, real cross-shard traffic
+// ---------------------------------------------------------------------
+
+/** A traced UGAL run on the 8-ary 2-flat (64 nodes, 8 routers):
+ *  unlike the 2-router golden scenario, 8 shards here put every
+ *  router in its own shard, so every inter-router arc is a
+ *  cross-shard channel. */
+std::string
+runEightRouterScenario(int shards)
+{
+    FlattenedButterfly topo(8, 2);
+    Ugal algo(topo, false);
+    UniformRandom pattern(topo.numNodes());
+
+    TraceSink sink(1 << 18);
+    sink.setLevel(TraceLevel::kFull);
+
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    cfg.vcDepth = 4;
+    cfg.seed = 2007;
+    cfg.trace = &sink;
+    cfg.shards = shards;
+
+    Network net(topo, algo, &pattern, cfg);
+    EXPECT_EQ(net.shardCount(), shards);
+    BernoulliInjection inj(0.3, 1, 7);
+    for (int c = 0; c < 300; ++c) {
+        inj.tick(net, false);
+        net.step();
+    }
+    for (int c = 0; c < 2000 && !net.quiescent(); ++c)
+        net.step();
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_EQ(net.checkInvariants(), "");
+    EXPECT_EQ(sink.droppedRecords(), 0u)
+        << "ring overflowed; enlarge the sink";
+
+    std::ostringstream os;
+    os << sink.toText();
+    fixtures::dumpNetworkState(os, net);
+    return os.str();
+}
+
+TEST(ShardDeterminism, EightRouterTraceIdenticalAcrossShardCounts)
+{
+    const std::string one = runEightRouterScenario(1);
+    ASSERT_FALSE(one.empty());
+    EXPECT_EQ(runEightRouterScenario(2), one);
+    EXPECT_EQ(runEightRouterScenario(8), one);
+}
+
+TEST(ShardDeterminism, ShardCountClampsToRouterCount)
+{
+    FlattenedButterfly topo(2, 2); // 2 routers
+    Ugal algo(topo, false);
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    cfg.shards = 8;
+    Network net(topo, algo, nullptr, cfg);
+    EXPECT_EQ(net.shardCount(), 2);
+}
+
+// ---------------------------------------------------------------------
+// Full sweep document: metrics registries and JSON text
+// ---------------------------------------------------------------------
+
+/** Render records as a full fbfly-sweep-v1 document with the
+ *  wall-clock fields zeroed (the only legitimately nondeterministic
+ *  bytes). */
+std::string
+sweepJsonZeroWall(std::vector<SweepPointRecord> recs)
+{
+    for (SweepPointRecord &r : recs)
+        r.wallSeconds = 0.0;
+    SweepRunMeta meta;
+    meta.bench = "shard_determinism";
+    meta.description = "sweep JSON identity across shard counts";
+    return sweepResultsToJson(meta, recs, 2007, 1, 0.0);
+}
+
+TEST(ShardDeterminism, SweepJsonAndMetricsIdenticalAcrossShardCounts)
+{
+    const std::vector<SweepPointRecord> one = runIdleSweep(1, 1);
+    const std::vector<SweepPointRecord> two = runIdleSweep(1, 2);
+    const std::vector<SweepPointRecord> eight = runIdleSweep(1, 8);
+    ASSERT_EQ(one.size(), 2u);
+    ASSERT_EQ(two.size(), 2u);
+    ASSERT_EQ(eight.size(), 2u);
+
+    for (std::size_t i = 0; i < one.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        const LoadPointResult &a = one[i].load;
+        for (const auto *b : {&two[i].load, &eight[i].load}) {
+            // Doubles compared exactly: the commit phase replays
+            // measured ejections in the sequential order, so even
+            // Welford means are bit-identical.
+            EXPECT_EQ(a.accepted, b->accepted);
+            EXPECT_EQ(a.avgLatency, b->avgLatency);
+            EXPECT_EQ(a.avgNetworkLatency, b->avgNetworkLatency);
+            EXPECT_EQ(a.avgHops, b->avgHops);
+            EXPECT_EQ(a.p99Latency, b->p99Latency);
+            ASSERT_NE(a.metrics, nullptr);
+            ASSERT_NE(b->metrics, nullptr);
+            EXPECT_TRUE(*a.metrics == *b->metrics)
+                << "MetricsRegistry diverged between shard counts";
+        }
+    }
+
+    const std::string doc = sweepJsonZeroWall(one);
+    EXPECT_EQ(sweepJsonZeroWall(two), doc);
+    EXPECT_EQ(sweepJsonZeroWall(eight), doc);
+}
+
+// ---------------------------------------------------------------------
+// Dynamic service (churn) and liveness recovery
+// ---------------------------------------------------------------------
+
+TEST(ShardDeterminism, ChurnRunIdenticalAcrossShardCounts)
+{
+    FlattenedButterfly topo(4, 2);
+    UniformRandom pattern(topo.numNodes());
+
+    ChurnRunConfig run;
+    run.warmupCycles = 200;
+    run.horizonCycles = 3000;
+    run.drainCycles = 50000;
+    run.baseLoad = 0.1;
+    run.peakLoad = 0.3;
+    run.diurnalPeriod = 1000;
+    run.epochCycles = 500; // exercise routing adaptation + pins
+    run.seed = 2007;
+
+    ChurnConfig cc;
+    cc.linkMtbf = 800;
+    cc.linkMttr = 200;
+    cc.horizon = run.warmupCycles + run.horizonCycles;
+    cc.seed = 13;
+    const ChurnModel model(topo, cc);
+
+    auto runAt = [&](int shards) {
+        NetworkConfig netcfg;
+        netcfg.vcDepth = 4;
+        netcfg.shards = shards;
+        return runChurnPoint(topo, pattern, &model, netcfg, run);
+    };
+
+    const ChurnPointResult one = runAt(1);
+    EXPECT_GT(one.churn.downEvents, 0u);
+    for (const int shards : {2, 4}) {
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        const ChurnPointResult other = runAt(shards);
+        EXPECT_EQ(other.load.status, one.load.status);
+        EXPECT_EQ(other.load.accepted, one.load.accepted);
+        EXPECT_EQ(other.load.avgLatency, one.load.avgLatency);
+        EXPECT_EQ(other.load.measuredPackets,
+                  one.load.measuredPackets);
+        EXPECT_EQ(other.load.flitsDropped, one.load.flitsDropped);
+        EXPECT_EQ(other.load.measuredDropped,
+                  one.load.measuredDropped);
+        // The whole churn extension block (events, losses, epochs,
+        // switches, pins, p99.9, recovery times) as one string.
+        EXPECT_EQ(churnExtraJson(cc, other.churn),
+                  churnExtraJson(cc, one.churn));
+    }
+}
+
+/** Test-only routing that walks the router ring r -> r+1 -> ... —
+ *  with one VC and packetSize > vcDepth, packets two ring hops
+ *  apart form the textbook credit cycle (tests/test_liveness.cc). */
+class ShardRingRouting : public RoutingAlgorithm
+{
+  public:
+    explicit ShardRingRouting(const Topology &topo) : topo_(topo)
+    {
+        const int R = topo.numRouters();
+        next_.assign(static_cast<std::size_t>(R), kInvalid);
+        for (const Topology::Arc &a : topo.arcs())
+            if (a.dst == (a.src + 1) % R)
+                next_[static_cast<std::size_t>(a.src)] = a.srcPort;
+    }
+
+    std::string name() const override { return "TEST-RING"; }
+    int numVcs() const override { return 1; }
+
+    RouteDecision route(Router &router, Flit &f) override
+    {
+        const RouterId r = router.id();
+        if (topo_.ejectionRouter(f.dst) == r)
+            return {topo_.ejectionPort(f.dst), 0, false};
+        return {next_[static_cast<std::size_t>(r)], 0, false};
+    }
+
+    bool preservesFlowOrder() const override { return true; }
+
+  private:
+    const Topology &topo_;
+    std::vector<PortId> next_;
+};
+
+TEST(ShardDeterminism, LivenessRecoveryIdenticalAcrossShardCounts)
+{
+    // The deadlock-prone ring scenario driven end to end through
+    // runLoadPoint: the watchdog, the stall classifier and the
+    // kill-victim recovery all run in the serial portion of the
+    // cycle, so their diagnoses must not depend on the shard count.
+    FlattenedButterfly topo(4, 2);
+    ShardRingRouting algo(topo);
+    AdversarialNeighbor pattern(topo.numNodes(), 4, 2);
+
+    ExperimentConfig expcfg;
+    expcfg.warmupCycles = 0;
+    expcfg.measureCycles = 40;
+    expcfg.drainCycles = 200000;
+    expcfg.seed = 7;
+    expcfg.liveness.policy = RecoveryPolicy::kKillVictim;
+    expcfg.liveness.maxRecoveries = 100000;
+
+    auto runAt = [&](int shards) {
+        NetworkConfig netcfg;
+        netcfg.vcDepth = 2;
+        netcfg.packetSize = 8;
+        netcfg.watchdogCycles = 100;
+        netcfg.shards = shards;
+        return runLoadPoint(topo, algo, pattern, netcfg, expcfg,
+                            0.25);
+    };
+
+    const LoadPointResult one = runAt(1);
+    ASSERT_EQ(one.status, LoadPointStatus::kDeadlockRecovered)
+        << toString(one.status) << "\n"
+        << one.diagnostics;
+    for (const int shards : {2, 4}) {
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        const LoadPointResult other = runAt(shards);
+        EXPECT_EQ(other.status, one.status);
+        EXPECT_EQ(other.recoveries, one.recoveries);
+        EXPECT_EQ(other.measuredPackets, one.measuredPackets);
+        EXPECT_EQ(other.measuredDropped, one.measuredDropped);
+        EXPECT_EQ(other.liveness, one.liveness)
+            << "structured liveness JSON diverged";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memory-lean scale: peak-RSS gauge on a 32k-terminal point
+// ---------------------------------------------------------------------
+
+TEST(ShardDeterminism, PeakRssPerTerminalBoundedAt32kTerminals)
+{
+#ifdef FBFLY_UNDER_SANITIZER
+    GTEST_SKIP() << "sanitizer shadow memory makes RSS meaningless";
+#else
+    // 32-ary 3-flat: 32768 terminals, 1024 routers.  The pooled
+    // channel/VC state and hierarchical stats must keep the whole
+    // simulator under 16 KiB per terminal — the budget that lets a
+    // ~10^5-terminal k-ary n-flat fit on a laptop (bench/xscale).
+    FlattenedButterfly topo(32, 3);
+    MinAdaptive algo(topo);
+    NetworkConfig cfg;
+    cfg.numVcs = algo.numVcs();
+    cfg.vcDepth = 4;
+    cfg.shards = 8;
+    Network net(topo, algo, nullptr, cfg);
+    ASSERT_EQ(net.shardCount(), 8);
+
+    // Cross-shard traffic through the phased engine, then drain.
+    const NodeId n = static_cast<NodeId>(net.numNodes());
+    for (int c = 0; c < 64; ++c) {
+        const NodeId src = static_cast<NodeId>((c * 977) % n);
+        NodeId dst = static_cast<NodeId>((c * 557 + n / 2) % n);
+        if (dst == src)
+            dst = static_cast<NodeId>((dst + 1) % n);
+        net.terminal(src).enqueuePacket(net.now(), dst, false);
+        net.step();
+    }
+    for (int c = 0; c < 5000 && !net.quiescent(); ++c)
+        net.step();
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_EQ(net.checkInvariants(), "");
+
+    const std::uint64_t rss = peakRssBytes();
+    ASSERT_GT(rss, 0u) << "peak-RSS gauge unavailable";
+    const double per_terminal =
+        static_cast<double>(rss) / static_cast<double>(n);
+    EXPECT_LT(per_terminal, 16.0 * 1024.0)
+        << "peak RSS " << rss << " bytes = " << per_terminal
+        << " bytes/terminal";
+#endif
+}
+
+} // namespace
+} // namespace fbfly

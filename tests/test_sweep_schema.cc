@@ -452,6 +452,9 @@ makeDocument(const std::string &trace_file)
     meta.bench = "schema_test";
     meta.description = "document for schema validation";
     meta.extra.emplace_back("key", "value");
+    meta.extraNumbers.emplace_back("step_rate_cycles_per_sec", 1.25e6);
+    meta.extraNumbers.emplace_back("never_measured_rate",
+                                   std::nan(""));
     meta.traceFile = trace_file;
     return sweepResultsToJson(meta, records, 2007, 3, 1.5);
 }
@@ -531,6 +534,43 @@ TEST(SweepSchema, NaNSerializesAsNullNeverAsNumber)
     EXPECT_TRUE(std::isfinite(real.find("accepted")->number));
     // The escaped series label round-trips.
     EXPECT_EQ(real.find("series")->str, "schema \"quoted\" series\n");
+}
+
+TEST(SweepSchema, MetadataNumbersAreNumbersNotStrings)
+{
+    const std::string doc = makeDocument("");
+    JsonParser parser(doc);
+    const Json root = parser.parse();
+
+    const Json *metadata = root.find("metadata");
+    ASSERT_NE(metadata, nullptr);
+    ASSERT_EQ(metadata->type, Json::Type::kObject);
+
+    // extraNumbers entries land as real JSON numbers (NaN as null),
+    // never as quoted strings.
+    const Json *rate = metadata->find("step_rate_cycles_per_sec");
+    ASSERT_NE(rate, nullptr);
+    EXPECT_EQ(rate->type, Json::Type::kNumber);
+    EXPECT_EQ(rate->number, 1.25e6);
+    const Json *nan_rate = metadata->find("never_measured_rate");
+    ASSERT_NE(nan_rate, nullptr);
+    EXPECT_EQ(nan_rate->type, Json::Type::kNull);
+
+    // No metadata *string* value may itself be a number in disguise:
+    // a value that strtod parses in full is stringly-typed numeric
+    // metadata, which downstream tooling would have to re-parse.
+    // (micro_kernel's step rates regressed exactly this way once.)
+    for (const auto &[key, value] : metadata->members) {
+        if (value.type != Json::Type::kString ||
+            value.str.empty())
+            continue;
+        char *end = nullptr;
+        std::strtod(value.str.c_str(), &end);
+        EXPECT_NE(end, value.str.c_str() + value.str.size())
+            << "metadata key \"" << key
+            << "\" holds the numeric string \"" << value.str
+            << "\" — emit it via SweepRunMeta::extraNumbers instead";
+    }
 }
 
 TEST(SweepSchema, MetricsObjectShape)

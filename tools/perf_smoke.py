@@ -15,6 +15,16 @@ from the ``warmup_cycles``/``horizon_cycles`` metadata and each
 point's ``wall_seconds`` — the same parachute, one lane per sweep
 point.
 
+Documents carrying xscale metadata (``xscale_shard_speedup_8`` from
+bench/xscale_sweep) additionally get two self-relative lanes that
+need no baseline at all: the peak-RSS-per-terminal ceiling (the
+memory-lean budget of the sharded step engine) and, when the machine
+actually has >= 8 hardware threads (``hw_threads`` metadata), the
+>= 3x 8-shard speedup floor.  On smaller machines the speedup lane is
+reported but skipped — a 2-core runner physically cannot show an
+8-way win, and the engine's bit-identical-results contract means the
+shard count never changes what is being measured.
+
 The committed baseline (BENCH_micro_kernel.json) is recorded on a
 quiet dedicated machine; CI runners are slower and noisy, so the
 threshold is deliberately generous — this is a parachute against
@@ -27,16 +37,26 @@ import json
 import sys
 
 THRESHOLD = 0.35  # fail below 35% of the committed baseline
+XSCALE_SPEEDUP_FLOOR = 3.0  # 8-shard self-relative, >= 8 cores only
+XSCALE_MIN_THREADS = 8
+XSCALE_RSS_CEILING = 16 * 1024  # bytes per terminal
 
 
-def step_rates(path):
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def step_rates(path, doc=None):
+    if doc is None:
+        doc = load_doc(path)
     meta = doc.get("metadata", {})
     rates = {
         key: float(value)
         for key, value in meta.items()
         if key.startswith("step_rate_cycles_per_sec_")
+        or (key.startswith("xscale_shard")
+            and key.endswith("_cycles_per_sec"))
     }
     if not rates:
         rates = point_rates(doc, meta, path)
@@ -67,14 +87,58 @@ def point_rates(doc, meta, path):
     return rates
 
 
+def xscale_checks(meta):
+    """Self-relative lanes of an xscale document: the peak-RSS
+    budget always, the 8-shard speedup floor only on machines with
+    enough hardware threads to show one."""
+    failures = []
+
+    rss = meta.get("peak_rss_per_terminal_bytes")
+    if isinstance(rss, (int, float)) and rss > 0:
+        status = "ok" if rss < XSCALE_RSS_CEILING else "FAIL"
+        print(f"{status:>4}  peak_rss_per_terminal_bytes: {rss:.0f} "
+              f"(ceiling {XSCALE_RSS_CEILING})")
+        if rss >= XSCALE_RSS_CEILING:
+            failures.append(
+                f"peak_rss_per_terminal_bytes: {rss:.0f} >= "
+                f"{XSCALE_RSS_CEILING}")
+    else:
+        failures.append("peak_rss_per_terminal_bytes: missing")
+
+    speedup = meta.get("xscale_shard_speedup_8")
+    threads = meta.get("hw_threads", 0)
+    if not isinstance(speedup, (int, float)):
+        failures.append("xscale_shard_speedup_8: missing")
+    elif threads >= XSCALE_MIN_THREADS:
+        status = ("ok" if speedup >= XSCALE_SPEEDUP_FLOOR
+                  else "FAIL")
+        print(f"{status:>4}  xscale_shard_speedup_8: {speedup:.2f}x "
+              f"(floor {XSCALE_SPEEDUP_FLOOR}x, "
+              f"hw_threads {threads:.0f})")
+        if speedup < XSCALE_SPEEDUP_FLOOR:
+            failures.append(
+                f"xscale_shard_speedup_8: {speedup:.2f} < "
+                f"{XSCALE_SPEEDUP_FLOOR}")
+    else:
+        print(f"skip  xscale_shard_speedup_8: {speedup:.2f}x "
+              f"(only {threads:.0f} hardware thread(s), floor "
+              f"needs >= {XSCALE_MIN_THREADS})")
+    return failures
+
+
 def main(argv):
     if len(argv) not in (2, 3):
         sys.exit(f"usage: {argv[0]} CURRENT.json [BASELINE.json]")
-    current = step_rates(argv[1])
+    current_doc = load_doc(argv[1])
+    current = step_rates(argv[1], current_doc)
     baseline = step_rates(
         argv[2] if len(argv) == 3 else "BENCH_micro_kernel.json")
 
     failures = []
+    current_meta = current_doc.get("metadata", {})
+    if "xscale_shard_speedup_8" in current_meta or \
+            "peak_rss_per_terminal_bytes" in current_meta:
+        failures += xscale_checks(current_meta)
     for key, base in sorted(baseline.items()):
         if key not in current:
             failures.append(f"{key}: missing from current run")
