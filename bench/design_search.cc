@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Design-space search bench (harness/design_search.h).
+ *
+ * Answers the question the paper answers by hand across Figures
+ * 11-15: *which topology should you build* for a given terminal
+ * count and budget?  Enumerates flattened-butterfly / folded-Clos /
+ * hypercube / generalized-hypercube / dragonfly / Slim Fly
+ * candidates around a ~64..132-terminal requirement, prunes them
+ * analytically with the cost and power models, sweeps the survivors
+ * under uniform random traffic, and prints (and with --json emits as
+ * an fbfly-pareto-v1 document) the cost-performance Pareto frontier.
+ *
+ * The JSON document is bit-identical for every --threads / --shards
+ * combination (tests/test_design_search.cc).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "harness/design_search.h"
+
+using namespace fbfly;
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opt =
+        bench::parseBenchOptions(argc, argv);
+
+    DesignSpec spec;
+    spec.minTerminals = 60;
+    spec.maxTerminalFactor = 2.2; // terminals in [60, 132]
+    spec.loads = {0.2, 0.5, 0.9};
+    spec.expcfg.warmupCycles = 500;
+    spec.expcfg.measureCycles = 500;
+    spec.expcfg.drainCycles = 10000;
+    spec.expcfg.seed = opt.seed;
+    spec.shards = opt.shards;
+
+    const DesignSearchResult result =
+        runDesignSearch(spec, bench::sweepConfig(opt));
+
+    std::printf("# design search: terminals in [%lld, %lld]\n",
+                static_cast<long long>(spec.minTerminals),
+                static_cast<long long>(spec.minTerminals *
+                                       spec.maxTerminalFactor));
+    std::printf("%-10s %-16s %-8s %3s %3s %6s %8s %8s %8s %s\n",
+                "family", "topology", "routing", "cp", "vd", "thrUB",
+                "$/term", "W/term", "satThr", "note");
+    std::size_t pi = 0;
+    for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+        const DesignCandidate &c = result.candidates[i];
+        double sat = LoadPointResult::kUnknown;
+        const char *note = c.pruned ? c.pruneReason.c_str() : "swept";
+        if (!c.pruned) {
+            const DesignPoint &pt = result.points[pi++];
+            sat = pt.satThroughput;
+            if (pt.onFrontier)
+                note = "FRONTIER";
+        }
+        std::printf(
+            "%-10s %-16s %-8s %3llu %3d %6.3f %8.1f %8.2f %8.4f %s\n",
+            toString(c.family), c.topoSpec.c_str(),
+            c.routing.c_str(),
+            static_cast<unsigned long long>(c.channelPeriod),
+            c.vcDepth, c.throughputBound, c.costPerTerminal,
+            c.powerPerTerminal, sat, note);
+    }
+
+    std::printf("\n# frontier (%zu of %zu swept candidates):\n",
+                result.frontier.size(), result.points.size());
+    for (const std::size_t fi : result.frontier) {
+        const DesignPoint &pt = result.points[fi];
+        const DesignCandidate &c = result.candidates[pt.candidate];
+        std::printf("#   %-10s %-16s  $%.1f/term  %.2fW/term  "
+                    "sat %.4f  lat %.2f\n",
+                    toString(c.family), c.topoSpec.c_str(),
+                    c.costPerTerminal, c.powerPerTerminal,
+                    pt.satThroughput, pt.lowLoadLatency);
+    }
+
+    if (!opt.jsonPath.empty() &&
+        writeDesignSearch(opt.jsonPath, spec, result, opt.seed,
+                          "design_search"))
+        std::printf("# wrote %s\n", opt.jsonPath.c_str());
+    return 0;
+}

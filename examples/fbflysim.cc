@@ -61,9 +61,10 @@ usage(const char *argv0)
         "[--channels]\n"
         "topologies: fbfly-K-N butterfly-K-N clos-NODES-C-U\n"
         "            fattree-NODES-C-P-U1-U2 hypercube-D torus-K-N\n"
-        "            ghc-K1xK2x...\n"
+        "            ghc-K1xK2x... dragonfly-P-A-H slimfly-Q-P\n"
         "routing:    default dor minad val ugal ugals closad dest\n"
-        "            adaptive ecube tordor ghcmin\n"
+        "            adaptive ecube tordor ghcmin ghcadapt\n"
+        "            dfmin dfugal sfmin sfugal\n"
         "traffic:    uniform adversarial tornado transpose bitcomp\n"
         "            randperm\n",
         argv0);

@@ -391,6 +391,86 @@ TopologyCostModel::generalizedHypercube(std::int64_t n,
     return inv;
 }
 
+Inventory
+TopologyCostModel::dragonfly(int p, int a, int h) const
+{
+    FBFLY_ASSERT(p >= 1 && a >= 2 && h >= 1,
+                 "bad dragonfly parameters");
+    const int g = a * h + 1;
+    const std::int64_t routers = static_cast<std::int64_t>(a) * g;
+    const std::int64_t nodes = routers * p;
+    const int radix = p + (a - 1) + h;
+
+    Inventory inv;
+    inv.topology = "dragonfly(" + std::to_string(p) + "," +
+                   std::to_string(a) + "," + std::to_string(h) + ")";
+    inv.numNodes = nodes;
+    inv.direct = true;
+
+    RouterGroup rg;
+    rg.count = routers;
+    rg.signalsPerRouter = radix * cost_.signalsPerPort * 2.0;
+    rg.label = "radix-" + std::to_string(radix);
+    inv.routers.push_back(rg);
+
+    inv.links.push_back({LinkLocale::Backplane, 0.0, 2 * nodes,
+                         cost_.signalsPerPort, "terminal"});
+
+    // Intra-group complete graph: a(a-1) unidirectional links per
+    // group, short cables while the group fits a cabinet pair.
+    const std::int64_t local_count =
+        routers * static_cast<std::int64_t>(a - 1);
+    const std::int64_t group_nodes =
+        static_cast<std::int64_t>(p) * a;
+    if (pkg_.subsystemIsLocal(group_nodes)) {
+        inv.links.push_back(
+            localLink(local_count, cost_.signalsPerPort, "local"));
+    } else {
+        inv.links.push_back(globalLink(
+            pkg_.avgGlobalButterfly(std::min(group_nodes, nodes)),
+            local_count, cost_.signalsPerPort, "local"));
+    }
+
+    // Inter-group wiring: one bidirectional channel per group pair,
+    // i.e. g(g-1) = routers*h unidirectional links across the floor.
+    inv.links.push_back(globalLink(
+        pkg_.avgGlobalButterfly(nodes),
+        routers * static_cast<std::int64_t>(h),
+        cost_.signalsPerPort, "global"));
+    return inv;
+}
+
+Inventory
+TopologyCostModel::slimFly(int q, int p) const
+{
+    FBFLY_ASSERT(q >= 5 && p >= 1, "bad Slim Fly parameters");
+    const std::int64_t routers = 2 * static_cast<std::int64_t>(q) * q;
+    const std::int64_t nodes = routers * p;
+    const int net_radix = (3 * q - 1) / 2;
+    const int radix = p + net_radix;
+
+    Inventory inv;
+    inv.topology = "slim fly (q=" + std::to_string(q) + ")";
+    inv.numNodes = nodes;
+    inv.direct = true;
+
+    RouterGroup rg;
+    rg.count = routers;
+    rg.signalsPerRouter = radix * cost_.signalsPerPort * 2.0;
+    rg.label = "radix-" + std::to_string(radix);
+    inv.routers.push_back(rg);
+
+    inv.links.push_back({LinkLocale::Backplane, 0.0, 2 * nodes,
+                         cost_.signalsPerPort, "terminal"});
+
+    // The MMS graph's algebraic wiring offers no cabinet locality to
+    // exploit; every inter-router channel crosses the floor.
+    inv.links.push_back(globalLink(pkg_.avgGlobalButterfly(nodes),
+                                   routers * net_radix,
+                                   cost_.signalsPerPort, "mms"));
+    return inv;
+}
+
 CostBreakdown
 TopologyCostModel::price(const Inventory &inv) const
 {

@@ -139,6 +139,18 @@ class TopologyCostModel
      *  and one node per router (Section 2.3). */
     Inventory generalizedHypercube(std::int64_t n, int dims) const;
 
+    /** Balanced dragonfly(p, a, h): g = a*h + 1 fully-connected
+     *  groups of a fully-connected routers (topology/dragonfly.h).
+     *  Intra-group channels are local when the group fits a cabinet
+     *  pair; inter-group channels span the floor (E/3 average). */
+    Inventory dragonfly(int p, int a, int h) const;
+
+    /** Slim Fly MMS graph: 2q^2 routers, p terminals each
+     *  (topology/slim_fly.h).  MMS wiring has no exploitable
+     *  locality, so every inter-router channel is charged as a
+     *  global cable (E/3 average). */
+    Inventory slimFly(int q, int p) const;
+
     /** @} */
 
     /** Price an inventory with the Table 2 component costs. */

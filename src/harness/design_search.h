@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Topology design-space search (ROADMAP "design-space autotuner").
+ *
+ * The paper picks the flattened butterfly by hand-comparing a few
+ * candidate topologies at fixed cost (Figures 11-13); this harness
+ * treats the choice as the optimization problem it really is.  Given
+ * a terminal-count requirement and optional cost/power budgets it
+ *
+ *  1. **enumerates** (family, size parameters, channel slicing,
+ *     VC/buffer organization) candidates across the flattened
+ *     butterfly, folded Clos, hypercube and generalized hypercube of
+ *     the paper plus the post-2007 dragonfly and Slim Fly;
+ *  2. **prunes analytically** with the existing cost/power models
+ *     (src/cost/, src/power/) and closed-form structure (diameter,
+ *     average minimal hops, channel counts, canonical-split
+ *     bisection): budget violations, buffer-budget deviations and
+ *     Pareto-dominated candidates never reach simulation;
+ *  3. **sweeps the survivors** on the parallel sweep engine
+ *     (harness/sweep.h) at the spec's offered loads under uniform
+ *     random traffic; and
+ *  4. emits the **cost-performance Pareto frontier** as an
+ *     `fbfly-pareto-v1` JSON document.
+ *
+ * Determinism contract: the emitted document is bit-identical for
+ * any --threads / --shards combination — candidate enumeration is a
+ * fixed nested loop, per-point seeds derive from (masterSeed, index)
+ * alone, and the document carries no wall-clock or thread-count
+ * fields (tests/test_design_search.cc).
+ */
+
+#ifndef FBFLY_HARNESS_DESIGN_SEARCH_H
+#define FBFLY_HARNESS_DESIGN_SEARCH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+
+namespace fbfly
+{
+
+/** Version tag of the design-search JSON document. */
+inline constexpr const char *kParetoJsonSchema = "fbfly-pareto-v1";
+
+/** Topology families the search enumerates. */
+enum class TopoFamily
+{
+    kFlattenedButterfly,
+    kFoldedClos,
+    kHypercube,
+    kGeneralizedHypercube,
+    kDragonfly,
+    kSlimFly,
+};
+
+/** Short family tag ("fbfly", "clos", ...). */
+const char *toString(TopoFamily f);
+
+/**
+ * What to search for.
+ */
+struct DesignSpec
+{
+    /** Candidates must serve at least this many terminals... */
+    std::int64_t minTerminals = 64;
+    /** ... and at most maxTerminalFactor x minTerminals (build-outs
+     *  beyond the requirement waste the budget). */
+    double maxTerminalFactor = 8.0;
+    /** Cost budget in $ per terminal (<= 0: unbounded). */
+    double maxCostPerTerminal = 0.0;
+    /** Power budget in W per terminal (<= 0: unbounded). */
+    double maxPowerPerTerminal = 0.0;
+    /** Offered loads (flits/node/cycle) the survivor sweep runs
+     *  under uniform random traffic; the last (highest) load's
+     *  accepted throughput is the performance axis of the frontier,
+     *  the first (lowest) load's latency is reported alongside. */
+    std::vector<double> loads = {0.1, 0.4, 0.8};
+    /** Phasing of each survivor load point. */
+    ExperimentConfig expcfg;
+    /** Step-engine shards inside each point (NetworkConfig::shards;
+     *  results are bit-identical for every value). */
+    int shards = 1;
+};
+
+/**
+ * One enumerated configuration with its analytic scorecard.
+ */
+struct DesignCandidate
+{
+    TopoFamily family = TopoFamily::kFlattenedButterfly;
+    /** Factory topology spec, e.g. "fbfly-8-2" (harness/factory.h). */
+    std::string topoSpec;
+    /** Factory routing name, e.g. "ugal". */
+    std::string routing;
+    /** Channel slicing: inter-router cycles per flit (1 full-rate,
+     *  2 half-rate with proportionally cheaper cables). */
+    Cycle channelPeriod = 1;
+    /** Buffer organization: flits per VC. */
+    int vcDepth = 8;
+    /** VCs the routing algorithm requires. */
+    int numVcs = 1;
+
+    /** @name Closed-form / analytic structure @{ */
+    std::int64_t terminals = 0;
+    std::int64_t routers = 0;
+    int radix = 0;
+    /** Inter-router diameter. */
+    int diameter = 0;
+    /** Mean minimal inter-router hops over ordered terminal pairs. */
+    double avgMinHops = 0.0;
+    /** Directed inter-router channels. */
+    std::int64_t channels = 0;
+    /** Directed channels crossing the canonical id-split bisection. */
+    std::int64_t bisectionArcs = 0;
+    /** Uniform-random throughput upper bound, flits/node/cycle:
+     *  min(1, channels / (terminals * avgMinHops * channelPeriod)). */
+    double throughputBound = 0.0;
+    double costDollars = 0.0;
+    double powerWatts = 0.0;
+    double costPerTerminal = 0.0;
+    double powerPerTerminal = 0.0;
+    /** @} */
+
+    /** Set when analytic pruning rejected the candidate;
+     *  pruneReason is one of "cost-budget", "power-budget",
+     *  "buffer-budget", "dominated". */
+    bool pruned = false;
+    std::string pruneReason;
+};
+
+/**
+ * Measured results of one surviving candidate.
+ */
+struct DesignPoint
+{
+    /** Index into DesignSearchResult::candidates. */
+    std::size_t candidate = 0;
+    /** One result per DesignSpec::loads entry, in order. */
+    std::vector<LoadPointResult> loads;
+    /** Accepted throughput at the highest offered load (NaN when
+     *  that point never completed its window). */
+    double satThroughput = LoadPointResult::kUnknown;
+    /** Average latency at the lowest offered load (NaN when not
+     *  trustworthy there). */
+    double lowLoadLatency = LoadPointResult::kUnknown;
+    /** True when the point is on the cost-performance frontier. */
+    bool onFrontier = false;
+};
+
+/**
+ * Everything a search run produced.
+ */
+struct DesignSearchResult
+{
+    /** Every enumerated candidate, in enumeration order (stable
+     *  across runs: a fixed nested loop over static tables). */
+    std::vector<DesignCandidate> candidates;
+    /** One entry per surviving (unpruned) candidate, in candidate
+     *  order. */
+    std::vector<DesignPoint> points;
+    /** Indices into `points`, sorted by cost per terminal ascending:
+     *  the Pareto frontier over (cost/terminal down, saturation
+     *  throughput up). */
+    std::vector<std::size_t> frontier;
+};
+
+/**
+ * Enumerate and analytically score/prune the candidate set without
+ * running any simulation.  Deterministic: two calls with the same
+ * spec return identical sequences.
+ */
+std::vector<DesignCandidate>
+enumerateDesignCandidates(const DesignSpec &spec);
+
+/**
+ * Full search: enumerate, prune, sweep survivors on the parallel
+ * engine, mark the Pareto frontier.
+ */
+DesignSearchResult runDesignSearch(const DesignSpec &spec,
+                                   const SweepConfig &sweep_cfg);
+
+/**
+ * Render a completed search as an `fbfly-pareto-v1` JSON document
+ * (no trailing newline).  Deliberately carries no wall-clock,
+ * thread-count or shard-count fields: the document is bit-identical
+ * for any execution configuration.
+ */
+std::string designSearchToJson(const DesignSpec &spec,
+                               const DesignSearchResult &result,
+                               std::uint64_t master_seed,
+                               const std::string &bench);
+
+/**
+ * Write designSearchToJson() + '\n' to @p path.
+ *
+ * @return true on success; false (with a warning) on I/O failure.
+ */
+bool writeDesignSearch(const std::string &path,
+                       const DesignSpec &spec,
+                       const DesignSearchResult &result,
+                       std::uint64_t master_seed,
+                       const std::string &bench);
+
+} // namespace fbfly
+
+#endif // FBFLY_HARNESS_DESIGN_SEARCH_H

@@ -7,22 +7,26 @@
 #include "routing/butterfly_dest.h"
 #include "routing/clos_ad.h"
 #include "routing/dor.h"
+#include "routing/dragonfly_routing.h"
 #include "routing/fat_tree_adaptive.h"
 #include "routing/folded_clos_adaptive.h"
 #include "routing/ghc_adaptive.h"
 #include "routing/ghc_minimal.h"
 #include "routing/hypercube_ecube.h"
 #include "routing/min_adaptive.h"
+#include "routing/slim_fly_routing.h"
 #include "routing/torus_dor.h"
 #include "routing/torus_valiant.h"
 #include "routing/ugal.h"
 #include "routing/valiant.h"
 #include "topology/butterfly.h"
+#include "topology/dragonfly.h"
 #include "topology/fat_tree.h"
 #include "topology/flattened_butterfly.h"
 #include "topology/folded_clos.h"
 #include "topology/generalized_hypercube.h"
 #include "topology/hypercube.h"
+#include "topology/slim_fly.h"
 #include "topology/torus.h"
 
 namespace fbfly
@@ -182,10 +186,45 @@ makeNetworkBundle(const std::string &topo_spec,
         }
         bundle.terminalsPerRouter = 1;
         bundle.topology = std::move(topo);
+    } else if (kind == "dragonfly") {
+        expect_args(3);
+        const int p = static_cast<int>(toInt(parts[1], "p"));
+        const int a = static_cast<int>(toInt(parts[2], "a"));
+        const int h = static_cast<int>(toInt(parts[3], "h"));
+        auto topo = std::make_unique<Dragonfly>(p, a, h);
+        if (routing_name == "dfmin") {
+            bundle.routing = std::make_unique<DragonflyMinimal>(*topo);
+        } else if (routing_name == "default" ||
+                   routing_name == "dfugal") {
+            bundle.routing = std::make_unique<DragonflyUgal>(*topo);
+        } else {
+            FBFLY_FATAL("dragonfly supports 'dfmin' or 'dfugal' "
+                        "routing");
+        }
+        // Adversarial group = the dragonfly group: neighbor-group
+        // traffic funnels through one global channel per pair.
+        bundle.terminalsPerRouter = p * a;
+        bundle.topology = std::move(topo);
+    } else if (kind == "slimfly") {
+        expect_args(2);
+        const int q = static_cast<int>(toInt(parts[1], "q"));
+        const int p = static_cast<int>(toInt(parts[2], "p"));
+        auto topo = std::make_unique<SlimFly>(q, p);
+        if (routing_name == "sfmin") {
+            bundle.routing = std::make_unique<SlimFlyMinimal>(*topo);
+        } else if (routing_name == "default" ||
+                   routing_name == "sfugal") {
+            bundle.routing = std::make_unique<SlimFlyUgal>(*topo);
+        } else {
+            FBFLY_FATAL("slimfly supports 'sfmin' or 'sfugal' "
+                        "routing");
+        }
+        bundle.terminalsPerRouter = p;
+        bundle.topology = std::move(topo);
     } else {
         FBFLY_FATAL("unknown topology kind '", kind,
                     "' (fbfly|butterfly|clos|fattree|hypercube|"
-                    "torus|ghc)");
+                    "torus|ghc|dragonfly|slimfly)");
     }
     return bundle;
 }

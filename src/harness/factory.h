@@ -12,11 +12,13 @@
  *   hypercube-D      binary hypercube, D dimensions
  *   torus-K-N        k-ary n-cube
  *   ghc-K1xK2x...    generalized hypercube with given radices
+ *   dragonfly-P-A-H  balanced dragonfly (g = a*h + 1 groups)
+ *   slimfly-Q-P      Slim Fly MMS graph (prime q ≡ 1 mod 4)
  *
  * Routing names: dor, minad, val, ugal, ugals, closad (flattened
  * butterfly); dest (butterfly); adaptive (clos/fattree); ecube
- * (hypercube); ghcmin, ghcadapt (ghc); tordor (torus) — or
- * "default".
+ * (hypercube); ghcmin, ghcadapt (ghc); tordor (torus); dfmin,
+ * dfugal (dragonfly); sfmin, sfugal (slimfly) — or "default".
  *
  * Traffic names: uniform, adversarial, tornado, transpose, bitcomp,
  * randperm.

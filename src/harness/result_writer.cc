@@ -21,12 +21,8 @@ gitDescribe()
 #endif
 }
 
-namespace
-{
-
-/** Append a JSON string literal (with escaping) to @p os. */
 void
-jsonString(std::ostringstream &os, const std::string &s)
+jsonAppendString(std::ostream &os, const std::string &s)
 {
     os << '"';
     for (const char c : s) {
@@ -61,9 +57,8 @@ jsonString(std::ostringstream &os, const std::string &s)
     os << '"';
 }
 
-/** Append a double: shortest round-trip form, NaN/inf as null. */
 void
-jsonNumber(std::ostringstream &os, double x)
+jsonAppendNumber(std::ostream &os, double x)
 {
     if (!std::isfinite(x)) {
         os << "null";
@@ -78,6 +73,22 @@ jsonNumber(std::ostringstream &os, double x)
             break;
     }
     os << buf;
+}
+
+namespace
+{
+
+/** Local shorthands for the shared emission primitives. */
+void
+jsonString(std::ostringstream &os, const std::string &s)
+{
+    jsonAppendString(os, s);
+}
+
+void
+jsonNumber(std::ostringstream &os, double x)
+{
+    jsonAppendNumber(os, x);
 }
 
 const char *

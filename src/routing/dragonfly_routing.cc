@@ -1,0 +1,154 @@
+#include "routing/dragonfly_routing.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "network/flit.h"
+#include "network/router.h"
+
+namespace fbfly
+{
+
+RouterId
+DragonflyRouting::dstRouter(const Flit &flit) const
+{
+    return topo_.injectionRouter(flit.dst);
+}
+
+RouteDecision
+DragonflyRouting::eject(const Flit &flit) const
+{
+    return {topo_.ejectionPort(flit.dst), 0};
+}
+
+PortId
+DragonflyRouting::minimalPort(RouterId cur, RouterId target) const
+{
+    FBFLY_ASSERT(cur != target, "minimalPort at the target");
+    const int gs = topo_.groupOf(cur);
+    const int gd = topo_.groupOf(target);
+    if (gs == gd)
+        return topo_.localPort(cur, topo_.localOf(target));
+    const RouterId gw = topo_.globalRouter(gs, gd);
+    if (cur == gw)
+        return topo_.globalPort(gs, gd);
+    return topo_.localPort(cur, topo_.localOf(gw));
+}
+
+VcId
+DragonflyRouting::dateVc(const Flit &flit) const
+{
+    return std::min(flit.hops, numVcs() - 1);
+}
+
+RouteDecision
+DragonflyRouting::escapeHop(Router &router, Flit &flit) const
+{
+    // Every productive channel has failed: budgeted random escape on
+    // any alive inter-router port, VC date clamped to the top VC
+    // (monotonicity no longer holds; the watchdog backs faulty runs).
+    if (flit.misroutes >= 4 * 3 + 8)
+        return RouteDecision::dropped();
+    PortId pick = kInvalid;
+    int count = 0;
+    for (PortId p = topo_.p(); p < topo_.radix(); ++p) {
+        if (!router.outputAlive(p))
+            continue;
+        ++count;
+        if (router.rng().nextBounded(count) == 0)
+            pick = p;
+    }
+    if (pick == kInvalid)
+        return RouteDecision::dropped(); // no alive channel at all
+    ++flit.misroutes;
+    return {pick, dateVc(flit)};
+}
+
+RouteDecision
+DragonflyMinimal::route(Router &router, Flit &flit)
+{
+    const RouterId cur = router.id();
+    const RouterId dst = dstRouter(flit);
+    if (cur == dst)
+        return eject(flit);
+    const PortId p = minimalPort(cur, dst);
+    if (router.outputAlive(p))
+        return {p, dateVc(flit)};
+    return escapeHop(router, flit);
+}
+
+RouteDecision
+DragonflyUgal::route(Router &router, Flit &flit)
+{
+    const RouterId cur = router.id();
+    const RouterId dst = dstRouter(flit);
+    if (cur == dst)
+        return eject(flit);
+
+    if (flit.routeMode == kModeUndecided) {
+        // The minimal-vs-nonminimal choice, made once at the source
+        // router: minimize estimated delay = (queue + 1) x hops,
+        // like the flattened-butterfly UGAL.
+        const int gs = topo_.groupOf(cur);
+        const int gd = topo_.groupOf(dst);
+        if (gs == gd) {
+            flit.routeMode = kModeMinimal;
+        } else {
+            constexpr int kDeadQueue = 1 << 20;
+
+            const int h_min = topo_.minimalHops(cur, dst);
+            const PortId pm = minimalPort(cur, dst);
+            const int q_min = router.outputAlive(pm)
+                                  ? router.estimatedQueue(pm)
+                                  : kDeadQueue;
+
+            // A random intermediate group != the source group; a
+            // draw of the destination group degenerates to minimal.
+            const int gi =
+                (gs + 1 +
+                 static_cast<int>(
+                     router.rng().nextBounded(topo_.g() - 1))) %
+                topo_.g();
+            int h_val = h_min;
+            int q_val = q_min;
+            if (gi != gd) {
+                const RouterId entry = topo_.globalRouter(gi, gs);
+                const RouterId gw = topo_.globalRouter(gs, gi);
+                h_val = (cur == gw ? 1 : 2) +
+                        topo_.minimalHops(entry, dst);
+                const PortId pv = minimalPort(cur, entry);
+                q_val = router.outputAlive(pv)
+                            ? router.estimatedQueue(pv)
+                            : kDeadQueue;
+            }
+
+            if (static_cast<long>(q_min + 1) * h_min <=
+                static_cast<long>(q_val + 1) * h_val) {
+                flit.routeMode = kModeMinimal;
+            } else {
+                flit.routeMode = kModeNonminimal;
+                flit.intermediate = gi;
+                flit.phase = 0;
+            }
+        }
+    }
+
+    RouterId target = dst;
+    if (flit.routeMode == kModeNonminimal) {
+        if (flit.phase == 0 &&
+            topo_.groupOf(cur) == flit.intermediate)
+            flit.phase = 1;
+        if (flit.phase == 0) {
+            // Toward the intermediate group's entry router (the far
+            // end of the current group's global channel to it).
+            target = topo_.globalRouter(flit.intermediate,
+                                        topo_.groupOf(cur));
+        }
+    }
+    const PortId p = minimalPort(cur, target);
+    if (router.outputAlive(p))
+        return {p, dateVc(flit)};
+    return escapeHop(router, flit);
+}
+
+} // namespace fbfly

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Dragonfly routing: minimal and UGAL-style adaptive, with the
+ * VC-dated deadlock-avoidance scheme used across this repo — the VC
+ * index equals the number of inter-router hops already taken, so
+ * every channel dependency steps to a strictly higher VC and the
+ * channel-dependency graph is acyclic (layered by date).
+ *
+ * Minimal routes are unique in this wiring (one global channel per
+ * group pair, fixed gateway router): local -> global -> local, at
+ * most 3 inter-router hops, so MIN needs 3 VCs.  UGAL picks, per
+ * packet at the source router, between the minimal route and a
+ * Valiant detour through a random intermediate *group* (at most
+ * 2 + 3 = 5 hops, 5 VCs), comparing estimated delay = (queue + 1) x
+ * hops like the flattened-butterfly UGAL (routing/ugal.cc).
+ *
+ * Fault handling follows GhcAdaptive: dead productive channels are
+ * escaped via a random alive inter-router port under a misroute
+ * budget, with the VC date clamped to the top VC — monotonicity no
+ * longer holds on the escape path, so faulty runs rely on the
+ * watchdog (docs/FAULTS.md).
+ */
+
+#ifndef FBFLY_ROUTING_DRAGONFLY_ROUTING_H
+#define FBFLY_ROUTING_DRAGONFLY_ROUTING_H
+
+#include "routing/routing.h"
+#include "topology/dragonfly.h"
+
+namespace fbfly
+{
+
+/** Shared machinery of the dragonfly algorithms. */
+class DragonflyRouting : public RoutingAlgorithm
+{
+  protected:
+    explicit DragonflyRouting(const Dragonfly &topo) : topo_(topo) {}
+
+    RouterId dstRouter(const Flit &flit) const;
+    /** Eject at the destination router (terminal port, VC 0). */
+    RouteDecision eject(const Flit &flit) const;
+    /** The unique minimal port from @p cur toward router @p target
+     *  (which must differ from @p cur). */
+    PortId minimalPort(RouterId cur, RouterId target) const;
+    /** VC date: inter-router hops taken so far, clamped to the VC
+     *  range (the clamp only engages on fault escapes). */
+    VcId dateVc(const Flit &flit) const;
+    /** Random alive inter-router port under the misroute budget. */
+    RouteDecision escapeHop(Router &router, Flit &flit) const;
+
+    const Dragonfly &topo_;
+};
+
+/**
+ * Deterministic minimal dragonfly routing (3 VCs).
+ */
+class DragonflyMinimal final : public DragonflyRouting
+{
+  public:
+    explicit DragonflyMinimal(const Dragonfly &topo)
+        : DragonflyRouting(topo)
+    {
+    }
+
+    std::string name() const override { return "DF MIN"; }
+    int numVcs() const override { return 3; }
+    RouteDecision route(Router &router, Flit &flit) override;
+    bool preservesFlowOrder() const override { return true; }
+};
+
+/**
+ * UGAL-style adaptive dragonfly routing (5 VCs): minimal vs Valiant
+ * through a random intermediate group, chosen once at the source by
+ * comparing estimated delays.
+ */
+class DragonflyUgal final : public DragonflyRouting
+{
+  public:
+    explicit DragonflyUgal(const Dragonfly &topo)
+        : DragonflyRouting(topo)
+    {
+    }
+
+    std::string name() const override { return "DF UGAL"; }
+    int numVcs() const override { return 5; }
+    RouteDecision route(Router &router, Flit &flit) override;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_ROUTING_DRAGONFLY_ROUTING_H

@@ -1,0 +1,94 @@
+#include "topology/dragonfly.h"
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+Dragonfly::Dragonfly(int p, int a, int h)
+    : p_(p), a_(a), h_(h), g_(a * h + 1)
+{
+    FBFLY_ASSERT(p_ >= 1, "dragonfly needs p >= 1 terminal/router");
+    FBFLY_ASSERT(a_ >= 2, "dragonfly needs a >= 2 routers/group");
+    FBFLY_ASSERT(h_ >= 1, "dragonfly needs h >= 1 global/router");
+    numNodes_ = static_cast<std::int64_t>(p_) * a_ * g_;
+}
+
+std::string
+Dragonfly::name() const
+{
+    return "dragonfly(" + std::to_string(p_) + "," +
+           std::to_string(a_) + "," + std::to_string(h_) + ")";
+}
+
+int
+Dragonfly::numPorts(RouterId) const
+{
+    return radix();
+}
+
+PortId
+Dragonfly::localPort(RouterId r, int peer) const
+{
+    const int own = localOf(r);
+    FBFLY_ASSERT(peer != own && peer >= 0 && peer < a_,
+                 "dragonfly localPort bad peer");
+    return p_ + (peer < own ? peer : peer - 1);
+}
+
+int
+Dragonfly::globalTarget(RouterId r, int j) const
+{
+    FBFLY_ASSERT(j >= 0 && j < h_, "dragonfly bad global offset");
+    const int G = groupOf(r);
+    const int gi = localOf(r) * h_ + j;
+    return gi + (gi >= G ? 1 : 0);
+}
+
+std::vector<Topology::Arc>
+Dragonfly::arcs() const
+{
+    std::vector<Arc> out;
+    const int routers = numRouters();
+    for (RouterId r = 0; r < routers; ++r) {
+        const int G = groupOf(r);
+        const int L = localOf(r);
+        // Local channels: the group is a complete graph.
+        for (int m = 0; m < a_; ++m) {
+            if (m == L)
+                continue;
+            out.push_back({r, localPort(r, m), routerAt(G, m),
+                           localPort(routerAt(G, m), L)});
+        }
+        // Global channels: one per (group pair), owned at both ends
+        // by the router whose local index the channel index selects.
+        for (int j = 0; j < h_; ++j) {
+            const int D = globalTarget(r, j);
+            out.push_back({r,
+                           static_cast<PortId>(p_ + (a_ - 1) + j),
+                           globalRouter(D, G), globalPort(D, G)});
+        }
+    }
+    return out;
+}
+
+int
+Dragonfly::minimalHops(RouterId src, RouterId dst) const
+{
+    if (src == dst)
+        return 0;
+    const int gs = groupOf(src);
+    const int gd = groupOf(dst);
+    if (gs == gd)
+        return 1;
+    // local (unless already at the global-channel owner) + global +
+    // local (unless the far end lands on dst).
+    int hops = 1; // the global hop
+    if (src != globalRouter(gs, gd))
+        ++hops;
+    if (dst != globalRouter(gd, gs))
+        ++hops;
+    return hops;
+}
+
+} // namespace fbfly

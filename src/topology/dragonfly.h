@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Dragonfly topology (Kim, Dally, Scott & Abts, ISCA 2008) — a
+ * post-2007 competitor the design-space search (harness/
+ * design_search.h) compares against the paper's topologies.
+ *
+ * A dragonfly(p, a, h) groups a routers into a fully-connected local
+ * cluster; each router carries p terminals and h global channels, and
+ * the g = a*h + 1 groups are themselves fully connected (exactly one
+ * bidirectional global channel per group pair — the balanced
+ * configuration of the dragonfly paper, a = 2p = 2h scaled to the
+ * parameters given here).
+ *
+ * Router ids: group-major, router (G, L) has id G*a + L.  Port layout
+ * per router:
+ *   [0, p)            terminals (node G*a*p + L*p + t);
+ *   [p, p+a-1)        local channels to the other routers of the
+ *                     group (portToward order: by peer local index,
+ *                     own index skipped);
+ *   [p+a-1, p+a-1+h)  global channels.
+ *
+ * Global wiring uses the canonical consecutive assignment: group G's
+ * global channel gi (0 <= gi < a*h) connects to group D = gi + (gi >=
+ * G), and lives on router L = gi/h, port offset gi%h.  Each group
+ * pair therefore gets exactly one bidirectional link whose endpoints
+ * both ends can compute in O(1).
+ */
+
+#ifndef FBFLY_TOPOLOGY_DRAGONFLY_H
+#define FBFLY_TOPOLOGY_DRAGONFLY_H
+
+#include "topology/topology.h"
+
+namespace fbfly
+{
+
+/**
+ * Balanced dragonfly: g = a*h + 1 fully-connected groups of a
+ * fully-connected routers, p terminals and h global channels each.
+ */
+class Dragonfly : public Topology
+{
+  public:
+    /**
+     * @param p terminals per router (>= 1).
+     * @param a routers per group (>= 2).
+     * @param h global channels per router (>= 1).
+     */
+    Dragonfly(int p, int a, int h);
+
+    /** @name Topology interface @{ */
+    std::string name() const override;
+    std::int64_t numNodes() const override { return numNodes_; }
+    int numRouters() const override { return a_ * g_; }
+    int numPorts(RouterId r) const override;
+    std::vector<Arc> arcs() const override;
+    RouterId injectionRouter(NodeId node) const override
+    {
+        return static_cast<RouterId>(node / p_);
+    }
+    PortId injectionPort(NodeId node) const override
+    {
+        return static_cast<PortId>(node % p_);
+    }
+    RouterId ejectionRouter(NodeId node) const override
+    {
+        return injectionRouter(node);
+    }
+    PortId ejectionPort(NodeId node) const override
+    {
+        return injectionPort(node);
+    }
+    /** @} */
+
+    /** @name Structure @{ */
+    int p() const { return p_; }
+    int a() const { return a_; }
+    int h() const { return h_; }
+    /** Group count g = a*h + 1. */
+    int g() const { return g_; }
+    int radix() const { return p_ + (a_ - 1) + h_; }
+
+    int groupOf(RouterId r) const { return r / a_; }
+    int localOf(RouterId r) const { return r % a_; }
+    RouterId routerAt(int group, int local) const
+    {
+        return group * a_ + local;
+    }
+
+    /** Local port on @p r toward local index @p peer (!= own). */
+    PortId localPort(RouterId r, int peer) const;
+
+    /** Group G's global-channel index toward group D (!= G). */
+    int globalIndex(int G, int D) const
+    {
+        return D < G ? D : D - 1;
+    }
+    /** Group reached by @p r's global port offset @p j in [0, h). */
+    int globalTarget(RouterId r, int j) const;
+    /** (router, port) of group @p G's end of the G<->D link. */
+    RouterId globalRouter(int G, int D) const
+    {
+        return routerAt(G, globalIndex(G, D) / h_);
+    }
+    PortId globalPort(int G, int D) const
+    {
+        return p_ + (a_ - 1) + globalIndex(G, D) % h_;
+    }
+
+    /** Inter-router hops of a minimal route (0..3). */
+    int minimalHops(RouterId src, RouterId dst) const;
+    /** @} */
+
+  private:
+    int p_;
+    int a_;
+    int h_;
+    int g_;
+    std::int64_t numNodes_;
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_TOPOLOGY_DRAGONFLY_H

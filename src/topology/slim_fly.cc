@@ -1,0 +1,180 @@
+#include "topology/slim_fly.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace fbfly
+{
+
+namespace
+{
+
+bool
+isPrime(int n)
+{
+    if (n < 2)
+        return false;
+    for (int d = 2; d * d <= n; ++d) {
+        if (n % d == 0)
+            return false;
+    }
+    return true;
+}
+
+/** Smallest primitive root of the prime field GF(q). */
+int
+primitiveRoot(int q)
+{
+    for (int g = 2; g < q; ++g) {
+        // g is primitive iff no proper power g^k (k < q-1, k | q-1)
+        // is 1; checking every k < q-1 is fine at these sizes.
+        int v = g;
+        bool primitive = true;
+        for (int k = 1; k < q - 1; ++k) {
+            if (v == 1) {
+                primitive = false;
+                break;
+            }
+            v = static_cast<int>(
+                (static_cast<long long>(v) * g) % q);
+        }
+        if (primitive && v == 1)
+            return g;
+    }
+    FBFLY_FATAL("no primitive root mod ", q);
+}
+
+} // namespace
+
+bool
+SlimFly::validQ(int q)
+{
+    return isPrime(q) && q % 4 == 1;
+}
+
+SlimFly::SlimFly(int q, int p) : q_(q), p_(p), w_((q - 1) / 2)
+{
+    FBFLY_ASSERT(validQ(q_), "Slim Fly needs a prime q with q ≡ 1 "
+                             "(mod 4): 5, 13, 17, 29, ... (got ",
+                 q_, ")");
+    FBFLY_ASSERT(p_ >= 1, "Slim Fly needs p >= 1 terminal/router");
+    numNodes_ = static_cast<std::int64_t>(p_) * 2 * q_ * q_;
+
+    // Even powers of a primitive element are the quadratic residues
+    // X, odd powers the non-residues X'.  q ≡ 1 (mod 4) puts -1 in X,
+    // so both sets are negation-symmetric and the intra-row graphs
+    // are undirected.
+    const int xi = primitiveRoot(q_);
+    int v = 1;
+    for (int e = 0; e < q_ - 1; ++e) {
+        (e % 2 == 0 ? genEven_ : genOdd_).push_back(v);
+        v = static_cast<int>((static_cast<long long>(v) * xi) % q_);
+    }
+    std::sort(genEven_.begin(), genEven_.end());
+    std::sort(genOdd_.begin(), genOdd_.end());
+    idxEven_.assign(q_, -1);
+    idxOdd_.assign(q_, -1);
+    for (int i = 0; i < w_; ++i) {
+        idxEven_[genEven_[i]] = i;
+        idxOdd_[genOdd_[i]] = i;
+    }
+    for (const int d : genEven_) {
+        FBFLY_ASSERT(idxEven_[(q_ - d) % q_] >= 0,
+                     "generator set X not symmetric");
+    }
+}
+
+std::string
+SlimFly::name() const
+{
+    return "slimfly(q=" + std::to_string(q_) + "," +
+           std::to_string(p_) + ")";
+}
+
+int
+SlimFly::numPorts(RouterId) const
+{
+    return radix();
+}
+
+bool
+SlimFly::adjacent(RouterId r1, RouterId r2) const
+{
+    const int s1 = setOf(r1);
+    const int s2 = setOf(r2);
+    if (s1 == s2) {
+        if (rowOf(r1) != rowOf(r2))
+            return false;
+        const int d = (colOf(r1) - colOf(r2) + q_) % q_;
+        return d != 0 && idx(s1)[d] >= 0;
+    }
+    // Cross edge (0,x,y) ~ (1,m,c) iff y = m*x + c (mod q).
+    const RouterId a = s1 == 0 ? r1 : r2;
+    const RouterId b = s1 == 0 ? r2 : r1;
+    const int x = rowOf(a);
+    const int y = colOf(a);
+    const int m = rowOf(b);
+    const int c = colOf(b);
+    return y == static_cast<int>(
+                    (static_cast<long long>(m) * x + c) % q_);
+}
+
+RouterId
+SlimFly::neighborAt(RouterId r, PortId port) const
+{
+    const int s = setOf(r);
+    const int row = rowOf(r);
+    const int col = colOf(r);
+    FBFLY_ASSERT(port >= p_ && port < radix(),
+                 "Slim Fly neighborAt: not an inter-router port");
+    if (port < p_ + w_) {
+        // Intra-row: step by the port's generator offset.
+        const int d = gens(s)[port - p_];
+        return routerAt(s, row, (col + d) % q_);
+    }
+    // Cross: the port index is the other subgraph's row coordinate.
+    const int other_row = port - p_ - w_;
+    if (s == 0) {
+        // (0,x,y) -> (1,m, y - m*x).
+        const int c = static_cast<int>(
+            ((static_cast<long long>(col) -
+              static_cast<long long>(other_row) * row) % q_ + q_) %
+            q_);
+        return routerAt(1, other_row, c);
+    }
+    // (1,m,c) -> (0,x, m*x + c).
+    const int y = static_cast<int>(
+        (static_cast<long long>(row) * other_row + col) % q_);
+    return routerAt(0, other_row, y);
+}
+
+PortId
+SlimFly::portToward(RouterId r, RouterId to) const
+{
+    const int s = setOf(r);
+    if (s == setOf(to)) {
+        const int d = (colOf(to) - colOf(r) + q_) % q_;
+        const int i = idx(s)[d];
+        FBFLY_ASSERT(rowOf(r) == rowOf(to) && i >= 0,
+                     "Slim Fly portToward: routers not adjacent");
+        return p_ + i;
+    }
+    return p_ + w_ + rowOf(to);
+}
+
+std::vector<Topology::Arc>
+SlimFly::arcs() const
+{
+    std::vector<Arc> out;
+    const int routers = numRouters();
+    for (RouterId r = 0; r < routers; ++r) {
+        for (PortId port = p_; port < radix(); ++port) {
+            const RouterId j = neighborAt(r, port);
+            out.push_back({r, port, j, portToward(j, r)});
+        }
+    }
+    return out;
+}
+
+} // namespace fbfly

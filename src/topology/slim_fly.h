@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Slim Fly topology (Besta & Hoefler, SC 2014) — the
+ * diameter-2 MMS-graph competitor the design-space search
+ * (harness/design_search.h) compares against the paper's topologies.
+ *
+ * The router graph is the McKay-Miller-Siran (MMS) construction over
+ * GF(q) for a prime q with q ≡ 1 (mod 4): two subgraphs of q^2
+ * routers each, labeled (s, x, y) with s ∈ {0,1} and x, y ∈ GF(q).
+ * With ξ a primitive element of GF(q),
+ *
+ *   X  = {ξ^0, ξ^2, ..., ξ^(q-3)}   (the quadratic residues),
+ *   X' = {ξ^1, ξ^3, ..., ξ^(q-2)}   (the non-residues),
+ *
+ * and q ≡ 1 (mod 4) makes both sets symmetric (X = -X, X' = -X'), so
+ * the following adjacency is well-defined and undirected:
+ *
+ *   (0, x, y) ~ (0, x, y')  iff  y - y' ∈ X      (intra "row"),
+ *   (1, m, c) ~ (1, m, c')  iff  c - c' ∈ X'     (intra "row"),
+ *   (0, x, y) ~ (1, m, c)   iff  y = m*x + c     (cross).
+ *
+ * Network radix (3q-1)/2, diameter 2, 2q^2 routers — about 25% fewer
+ * routers than any diameter-2 alternative of equal radix, which is
+ * exactly why it lands on the cost-performance frontier.
+ *
+ * Router ids: s*q^2 + x*q + y.  Port layout per router (p terminals):
+ *   [0, p)               terminals (node id router*p + t);
+ *   [p, p + (q-1)/2)     intra-row channels, indexed by the position
+ *                        of the offset in the sorted generator set;
+ *   [p + (q-1)/2, ... + q)  cross channels, indexed by the other
+ *                        subgraph's row coordinate (m for s=0, x for
+ *                        s=1).
+ */
+
+#ifndef FBFLY_TOPOLOGY_SLIM_FLY_H
+#define FBFLY_TOPOLOGY_SLIM_FLY_H
+
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace fbfly
+{
+
+/**
+ * Slim Fly MMS network: 2q^2 routers, p terminals each.
+ */
+class SlimFly : public Topology
+{
+  public:
+    /**
+     * @param q prime with q ≡ 1 (mod 4): 5, 13, 17, 29, ...
+     * @param p terminals per router (>= 1).
+     */
+    SlimFly(int q, int p);
+
+    /** @name Topology interface @{ */
+    std::string name() const override;
+    std::int64_t numNodes() const override { return numNodes_; }
+    int numRouters() const override { return 2 * q_ * q_; }
+    int numPorts(RouterId r) const override;
+    std::vector<Arc> arcs() const override;
+    RouterId injectionRouter(NodeId node) const override
+    {
+        return static_cast<RouterId>(node / p_);
+    }
+    PortId injectionPort(NodeId node) const override
+    {
+        return static_cast<PortId>(node % p_);
+    }
+    RouterId ejectionRouter(NodeId node) const override
+    {
+        return injectionRouter(node);
+    }
+    PortId ejectionPort(NodeId node) const override
+    {
+        return injectionPort(node);
+    }
+    /** @} */
+
+    /** @name Structure @{ */
+    int q() const { return q_; }
+    int p() const { return p_; }
+    /** Intra-row channels per router: (q-1)/2. */
+    int w() const { return w_; }
+    /** Full router radix p + (3q-1)/2. */
+    int radix() const { return p_ + w_ + q_; }
+    /** Inter-router (network) radix (3q-1)/2. */
+    int networkRadix() const { return w_ + q_; }
+
+    int setOf(RouterId r) const { return r / (q_ * q_); }
+    int rowOf(RouterId r) const { return (r / q_) % q_; }
+    int colOf(RouterId r) const { return r % q_; }
+    RouterId routerAt(int s, int row, int col) const
+    {
+        return (s * q_ + row) * q_ + col;
+    }
+
+    /** True when a single channel joins @p r1 and @p r2. */
+    bool adjacent(RouterId r1, RouterId r2) const;
+
+    /** Router reached from @p r via inter-router port @p port
+     *  (p <= port < radix). */
+    RouterId neighborAt(RouterId r, PortId port) const;
+
+    /** Port on @p r toward the adjacent router @p to. */
+    PortId portToward(RouterId r, RouterId to) const;
+
+    /** Inter-router hops of a minimal route: 0, 1 or 2 (the MMS
+     *  graph has diameter 2). */
+    int minimalHops(RouterId src, RouterId dst) const
+    {
+        if (src == dst)
+            return 0;
+        return adjacent(src, dst) ? 1 : 2;
+    }
+
+    /** True when @p q is a valid Slim Fly parameter here: a prime
+     *  with q ≡ 1 (mod 4). */
+    static bool validQ(int q);
+    /** @} */
+
+  private:
+    int q_;
+    int p_;
+    int w_; ///< (q-1)/2 intra-row generators
+    std::int64_t numNodes_;
+    std::vector<int> genEven_; ///< X, sorted ascending
+    std::vector<int> genOdd_;  ///< X', sorted ascending
+    std::vector<int> idxEven_; ///< offset -> index in X (-1: not in)
+    std::vector<int> idxOdd_;  ///< offset -> index in X' (-1: not in)
+
+    const std::vector<int> &gens(int s) const
+    {
+        return s == 0 ? genEven_ : genOdd_;
+    }
+    const std::vector<int> &idx(int s) const
+    {
+        return s == 0 ? idxEven_ : idxOdd_;
+    }
+};
+
+} // namespace fbfly
+
+#endif // FBFLY_TOPOLOGY_SLIM_FLY_H

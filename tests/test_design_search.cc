@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Design-space search tests (harness/design_search.h):
+ *
+ *  - enumeration is deterministic and stable across calls;
+ *  - the full search (enumerate -> prune -> parallel sweep ->
+ *    frontier -> JSON) emits a byte-identical document at --threads
+ *    1 vs 4 and --shards 1 vs 8 — the fbfly-pareto-v1 determinism
+ *    contract;
+ *  - the emitted document validates against the checked-in
+ *    tests/data/fbfly-pareto-v1.schema.json, never serializes NaN,
+ *    and carries no stringly-typed numbers in its metadata;
+ *  - pruning is sound: budget violators are pruned with the right
+ *    reason, surviving candidates dominate no one and respect the
+ *    terminal range, the frontier is strictly improving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "harness/design_search.h"
+#include "json_test_util.h"
+
+namespace fbfly
+{
+namespace
+{
+
+#ifndef FBFLY_TEST_DATA_DIR
+#error "FBFLY_TEST_DATA_DIR must be defined by the build"
+#endif
+
+using testjson::Json;
+using testjson::JsonParser;
+using testjson::validate;
+
+/** A small spec that still exercises several families (including
+ *  dragonfly) in a few seconds of simulation. */
+DesignSpec
+smallSpec()
+{
+    DesignSpec spec;
+    spec.minTerminals = 12;
+    spec.maxTerminalFactor = 3.0; // terminals in [12, 36]
+    spec.loads = {0.2, 0.9};
+    spec.expcfg.warmupCycles = 200;
+    spec.expcfg.measureCycles = 200;
+    spec.expcfg.drainCycles = 4000;
+    spec.expcfg.seed = 7;
+    return spec;
+}
+
+TEST(DesignSearch, EnumerationOrderIsStableAcrossRuns)
+{
+    const DesignSpec spec = smallSpec();
+    const auto a = enumerateDesignCandidates(spec);
+    const auto b = enumerateDesignCandidates(spec);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_FALSE(a.empty());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].topoSpec, b[i].topoSpec) << i;
+        EXPECT_EQ(a[i].routing, b[i].routing) << i;
+        EXPECT_EQ(a[i].channelPeriod, b[i].channelPeriod) << i;
+        EXPECT_EQ(a[i].vcDepth, b[i].vcDepth) << i;
+        EXPECT_EQ(a[i].pruned, b[i].pruned) << i;
+        EXPECT_EQ(a[i].pruneReason, b[i].pruneReason) << i;
+        // Analytic fields are pure functions of the parameters:
+        // exact equality, not approximate.
+        EXPECT_EQ(a[i].avgMinHops, b[i].avgMinHops) << i;
+        EXPECT_EQ(a[i].throughputBound, b[i].throughputBound) << i;
+        EXPECT_EQ(a[i].costDollars, b[i].costDollars) << i;
+        EXPECT_EQ(a[i].powerWatts, b[i].powerWatts) << i;
+    }
+}
+
+TEST(DesignSearch, EnumerationRespectsTerminalRangeAndStructure)
+{
+    const DesignSpec spec = smallSpec();
+    const auto cands = enumerateDesignCandidates(spec);
+    ASSERT_FALSE(cands.empty());
+    std::set<std::string> families;
+    for (const auto &c : cands) {
+        families.insert(toString(c.family));
+        EXPECT_GE(c.terminals, spec.minTerminals) << c.topoSpec;
+        EXPECT_LE(static_cast<double>(c.terminals),
+                  spec.minTerminals * spec.maxTerminalFactor)
+            << c.topoSpec;
+        EXPECT_GT(c.routers, 0) << c.topoSpec;
+        EXPECT_GT(c.radix, 0) << c.topoSpec;
+        EXPECT_GT(c.diameter, 0) << c.topoSpec;
+        EXPECT_GT(c.avgMinHops, 0.0) << c.topoSpec;
+        EXPECT_LE(c.avgMinHops, c.diameter) << c.topoSpec;
+        EXPECT_GT(c.channels, 0) << c.topoSpec;
+        EXPECT_GT(c.bisectionArcs, 0) << c.topoSpec;
+        EXPECT_GT(c.throughputBound, 0.0) << c.topoSpec;
+        EXPECT_LE(c.throughputBound, 1.0) << c.topoSpec;
+        EXPECT_GT(c.costDollars, 0.0) << c.topoSpec;
+        EXPECT_GT(c.powerWatts, 0.0) << c.topoSpec;
+        EXPECT_GT(c.numVcs, 0) << c.topoSpec;
+        if (c.pruned) {
+            EXPECT_TRUE(c.pruneReason == "cost-budget" ||
+                        c.pruneReason == "power-budget" ||
+                        c.pruneReason == "buffer-budget" ||
+                        c.pruneReason == "dominated")
+                << c.topoSpec << ": " << c.pruneReason;
+        } else {
+            EXPECT_TRUE(c.pruneReason.empty());
+        }
+    }
+    // The [12, 36] window covers at least the paper's families plus
+    // the dragonfly (12 terminals at p=2, a=2, h=1).
+    EXPECT_TRUE(families.count("fbfly"));
+    EXPECT_TRUE(families.count("clos"));
+    EXPECT_TRUE(families.count("hypercube"));
+    EXPECT_TRUE(families.count("ghc"));
+    EXPECT_TRUE(families.count("dragonfly"));
+}
+
+TEST(DesignSearch, BudgetPruningUsesBudgetReasons)
+{
+    DesignSpec spec = smallSpec();
+    // A cost ceiling low enough that something (the GHC at least)
+    // must be cut, high enough that something survives.
+    spec.maxCostPerTerminal = 150.0;
+    const auto cands = enumerateDesignCandidates(spec);
+    bool pruned_cost = false, survived = false;
+    for (const auto &c : cands) {
+        if (c.costPerTerminal > spec.maxCostPerTerminal) {
+            EXPECT_TRUE(c.pruned) << c.topoSpec;
+            EXPECT_EQ(c.pruneReason, "cost-budget") << c.topoSpec;
+            pruned_cost = true;
+        }
+        if (!c.pruned) {
+            EXPECT_LE(c.costPerTerminal, spec.maxCostPerTerminal);
+            survived = true;
+        }
+    }
+    EXPECT_TRUE(pruned_cost);
+    EXPECT_TRUE(survived);
+}
+
+/** The tentpole contract: the emitted fbfly-pareto-v1 document is
+ *  bit-identical for every --threads / --shards combination. */
+TEST(DesignSearch, DocumentBitIdenticalAcrossThreadsAndShards)
+{
+    const DesignSpec spec = smallSpec();
+    SweepConfig cfg1;
+    cfg1.threads = 1;
+    cfg1.masterSeed = 2007;
+    const DesignSearchResult r1 = runDesignSearch(spec, cfg1);
+    const std::string doc1 =
+        designSearchToJson(spec, r1, cfg1.masterSeed, "test");
+
+    SweepConfig cfg4 = cfg1;
+    cfg4.threads = 4;
+    const DesignSearchResult r4 = runDesignSearch(spec, cfg4);
+    const std::string doc4 =
+        designSearchToJson(spec, r4, cfg4.masterSeed, "test");
+    EXPECT_EQ(doc1, doc4) << "threads 1 vs 4 changed the document";
+
+    DesignSpec sharded = spec;
+    sharded.shards = 8;
+    const DesignSearchResult r8 = runDesignSearch(sharded, cfg4);
+    const std::string doc8 =
+        designSearchToJson(sharded, r8, cfg4.masterSeed, "test");
+    EXPECT_EQ(doc1, doc8) << "shards 1 vs 8 changed the document";
+}
+
+TEST(DesignSearch, DocumentValidatesAgainstCheckedInSchema)
+{
+    const DesignSpec spec = smallSpec();
+    SweepConfig cfg;
+    cfg.threads = 2;
+    cfg.masterSeed = 2007;
+    const DesignSearchResult result = runDesignSearch(spec, cfg);
+    const std::string doc =
+        designSearchToJson(spec, result, cfg.masterSeed,
+                           "design_search");
+
+    // No bare NaN/inf tokens anywhere (the writer emits null).
+    EXPECT_EQ(doc.find("nan"), std::string::npos);
+    EXPECT_EQ(doc.find("inf"), std::string::npos);
+
+    JsonParser parser(doc);
+    const Json root = parser.parse();
+    const Json schema = testjson::loadSchema(
+        FBFLY_TEST_DATA_DIR, "fbfly-pareto-v1.schema.json");
+    ASSERT_EQ(schema.type, Json::Type::kObject);
+    validate(root, schema, "$");
+
+    // Determinism contract: no run-dependent fields anywhere.
+    EXPECT_EQ(root.find("threads"), nullptr);
+    EXPECT_EQ(doc.find("wall_seconds"), std::string::npos);
+    EXPECT_EQ(doc.find("shards"), std::string::npos);
+
+    // Metadata numbers are numbers, and no metadata string is a
+    // number in disguise.
+    const Json *metadata = root.find("metadata");
+    ASSERT_NE(metadata, nullptr);
+    EXPECT_EQ(metadata->find("survivors_swept")->type,
+              Json::Type::kNumber);
+    for (const auto &[key, value] : metadata->members) {
+        if (value.type != Json::Type::kString || value.str.empty())
+            continue;
+        char *end = nullptr;
+        std::strtod(value.str.c_str(), &end);
+        EXPECT_NE(end, value.str.c_str() + value.str.size())
+            << "metadata key \"" << key
+            << "\" holds the numeric string \"" << value.str << "\"";
+    }
+
+    // Cross-references resolve and counts agree.
+    const Json *cands = root.find("candidates");
+    const Json *points = root.find("points");
+    const Json *frontier = root.find("frontier");
+    ASSERT_NE(cands, nullptr);
+    ASSERT_NE(points, nullptr);
+    ASSERT_NE(frontier, nullptr);
+    EXPECT_EQ(cands->elems.size(),
+              metadata->find("candidates_enumerated")->number);
+    EXPECT_EQ(points->elems.size(),
+              metadata->find("survivors_swept")->number);
+    EXPECT_EQ(frontier->elems.size(),
+              metadata->find("frontier_size")->number);
+    for (const Json &pt : points->elems) {
+        const auto ci =
+            static_cast<std::size_t>(pt.find("candidate")->number);
+        ASSERT_LT(ci, cands->elems.size());
+        EXPECT_FALSE(cands->elems[ci].find("pruned")->boolean)
+            << "swept point references a pruned candidate";
+    }
+}
+
+TEST(DesignSearch, FrontierIsStrictlyImproving)
+{
+    const DesignSpec spec = smallSpec();
+    SweepConfig cfg;
+    cfg.threads = 2;
+    cfg.masterSeed = 2007;
+    const DesignSearchResult result = runDesignSearch(spec, cfg);
+    ASSERT_FALSE(result.points.empty());
+    ASSERT_FALSE(result.frontier.empty());
+
+    double last_cost = -1.0, last_thr = -1.0;
+    for (const std::size_t fi : result.frontier) {
+        const DesignPoint &pt = result.points[fi];
+        EXPECT_TRUE(pt.onFrontier);
+        ASSERT_TRUE(std::isfinite(pt.satThroughput));
+        const DesignCandidate &c = result.candidates[pt.candidate];
+        EXPECT_GE(c.costPerTerminal, last_cost);
+        EXPECT_GT(pt.satThroughput, last_thr)
+            << "frontier must strictly improve throughput";
+        last_cost = c.costPerTerminal;
+        last_thr = pt.satThroughput;
+    }
+    // Every non-frontier point is beaten or matched: some frontier
+    // point has cost <= and throughput >=.
+    for (const DesignPoint &pt : result.points) {
+        if (pt.onFrontier || !std::isfinite(pt.satThroughput))
+            continue;
+        const DesignCandidate &c = result.candidates[pt.candidate];
+        bool covered = false;
+        for (const std::size_t fi : result.frontier) {
+            const DesignPoint &f = result.points[fi];
+            const DesignCandidate &fc =
+                result.candidates[f.candidate];
+            if (fc.costPerTerminal <= c.costPerTerminal &&
+                f.satThroughput >= pt.satThroughput) {
+                covered = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(covered)
+            << c.topoSpec << " is off the frontier but undominated";
+    }
+}
+
+} // namespace
+} // namespace fbfly

@@ -8,16 +8,23 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "cost/topology_cost.h"
+#include "harness/design_search.h"
+#include "harness/factory.h"
 #include "network/network.h"
 #include "routing/clos_ad.h"
 #include "routing/dor.h"
 #include "routing/min_adaptive.h"
 #include "routing/ugal.h"
 #include "routing/valiant.h"
+#include "topo_test_util.h"
 #include "topology/flattened_butterfly.h"
 #include "traffic/injection.h"
 #include "traffic/traffic_pattern.h"
@@ -206,6 +213,208 @@ TEST(Determinism, WholeExperimentsAreReproducible)
                           net.interRouterFlitCounts()};
     };
     EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+// ---------------------------------------------------------------------
+// All-family structural invariant sweep
+// ---------------------------------------------------------------------
+
+/**
+ * One topology configuration with its closed-form expectations.
+ * `diameter` is the terminal-pair router distance max(dist(inj(src),
+ * ej(dst))) — identical to the router-graph diameter for direct
+ * networks, and the leaf-to-leaf distance for the indirect ones.
+ * `bisection` is the unidirectional arc count crossing the canonical
+ * id split (-1: no tractable closed form, skip).
+ */
+struct TopoCase
+{
+    const char *spec;
+    const char *routing;
+    int routers;
+    std::int64_t terminals;
+    std::int64_t arcs;
+    int diameter;
+    std::int64_t bisection;
+    bool symmetric;     ///< every arc has its reverse
+    bool uniformDegree; ///< identical network out-degree everywhere
+};
+
+void
+PrintTo(const TopoCase &c, std::ostream *os)
+{
+    *os << c.spec;
+}
+
+class TopologyInvariants : public ::testing::TestWithParam<TopoCase>
+{
+};
+
+TEST_P(TopologyInvariants, StructureMatchesClosedFormAndBfs)
+{
+    const TopoCase &tc = GetParam();
+    const NetworkBundle bundle =
+        makeNetworkBundle(tc.spec, tc.routing);
+    const Topology &topo = *bundle.topology;
+
+    // Counts against the closed forms.
+    EXPECT_EQ(topo.numRouters(), tc.routers);
+    EXPECT_EQ(topo.numNodes(), tc.terminals);
+    const auto arcs = topo.arcs();
+    EXPECT_EQ(static_cast<std::int64_t>(arcs.size()), tc.arcs);
+    if (tc.bisection >= 0)
+        EXPECT_EQ(topotest::bisectionArcs(topo), tc.bisection);
+
+    // Channel symmetry (direct / folded topologies only: the plain
+    // butterfly is unidirectional by construction).
+    if (tc.symmetric)
+        topotest::expectSymmetricArcs(topo);
+
+    // Degree symmetry: vertex-transitive families drive the same
+    // number of inter-router channels everywhere.
+    if (tc.uniformDegree) {
+        std::vector<int> degree(topo.numRouters(), 0);
+        for (const Topology::Arc &a : arcs)
+            ++degree[a.src];
+        for (RouterId r = 1; r < topo.numRouters(); ++r)
+            EXPECT_EQ(degree[r], degree[0]) << "router " << r;
+    }
+
+    // BFS ground truth: every terminal pair is connected and the
+    // worst-case router distance equals the claimed diameter.
+    const auto dist = topotest::allPairsDistances(topo);
+    int max_dist = 0;
+    for (NodeId src = 0; src < topo.numNodes(); ++src) {
+        const RouterId r1 = topo.injectionRouter(src);
+        for (NodeId dst = 0; dst < topo.numNodes(); ++dst) {
+            if (src == dst)
+                continue;
+            const RouterId r2 = topo.ejectionRouter(dst);
+            ASSERT_GE(dist[r1][r2], 0)
+                << "terminal " << src << " cannot reach " << dst;
+            max_dist = std::max(max_dist, dist[r1][r2]);
+        }
+    }
+    EXPECT_EQ(max_dist, tc.diameter);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, TopologyInvariants,
+    ::testing::Values(
+        // k-ary n-flats: k^(n-1) routers, each n'(k-1) channels.
+        TopoCase{"fbfly-4-2", "ugal", 4, 16, 12, 1, 8, true, true},
+        TopoCase{"fbfly-4-3", "ugal", 16, 64, 96, 2, 32, true,
+                 true},
+        // Conventional butterfly: unidirectional, stage-major ids,
+        // so the id split cuts every stage-0 -> stage-1 channel.
+        TopoCase{"butterfly-4-2", "dest", 8, 16, 16, 1, 16, false,
+                 false},
+        // Two-level folded Clos: L = 16 leaves + u = 4 middles,
+        // L*u bidirectional links; the id split at router 10 cuts
+        // the 10 lower leaves' uplinks (10 * 4 * 2 arcs).
+        TopoCase{"clos-64-4-4", "adaptive", 20, 64, 128, 2, 80,
+                 true, false},
+        // Three-level fat tree: 16 leaves + 4 pods * 8 middles +
+        // 4 tops; leaf-middle 16*8 + middle-top 32*4 links.
+        TopoCase{"fattree-128-8-4-8-4", "adaptive", 52, 128, 512,
+                 4, -1, true, false},
+        // Hypercube: only the top dimension crosses the id split.
+        TopoCase{"hypercube-5", "ecube", 32, 32, 160, 5, 32, true,
+                 true},
+        // 4x4 torus: 2 channels per dim per router; the top-dim
+        // split cuts 2 links per column, both directions.
+        TopoCase{"torus-4-2", "tordor", 16, 16, 64, 4, 16, true,
+                 true},
+        // 4x4 generalized hypercube: K4 in each dimension.
+        TopoCase{"ghc-4x4", "ghcadapt", 16, 16, 96, 2, 32, true,
+                 true},
+        // Dragonfly(2,4,2): 9 groups of 4; crossing arcs are the
+        // group-4-internal {16,17}x{18,19} locals (8) plus the
+        // 16 lower-group x upper-group globals (32).
+        TopoCase{"dragonfly-2-4-2", "dfugal", 36, 72, 180, 3, 40,
+                 true, true},
+        // Slim Fly MMS(5): subgraph-major ids put the whole
+        // bisection on the q^3 cross channels.
+        TopoCase{"slimfly-5-2", "sfugal", 50, 100, 350, 2, 250,
+                 true, true}));
+
+/**
+ * The analytic structure fields the design search prunes with
+ * (harness/design_search.h) against BFS ground truth, for every
+ * family the enumerator emits: closed-form router/terminal counts
+ * must match the built topology, and the closed-form diameter and
+ * terminal-pair average minimal hop count must match the arc-list
+ * BFS exactly.  (The dragonfly closed form models the canonical
+ * local->global->local routes; it equals BFS for the h = 1 config
+ * the enumeration windows cover — with h > 1 double-global
+ * shortcuts make BFS an underestimate of routed hops, see
+ * test_dragonfly.cc.)
+ */
+TEST(TopologyInvariants, DesignSearchAnalyticsMatchBfsGroundTruth)
+{
+    std::vector<DesignSpec> windows(2);
+    windows[0].minTerminals = 12;
+    windows[0].maxTerminalFactor = 3.0; // fbfly/clos/hc/ghc/df
+    windows[1].minTerminals = 100;
+    windows[1].maxTerminalFactor = 1.32; // slimfly-5-2 et al.
+
+    std::set<std::string> seen;
+    std::set<std::string> families;
+    for (const DesignSpec &spec : windows) {
+        for (const DesignCandidate &c :
+             enumerateDesignCandidates(spec)) {
+            // Variants share one topology; analytic claims too.
+            if (!seen.insert(c.topoSpec).second)
+                continue;
+            families.insert(toString(c.family));
+            SCOPED_TRACE(c.topoSpec);
+            const NetworkBundle bundle =
+                makeNetworkBundle(c.topoSpec, c.routing);
+            const Topology &topo = *bundle.topology;
+            ASSERT_EQ(topo.numRouters(), c.routers);
+            ASSERT_EQ(topo.numNodes(), c.terminals);
+
+            const auto dist = topotest::allPairsDistances(topo);
+            // Terminal population per router (leaves only, for the
+            // indirect families).
+            std::vector<std::int64_t> cnt(topo.numRouters(), 0);
+            for (NodeId v = 0; v < topo.numNodes(); ++v) {
+                ASSERT_EQ(topo.injectionRouter(v),
+                          topo.ejectionRouter(v));
+                ++cnt[topo.injectionRouter(v)];
+            }
+            int max_dist = 0;
+            double hop_sum = 0.0;
+            for (RouterId r1 = 0; r1 < topo.numRouters(); ++r1) {
+                if (cnt[r1] == 0)
+                    continue;
+                for (RouterId r2 = 0; r2 < topo.numRouters();
+                     ++r2) {
+                    if (cnt[r2] == 0)
+                        continue;
+                    ASSERT_GE(dist[r1][r2], 0) << "disconnected";
+                    hop_sum += static_cast<double>(cnt[r1]) *
+                               static_cast<double>(cnt[r2]) *
+                               dist[r1][r2];
+                    if (r1 != r2 || cnt[r1] > 1)
+                        max_dist =
+                            std::max(max_dist, dist[r1][r2]);
+                }
+            }
+            EXPECT_EQ(max_dist, c.diameter);
+            const double pairs =
+                static_cast<double>(c.terminals) *
+                static_cast<double>(c.terminals - 1);
+            const double bfs_avg = hop_sum / pairs;
+            EXPECT_NEAR(c.avgMinHops, bfs_avg,
+                        1e-9 * std::max(1.0, bfs_avg));
+        }
+    }
+    // The sweep really covered every family the enumerator knows.
+    EXPECT_EQ(families,
+              (std::set<std::string>{"fbfly", "clos", "hypercube",
+                                     "ghc", "dragonfly",
+                                     "slimfly"}));
 }
 
 } // namespace

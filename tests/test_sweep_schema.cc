@@ -4,29 +4,23 @@
  * (harness/result_writer.h) against the checked-in schema
  * tests/data/fbfly-sweep-v1.schema.json.
  *
- * The test carries its own minimal recursive-descent JSON parser and
- * a validator for the JSON-Schema subset the schema file uses (type /
- * required / const / enum / properties / items) — no external
- * dependency, and parsing the writer's output from scratch is itself
- * the test that the writer emits well-formed JSON (balanced
- * structure, escaped strings, no bare NaN).
+ * Parsing and subset validation live in the shared test helper
+ * tests/json_test_util.h (also used by the fbfly-pareto-v1 document
+ * test): parsing the writer's output from scratch is itself the test
+ * that the writer emits well-formed JSON (balanced structure,
+ * escaped strings, no bare NaN).
  */
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cmath>
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <memory>
-#include <sstream>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "harness/experiment.h"
 #include "harness/result_writer.h"
+#include "json_test_util.h"
 #include "routing/min_adaptive.h"
 #include "topology/flattened_butterfly.h"
 #include "traffic/traffic_pattern.h"
@@ -40,360 +34,15 @@ namespace
 #error "FBFLY_TEST_DATA_DIR must be defined by the build"
 #endif
 
-// ---------------------------------------------------------------------
-// Minimal JSON value + parser
-// ---------------------------------------------------------------------
-
-struct Json
-{
-    enum class Type
-    {
-        kNull,
-        kBool,
-        kNumber,
-        kString,
-        kArray,
-        kObject
-    };
-    Type type = Type::kNull;
-    bool boolean = false;
-    double number = 0.0;
-    std::string str;
-    std::vector<Json> elems;
-    std::vector<std::pair<std::string, Json>> members;
-
-    const Json *find(const std::string &key) const
-    {
-        for (const auto &[k, v] : members) {
-            if (k == key)
-                return &v;
-        }
-        return nullptr;
-    }
-    const char *typeName() const
-    {
-        switch (type) {
-        case Type::kNull:
-            return "null";
-        case Type::kBool:
-            return "boolean";
-        case Type::kNumber:
-            return "number";
-        case Type::kString:
-            return "string";
-        case Type::kArray:
-            return "array";
-        case Type::kObject:
-            return "object";
-        }
-        return "?";
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : s_(text) {}
-
-    /** Parse one document; fails the test on malformed input. */
-    Json parse()
-    {
-        Json v = value();
-        skipWs();
-        EXPECT_EQ(pos_, s_.size()) << "trailing garbage at " << pos_;
-        return v;
-    }
-
-  private:
-    void skipWs()
-    {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-    char peek()
-    {
-        skipWs();
-        if (pos_ >= s_.size()) {
-            ADD_FAILURE() << "unexpected end of JSON";
-            return '\0';
-        }
-        return s_[pos_];
-    }
-    void expect(char c)
-    {
-        if (peek() != c) {
-            ADD_FAILURE() << "expected '" << c << "' at " << pos_
-                          << ", got '" << s_[pos_] << "'";
-        }
-        ++pos_;
-    }
-    bool consume(const char *lit)
-    {
-        const std::size_t n = std::strlen(lit);
-        if (s_.compare(pos_, n, lit) == 0) {
-            pos_ += n;
-            return true;
-        }
-        return false;
-    }
-
-    Json value()
-    {
-        switch (peek()) {
-        case '{':
-            return object();
-        case '[':
-            return array();
-        case '"': {
-            Json v;
-            v.type = Json::Type::kString;
-            v.str = string();
-            return v;
-        }
-        case 't':
-        case 'f': {
-            Json v;
-            v.type = Json::Type::kBool;
-            v.boolean = consume("true");
-            if (!v.boolean && !consume("false"))
-                ADD_FAILURE() << "bad literal at " << pos_;
-            return v;
-        }
-        case 'n': {
-            Json v;
-            if (!consume("null"))
-                ADD_FAILURE() << "bad literal at " << pos_;
-            return v;
-        }
-        default:
-            return number();
-        }
-    }
-
-    Json object()
-    {
-        Json v;
-        v.type = Json::Type::kObject;
-        expect('{');
-        if (peek() == '}') {
-            ++pos_;
-            return v;
-        }
-        while (true) {
-            skipWs();
-            std::string key = string();
-            expect(':');
-            v.members.emplace_back(std::move(key), value());
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect('}');
-            return v;
-        }
-    }
-
-    Json array()
-    {
-        Json v;
-        v.type = Json::Type::kArray;
-        expect('[');
-        if (peek() == ']') {
-            ++pos_;
-            return v;
-        }
-        while (true) {
-            v.elems.push_back(value());
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect(']');
-            return v;
-        }
-    }
-
-    std::string string()
-    {
-        expect('"');
-        std::string out;
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            char c = s_[pos_++];
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            if (pos_ >= s_.size())
-                break;
-            const char e = s_[pos_++];
-            switch (e) {
-            case '"':
-            case '\\':
-            case '/':
-                out += e;
-                break;
-            case 'n':
-                out += '\n';
-                break;
-            case 'r':
-                out += '\r';
-                break;
-            case 't':
-                out += '\t';
-                break;
-            case 'b':
-                out += '\b';
-                break;
-            case 'f':
-                out += '\f';
-                break;
-            case 'u': {
-                // ASCII-only decode (all the writer ever emits).
-                if (pos_ + 4 <= s_.size()) {
-                    out += static_cast<char>(std::strtol(
-                        s_.substr(pos_, 4).c_str(), nullptr, 16));
-                    pos_ += 4;
-                }
-                break;
-            }
-            default:
-                ADD_FAILURE()
-                    << "bad escape '\\" << e << "' at " << pos_;
-            }
-        }
-        expect('"');
-        return out;
-    }
-
-    Json number()
-    {
-        const char *start = s_.c_str() + pos_;
-        char *end = nullptr;
-        const double x = std::strtod(start, &end);
-        if (end == start) {
-            ADD_FAILURE() << "bad JSON value at " << pos_;
-            ++pos_; // avoid an infinite loop on garbage
-        } else {
-            pos_ += static_cast<std::size_t>(end - start);
-        }
-        Json v;
-        v.type = Json::Type::kNumber;
-        v.number = x;
-        return v;
-    }
-
-    const std::string &s_;
-    std::size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------------
-// Schema validator (the subset the schema file uses)
-// ---------------------------------------------------------------------
-
-bool
-typeMatches(const Json &v, const std::string &name)
-{
-    if (name == "null")
-        return v.type == Json::Type::kNull;
-    if (name == "boolean")
-        return v.type == Json::Type::kBool;
-    if (name == "number")
-        return v.type == Json::Type::kNumber;
-    if (name == "string")
-        return v.type == Json::Type::kString;
-    if (name == "array")
-        return v.type == Json::Type::kArray;
-    if (name == "object")
-        return v.type == Json::Type::kObject;
-    ADD_FAILURE() << "schema names unknown type " << name;
-    return false;
-}
-
-bool
-literalEquals(const Json &a, const Json &b)
-{
-    if (a.type != b.type)
-        return false;
-    switch (a.type) {
-    case Json::Type::kNull:
-        return true;
-    case Json::Type::kBool:
-        return a.boolean == b.boolean;
-    case Json::Type::kNumber:
-        return a.number == b.number;
-    case Json::Type::kString:
-        return a.str == b.str;
-    default:
-        return false; // not needed for const/enum literals
-    }
-}
-
-void
-validate(const Json &v, const Json &schema, const std::string &path)
-{
-    // "type": a name or a list of alternatives.
-    if (const Json *t = schema.find("type")) {
-        bool ok = false;
-        if (t->type == Json::Type::kString) {
-            ok = typeMatches(v, t->str);
-        } else {
-            for (const Json &alt : t->elems)
-                ok = ok || typeMatches(v, alt.str);
-        }
-        EXPECT_TRUE(ok) << path << ": has type " << v.typeName()
-                        << ", schema disallows it";
-        if (!ok)
-            return;
-    }
-    if (const Json *c = schema.find("const")) {
-        EXPECT_TRUE(literalEquals(v, *c))
-            << path << ": const mismatch";
-    }
-    if (const Json *e = schema.find("enum")) {
-        bool ok = false;
-        for (const Json &alt : e->elems)
-            ok = ok || literalEquals(v, alt);
-        EXPECT_TRUE(ok) << path << ": value not in enum";
-    }
-    if (v.type == Json::Type::kObject) {
-        if (const Json *req = schema.find("required")) {
-            for (const Json &key : req->elems) {
-                EXPECT_NE(v.find(key.str), nullptr)
-                    << path << ": missing required key \"" << key.str
-                    << "\"";
-            }
-        }
-        if (const Json *props = schema.find("properties")) {
-            for (const auto &[key, sub] : props->members) {
-                if (const Json *child = v.find(key))
-                    validate(*child, sub, path + "." + key);
-            }
-        }
-    }
-    if (v.type == Json::Type::kArray) {
-        if (const Json *items = schema.find("items")) {
-            for (std::size_t i = 0; i < v.elems.size(); ++i) {
-                validate(v.elems[i], *items,
-                         path + "[" + std::to_string(i) + "]");
-            }
-        }
-    }
-}
+using testjson::Json;
+using testjson::JsonParser;
+using testjson::validate;
 
 Json
 loadSchema()
 {
-    const std::string path =
-        std::string(FBFLY_TEST_DATA_DIR) +
-        "/fbfly-sweep-v1.schema.json";
-    std::ifstream in(path, std::ios::binary);
-    EXPECT_TRUE(in) << "missing schema file " << path;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const std::string text = buf.str();
-    JsonParser parser(text);
-    return parser.parse();
+    return testjson::loadSchema(FBFLY_TEST_DATA_DIR,
+                                "fbfly-sweep-v1.schema.json");
 }
 
 // ---------------------------------------------------------------------

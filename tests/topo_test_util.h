@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Test-only topology graph helpers shared by the structural test
+ * suites (test_properties.cc invariant sweep, test_dragonfly.cc,
+ * test_slim_fly.cc): BFS ground truth for distances/diameter and an
+ * arc-table consistency check.
+ *
+ * Everything here treats a Topology purely as its arc list — the
+ * same view the routers and the analytic models get — so a passing
+ * check really is end-to-end agreement, not two copies of one
+ * formula.
+ */
+
+#ifndef FBFLY_TESTS_TOPO_TEST_UTIL_H
+#define FBFLY_TESTS_TOPO_TEST_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace fbfly::topotest
+{
+
+/** Out-neighbor lists over the (directed) inter-router arcs. */
+inline std::vector<std::vector<RouterId>>
+adjacency(const Topology &topo)
+{
+    std::vector<std::vector<RouterId>> adj(topo.numRouters());
+    for (const Topology::Arc &a : topo.arcs())
+        adj[a.src].push_back(a.dst);
+    return adj;
+}
+
+/**
+ * All-pairs router distances by BFS over the arcs (-1: unreachable).
+ * This is the ground truth the closed-form diameter / average-hop
+ * claims are checked against.
+ */
+inline std::vector<std::vector<int>>
+allPairsDistances(const Topology &topo)
+{
+    const auto adj = adjacency(topo);
+    const int n = topo.numRouters();
+    std::vector<std::vector<int>> dist(
+        n, std::vector<int>(n, -1));
+    for (int s = 0; s < n; ++s) {
+        std::queue<RouterId> q;
+        dist[s][s] = 0;
+        q.push(s);
+        while (!q.empty()) {
+            const RouterId u = q.front();
+            q.pop();
+            for (const RouterId v : adj[u]) {
+                if (dist[s][v] < 0) {
+                    dist[s][v] = dist[s][u] + 1;
+                    q.push(v);
+                }
+            }
+        }
+    }
+    return dist;
+}
+
+/**
+ * Arc-table consistency for a bidirectional (direct) topology:
+ * every arc stays inside the port ranges, no (router, port) drives
+ * two arcs, and every arc has its exact reverse — channel symmetry.
+ */
+inline void
+expectSymmetricArcs(const Topology &topo)
+{
+    using Key = std::tuple<RouterId, PortId, RouterId, PortId>;
+    std::set<Key> table;
+    std::set<std::pair<RouterId, PortId>> sources;
+    const auto arcs = topo.arcs();
+    for (const Topology::Arc &a : arcs) {
+        ASSERT_GE(a.src, 0);
+        ASSERT_LT(a.src, topo.numRouters());
+        ASSERT_GE(a.dst, 0);
+        ASSERT_LT(a.dst, topo.numRouters());
+        EXPECT_GE(a.srcPort, 0);
+        EXPECT_LT(a.srcPort, topo.numPorts(a.src));
+        EXPECT_GE(a.dstPort, 0);
+        EXPECT_LT(a.dstPort, topo.numPorts(a.dst));
+        EXPECT_TRUE(
+            table.insert({a.src, a.srcPort, a.dst, a.dstPort})
+                .second)
+            << "duplicate arc " << a.src << ":" << a.srcPort;
+        EXPECT_TRUE(sources.insert({a.src, a.srcPort}).second)
+            << "port " << a.srcPort << " of router " << a.src
+            << " drives two arcs";
+    }
+    for (const Topology::Arc &a : arcs) {
+        EXPECT_TRUE(
+            table.count({a.dst, a.dstPort, a.src, a.srcPort}))
+            << "arc " << a.src << ":" << a.srcPort << " -> "
+            << a.dst << ":" << a.dstPort << " has no reverse";
+    }
+}
+
+/** Unidirectional arcs crossing the canonical id split
+ *  (src < R/2) != (dst < R/2) — the generic bisection count the
+ *  analytic models use. */
+inline std::int64_t
+bisectionArcs(const Topology &topo)
+{
+    const int half = topo.numRouters() / 2;
+    std::int64_t crossing = 0;
+    for (const Topology::Arc &a : topo.arcs()) {
+        if ((a.src < half) != (a.dst < half))
+            ++crossing;
+    }
+    return crossing;
+}
+
+} // namespace fbfly::topotest
+
+#endif // FBFLY_TESTS_TOPO_TEST_UTIL_H

@@ -25,6 +25,15 @@ reported but skipped — a 2-core runner physically cannot show an
 8-way win, and the engine's bit-identical-results contract means the
 shard count never changes what is being measured.
 
+Design-search documents (``schema: fbfly-pareto-v1`` from
+bench/design_search) take a dedicated lane instead of the rate
+comparison: the run's metadata must be internally consistent
+(candidates >= survivors >= frontier >= 1, pruned + swept =
+enumerated) and must match the committed BENCH_design_search.json
+counts and family coverage exactly — the document is bit-identical
+for any --threads/--shards, so any drift is a real behavior change,
+not noise.
+
 The committed baseline (BENCH_micro_kernel.json) is recorded on a
 quiet dedicated machine; CI runners are slower and noisy, so the
 threshold is deliberately generous — this is a parachute against
@@ -126,10 +135,77 @@ def xscale_checks(meta):
     return failures
 
 
+PARETO_COUNT_KEYS = ("candidates_enumerated", "candidates_pruned",
+                     "survivors_swept", "frontier_size")
+PARETO_REQUIRED_FAMILIES = ("fbfly", "dragonfly", "slimfly")
+
+
+def pareto_checks(meta, base_meta):
+    """Design-search lane: metadata sanity plus exact agreement with
+    the committed baseline (the document is deterministic)."""
+    failures = []
+    counts = {}
+    for key in PARETO_COUNT_KEYS:
+        value = meta.get(key)
+        if not isinstance(value, (int, float)):
+            failures.append(f"{key}: missing or non-numeric")
+            continue
+        counts[key] = int(value)
+    if len(counts) == len(PARETO_COUNT_KEYS):
+        enumerated = counts["candidates_enumerated"]
+        pruned = counts["candidates_pruned"]
+        swept = counts["survivors_swept"]
+        frontier = counts["frontier_size"]
+        ok = (enumerated >= swept >= frontier >= 1
+              and pruned + swept == enumerated)
+        status = "ok" if ok else "FAIL"
+        print(f"{status:>4}  pareto counts: {enumerated} enumerated "
+              f"= {pruned} pruned + {swept} swept, "
+              f"frontier {frontier}")
+        if not ok:
+            failures.append(
+                f"inconsistent pareto counts: enumerated "
+                f"{enumerated}, pruned {pruned}, swept {swept}, "
+                f"frontier {frontier}")
+    families = meta.get("families", "")
+    family_set = set(families.split(",")) if families else set()
+    for fam in PARETO_REQUIRED_FAMILIES:
+        status = "ok" if fam in family_set else "FAIL"
+        print(f"{status:>4}  family swept: {fam}")
+        if fam not in family_set:
+            failures.append(f"family '{fam}' missing from "
+                            f"families '{families}'")
+    for key in PARETO_COUNT_KEYS + ("families",):
+        base = base_meta.get(key)
+        cur = meta.get(key)
+        if base is None:
+            failures.append(f"{key}: missing from baseline")
+            continue
+        status = "ok" if cur == base else "FAIL"
+        print(f"{status:>4}  {key}: {cur} vs baseline {base}")
+        if cur != base:
+            failures.append(f"{key}: {cur} != baseline {base}")
+    return failures
+
+
 def main(argv):
     if len(argv) not in (2, 3):
         sys.exit(f"usage: {argv[0]} CURRENT.json [BASELINE.json]")
     current_doc = load_doc(argv[1])
+    if current_doc.get("schema") == "fbfly-pareto-v1":
+        if len(argv) != 3:
+            sys.exit(f"usage: {argv[0]} CURRENT.json BASELINE.json "
+                     "(pareto documents need the baseline)")
+        baseline_doc = load_doc(argv[2])
+        failures = pareto_checks(current_doc.get("metadata", {}),
+                                 baseline_doc.get("metadata", {}))
+        if failures:
+            print("\nperf smoke FAILED:")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print("\nperf smoke passed")
+        return 0
     current = step_rates(argv[1], current_doc)
     baseline = step_rates(
         argv[2] if len(argv) == 3 else "BENCH_micro_kernel.json")
